@@ -1,0 +1,62 @@
+//! The experiment harness: regenerates every table/figure in
+//! EXPERIMENTS.md.
+//!
+//! Usage:
+//!
+//! ```text
+//! harness all          # run the full suite
+//! harness e1 e7 a2     # run selected experiments
+//! harness --list       # list experiment ids
+//! ```
+
+use btr_bench::experiments as exp;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: harness [--list] <all | e1 .. e10 a1 a2 r1>...");
+        return;
+    }
+    if args.iter().any(|a| a == "--list") {
+        println!("e1  recovery timeline per approach and fault type");
+        println!("e2  replication cost (replicas / traffic / CPU)");
+        println!("e3  minimum schedulable CPU speed");
+        println!("e4  sequential faults and the R := D/f rule");
+        println!("e5  mixed-criticality degradation");
+        println!("e6  planner scalability");
+        println!("e7  detection latency by fault type");
+        println!("e8  evidence distribution under DoS");
+        println!("e9  mode-change cost vs migrated state");
+        println!("e10 omission attribution accuracy");
+        println!("a1  plan-distance minimisation ablation");
+        println!("a2  checker placement ablation");
+        println!("r1  robustness to residual link loss");
+        return;
+    }
+    let run = |id: &str| match id {
+        "e1" => println!("{}", exp::e1_recovery_timeline()),
+        "e2" => {
+            println!("{}", exp::e2_replica_cost(1));
+            println!("{}", exp::e2_replica_cost(2));
+        }
+        "e3" => println!("{}", exp::e3_min_speed()),
+        "e4" => println!("{}", exp::e4_sequential_faults()),
+        "e5" => println!("{}", exp::e5_degradation()),
+        "e6" => println!("{}", exp::e6_planner_scale()),
+        "e7" => println!("{}", exp::e7_detection_latency()),
+        "e8" => println!("{}", exp::e8_evidence_dissemination()),
+        "e9" => println!("{}", exp::e9_mode_change()),
+        "e10" => println!("{}", exp::e10_omission_attribution()),
+        "a1" => println!("{}", exp::a1_plan_distance()),
+        "a2" => println!("{}", exp::a2_checker_placement()),
+        "r1" => println!("{}", exp::r1_link_loss()),
+        other => eprintln!("unknown experiment: {other}"),
+    };
+    if args.iter().any(|a| a == "all") {
+        println!("{}", exp::run_all());
+    } else {
+        for id in &args {
+            run(id);
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Experiment kernels shared by the `harness` binary and the criterion
+//! benches.
+//!
+//! The paper (HotOS XV) has no tables or figures; DESIGN.md defines the
+//! experiment suite its claims imply (E1–E10 plus ablations A1–A2), and
+//! every function here regenerates one of them. The `harness` binary
+//! prints the tables; `benches/experiments.rs` measures the kernels.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::*;
+pub use table::Table;

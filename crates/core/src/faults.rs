@@ -1,0 +1,157 @@
+//! Scriptable fault injection.
+//!
+//! A [`FaultScenario`] lists which nodes the adversary compromises, when,
+//! and how (one of the paper's Byzantine manifestations). The system
+//! runner translates the scenario into attack scripts on the affected
+//! nodes' runtimes plus simulator control actions (crashes).
+
+use btr_model::{Duration, FaultKind, NodeId, Time};
+use btr_runtime::Attack;
+use serde::{Deserialize, Serialize};
+
+/// One injected fault.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectedFault {
+    /// The compromised node.
+    pub node: NodeId,
+    /// How it misbehaves.
+    pub kind: FaultKind,
+    /// When the fault manifests.
+    pub at: Time,
+}
+
+impl InjectedFault {
+    /// The runtime attack script for this fault (None for crashes, which
+    /// are simulator control actions instead).
+    pub fn attack(&self) -> Option<Attack> {
+        match self.kind {
+            FaultKind::Crash => None,
+            FaultKind::Omission => Some(Attack::Omission {
+                from: self.at,
+                drop_outputs: true,
+                drop_heartbeats: false,
+            }),
+            FaultKind::Commission => Some(Attack::Commission {
+                from: self.at,
+                tasks: None,
+                garble_commitment: false,
+            }),
+            FaultKind::Timing => Some(Attack::Timing {
+                from: self.at,
+                delay: Duration::from_millis(6),
+            }),
+            FaultKind::Equivocation => Some(Attack::Equivocate { from: self.at }),
+            FaultKind::Babble => Some(Attack::Babble {
+                from: self.at,
+                msgs_per_period: 2_500,
+            }),
+            FaultKind::EvidenceSpam => Some(Attack::EvidenceSpam {
+                from: self.at,
+                per_period: 16,
+            }),
+        }
+    }
+}
+
+/// A full adversarial script.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultScenario {
+    /// The injected faults (at most one per node; later entries for the
+    /// same node are ignored).
+    pub faults: Vec<InjectedFault>,
+}
+
+impl FaultScenario {
+    /// No faults (reference behaviour).
+    pub fn none() -> Self {
+        FaultScenario::default()
+    }
+
+    /// A single fault.
+    pub fn single(node: NodeId, kind: FaultKind, at: Time) -> Self {
+        FaultScenario {
+            faults: vec![InjectedFault { node, kind, at }],
+        }
+    }
+
+    /// A sequence of faults of the same kind, `gap` apart, on the given
+    /// nodes (the paper's "trigger a new fault every R seconds" attack).
+    pub fn sequential(nodes: &[NodeId], kind: FaultKind, first_at: Time, gap: Duration) -> Self {
+        FaultScenario {
+            faults: nodes
+                .iter()
+                .enumerate()
+                .map(|(i, &node)| InjectedFault {
+                    node,
+                    kind,
+                    at: first_at + Duration(gap.as_micros() * i as u64),
+                })
+                .collect(),
+        }
+    }
+
+    /// The attack script for a node, if it is compromised.
+    pub fn attack_for(&self, node: NodeId) -> Option<Attack> {
+        self.faults
+            .iter()
+            .find(|f| f.node == node)
+            .and_then(|f| f.attack())
+    }
+
+    /// The earliest manifestation time, if any fault is injected.
+    pub fn first_manifestation(&self) -> Option<Time> {
+        self.faults.iter().map(|f| f.at).min()
+    }
+
+    /// All compromised nodes.
+    pub fn compromised(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.faults.iter().map(|f| f.node).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_and_none() {
+        let s = FaultScenario::single(NodeId(3), FaultKind::Crash, Time(100));
+        assert_eq!(s.compromised(), vec![NodeId(3)]);
+        assert_eq!(s.first_manifestation(), Some(Time(100)));
+        assert!(s.attack_for(NodeId(3)).is_none()); // Crash is a control action.
+        assert!(FaultScenario::none().first_manifestation().is_none());
+    }
+
+    #[test]
+    fn sequential_spacing() {
+        let s = FaultScenario::sequential(
+            &[NodeId(1), NodeId(2), NodeId(3)],
+            FaultKind::Omission,
+            Time::from_millis(10),
+            Duration::from_millis(50),
+        );
+        assert_eq!(s.faults[0].at, Time::from_millis(10));
+        assert_eq!(s.faults[1].at, Time::from_millis(60));
+        assert_eq!(s.faults[2].at, Time::from_millis(110));
+        assert!(s.attack_for(NodeId(2)).is_some());
+        assert!(s.attack_for(NodeId(7)).is_none());
+    }
+
+    #[test]
+    fn every_kind_maps_to_a_script_or_crash() {
+        for kind in FaultKind::ALL {
+            let f = InjectedFault {
+                node: NodeId(0),
+                kind,
+                at: Time(5),
+            };
+            match kind {
+                FaultKind::Crash => assert!(f.attack().is_none()),
+                _ => assert!(f.attack().is_some(), "{kind}"),
+            }
+        }
+    }
+}

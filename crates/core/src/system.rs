@@ -1,0 +1,369 @@
+//! The end-to-end BTR system: plan offline, run under attack, judge.
+
+use crate::faults::FaultScenario;
+use crate::oracle::{judge, survival_by_criticality, RecoveryStats, SinkVerdict};
+use btr_model::{
+    Criticality, Duration, FaultKind, FaultSet, NodeId, PlanId, Strategy, Time, Topology,
+};
+use btr_planner::{build_strategy, PlannerConfig, StrategyError, StrategyStats};
+use btr_runtime::{BtrConfig, BtrNode, NodeStats};
+use btr_sim::{ControlAction, SimConfig, SimMetrics, World};
+use btr_workload::Workload;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Errors surfaced by the system facade.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SystemError {
+    /// The offline planner could not produce an admissible strategy.
+    Planning(StrategyError),
+}
+
+impl std::fmt::Display for SystemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SystemError::Planning(e) => write!(f, "planning failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
+
+/// A planned BTR deployment, ready to run fault scenarios.
+pub struct BtrSystem {
+    workload: Arc<Workload>,
+    topo: Topology,
+    strategy: Arc<Strategy>,
+    stats: StrategyStats,
+    node_cfg: BtrConfig,
+    /// Extra settle time appended after the horizon so in-flight outputs
+    /// of the final judged period can land.
+    grace: Duration,
+    /// Residual message-loss probability (ppm) applied by the simulator.
+    loss_ppm: u32,
+    /// Link-level FEC (k data, m parity shards per message).
+    fec: Option<(u8, u8)>,
+}
+
+/// Everything measured in one run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Judged output slots ((sink, period) classification).
+    pub verdicts: Vec<SinkVerdict>,
+    /// Recovery window measurement.
+    pub recovery: RecoveryStats,
+    /// Fraction of acceptable slots per criticality level.
+    pub survival: BTreeMap<Criticality, f64>,
+    /// Simulator aggregate counters.
+    pub metrics: SimMetrics,
+    /// Per-node runtime stats, final plan, and fault-set size (correct
+    /// nodes only; compromised/crashed nodes excluded).
+    pub node_stats: Vec<(NodeId, NodeStats, PlanId, usize)>,
+    /// True if all correct nodes ended on identical fault sets and plans.
+    pub converged: bool,
+    /// Number of fully judged periods.
+    pub periods: u64,
+    /// Total bytes refused by link guardians (babbling containment).
+    pub guardian_drops: u64,
+}
+
+impl RunReport {
+    /// Fraction of acceptable output slots overall.
+    pub fn acceptable_fraction(&self) -> f64 {
+        if self.verdicts.is_empty() {
+            return 1.0;
+        }
+        let ok = self
+            .verdicts
+            .iter()
+            .filter(|v| v.verdict.acceptable())
+            .count();
+        ok as f64 / self.verdicts.len() as f64
+    }
+
+    /// Per-period acceptable fraction (the correctness timeline of E1).
+    pub fn timeline(&self) -> Vec<(u64, f64)> {
+        let mut per: BTreeMap<u64, (usize, usize)> = BTreeMap::new();
+        for v in &self.verdicts {
+            let e = per.entry(v.period).or_insert((0, 0));
+            e.1 += 1;
+            if v.verdict.acceptable() {
+                e.0 += 1;
+            }
+        }
+        per.into_iter()
+            .map(|(p, (ok, total))| (p, ok as f64 / total.max(1) as f64))
+            .collect()
+    }
+}
+
+impl BtrSystem {
+    /// Plan a strategy for a workload on a platform.
+    pub fn plan(
+        workload: Workload,
+        topo: Topology,
+        cfg: PlannerConfig,
+    ) -> Result<BtrSystem, SystemError> {
+        let (strategy, stats) =
+            build_strategy(&workload, &topo, &cfg).map_err(SystemError::Planning)?;
+        Ok(BtrSystem {
+            workload: Arc::new(workload),
+            topo,
+            strategy: Arc::new(strategy),
+            stats,
+            node_cfg: BtrConfig::default(),
+            grace: Duration::from_millis(30),
+            loss_ppm: 0,
+            fec: None,
+        })
+    }
+
+    /// Override the per-node runtime configuration.
+    pub fn with_node_config(mut self, cfg: BtrConfig) -> Self {
+        self.node_cfg = cfg;
+        self
+    }
+
+    /// Enable residual link loss (parts per million) — the post-FEC error
+    /// rate of Section 2.1's "losses are rare enough to be ignored".
+    pub fn with_loss_ppm(mut self, ppm: u32) -> Self {
+        self.loss_ppm = ppm;
+        self
+    }
+
+    /// Enable link-level FEC: each message is sent as `k` data + `m`
+    /// parity shards (any ≤ m shard losses are masked; wire overhead
+    /// (k+m)/k). With FEC on, `with_loss_ppm` applies per shard — the
+    /// "FEC can be used to minimize this risk" mechanism of Section 2.1.
+    pub fn with_fec(mut self, k: u8, m: u8) -> Self {
+        self.fec = Some((k, m));
+        self
+    }
+
+    /// The installed workload.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// The platform.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The computed strategy.
+    pub fn strategy(&self) -> &Strategy {
+        &self.strategy
+    }
+
+    /// Planner statistics (plan counts, transition bounds, shedding).
+    pub fn stats(&self) -> &StrategyStats {
+        &self.stats
+    }
+
+    /// Build the simulated world for a scenario (exposed so experiments
+    /// can instrument runs beyond what [`BtrSystem::run`] reports).
+    pub fn build_world(&self, scenario: &FaultScenario, seed: u64) -> World {
+        let mut sim_cfg = SimConfig::new(seed);
+        sim_cfg.period = self.workload.period;
+        sim_cfg.loss_ppm = self.loss_ppm;
+        sim_cfg.fec = self.fec;
+        let mut world = World::new(self.topo.clone(), sim_cfg);
+        let n = self.topo.node_count();
+        for i in 0..n as u32 {
+            let node = NodeId(i);
+            let mut cfg = self.node_cfg.clone();
+            cfg.attack = scenario.attack_for(node);
+            world.set_behavior(
+                node,
+                Box::new(BtrNode::new(
+                    node,
+                    Arc::clone(&self.workload),
+                    Arc::clone(&self.strategy),
+                    n,
+                    cfg,
+                )),
+            );
+        }
+        for f in &scenario.faults {
+            if f.kind == FaultKind::Crash {
+                world.schedule_control(f.at, ControlAction::Crash(f.node));
+            }
+        }
+        world
+    }
+
+    /// Run a fault scenario for `horizon` and judge the outputs.
+    pub fn run(&self, scenario: &FaultScenario, horizon: Duration, seed: u64) -> RunReport {
+        let mut world = self.build_world(scenario, seed);
+        world.start();
+        world.run_until(Time::ZERO + horizon + self.grace);
+
+        // The degraded plan the strategy prescribes for the injected
+        // pattern (what "legitimate degradation" means for the oracle).
+        let injected: FaultSet = scenario.compromised().into_iter().collect();
+        let degraded_shed: BTreeSet<_> = if injected.is_empty() {
+            BTreeSet::new()
+        } else {
+            let pid = self.strategy.best_plan_for(&injected);
+            self.strategy.plan(pid).shed.iter().copied().collect()
+        };
+
+        let periods = horizon.as_micros() / self.workload.period.as_micros();
+        let verdicts = judge(
+            &self.workload,
+            world.actuations(),
+            periods,
+            &degraded_shed,
+            scenario.first_manifestation(),
+            Duration(1_000),
+        );
+        let recovery =
+            RecoveryStats::from_verdicts(&self.workload, &verdicts, scenario.first_manifestation());
+        let survival = survival_by_criticality(&verdicts);
+
+        let compromised = scenario.compromised();
+        let mut node_stats = Vec::new();
+        let mut sets: BTreeSet<(Vec<NodeId>, PlanId)> = BTreeSet::new();
+        for i in 0..self.topo.node_count() as u32 {
+            let node = NodeId(i);
+            if compromised.contains(&node) || world.is_crashed(node) {
+                continue;
+            }
+            if let Some(b) = world
+                .behavior(node)
+                .and_then(|b| b.as_any())
+                .and_then(|a| a.downcast_ref::<BtrNode>())
+            {
+                node_stats.push((node, b.stats(), b.current_plan(), b.fault_set().len()));
+                sets.insert((b.fault_set().iter().collect(), b.current_plan()));
+            }
+        }
+        let converged = sets.len() <= 1;
+        let guardian_drops = (0..self.topo.node_count() as u32)
+            .map(|i| world.guardian_drops(NodeId(i)))
+            .sum();
+
+        RunReport {
+            verdicts,
+            recovery,
+            survival,
+            metrics: *world.metrics(),
+            node_stats,
+            converged,
+            periods,
+            guardian_drops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::InjectedFault;
+
+    fn system(f: u8) -> BtrSystem {
+        let workload = btr_workload::generators::avionics(9);
+        let topo = Topology::bus(9, 100_000, Duration(5));
+        let mut cfg = PlannerConfig::new(f, Duration::from_millis(150));
+        cfg.admit_best_effort = true;
+        BtrSystem::plan(workload, topo, cfg).expect("plannable")
+    }
+
+    #[test]
+    fn fault_free_run_is_fully_correct() {
+        let sys = system(1);
+        let report = sys.run(&FaultScenario::none(), Duration::from_millis(200), 3);
+        assert_eq!(report.acceptable_fraction(), 1.0, "{:?}", report.recovery);
+        assert!(report.converged);
+        assert_eq!(report.recovery.recovery_time, None);
+        assert_eq!(report.periods, 20);
+    }
+
+    #[test]
+    fn crash_recovers_within_r() {
+        let sys = system(1);
+        let scenario = FaultScenario::single(NodeId(6), FaultKind::Crash, Time::from_millis(42));
+        let report = sys.run(&scenario, Duration::from_millis(400), 3);
+        assert!(report.converged, "fault sets diverged");
+        let window = report.recovery.bad_window();
+        assert!(
+            window <= sys.strategy().r_bound,
+            "recovery {window} exceeded R = {}",
+            sys.strategy().r_bound
+        );
+        // The tail of the run is acceptable again.
+        let tl = report.timeline();
+        let tail = &tl[tl.len().saturating_sub(3)..];
+        assert!(tail.iter().all(|(_, f)| *f == 1.0), "tail not clean: {tail:?}");
+    }
+
+    #[test]
+    fn commission_recovers_within_r() {
+        let sys = system(1);
+        let scenario =
+            FaultScenario::single(NodeId(0), FaultKind::Commission, Time::from_millis(35));
+        let report = sys.run(&scenario, Duration::from_millis(400), 5);
+        assert!(report.converged);
+        assert!(report.recovery.bad_window() <= sys.strategy().r_bound);
+    }
+
+    #[test]
+    fn two_sequential_faults_with_f2() {
+        let sys = system(2);
+        let scenario = FaultScenario {
+            faults: vec![
+                InjectedFault {
+                    node: NodeId(1),
+                    kind: FaultKind::Crash,
+                    at: Time::from_millis(40),
+                },
+                InjectedFault {
+                    node: NodeId(5),
+                    kind: FaultKind::Omission,
+                    at: Time::from_millis(200),
+                },
+            ],
+        };
+        let report = sys.run(&scenario, Duration::from_millis(500), 11);
+        assert!(report.converged, "diverged: {:?}", report.node_stats);
+        // Both faults recovered: the last periods are acceptable.
+        let tl = report.timeline();
+        let tail = &tl[tl.len().saturating_sub(3)..];
+        assert!(
+            tail.iter().all(|(_, f)| *f >= 0.99),
+            "tail not clean: {tail:?}"
+        );
+    }
+
+    #[test]
+    fn evidence_spam_does_not_break_timeliness() {
+        let sys = system(1);
+        let scenario =
+            FaultScenario::single(NodeId(3), FaultKind::EvidenceSpam, Time::from_millis(30));
+        let report = sys.run(&scenario, Duration::from_millis(300), 9);
+        // Spam is contained: outputs stay overwhelmingly acceptable.
+        assert!(
+            report.acceptable_fraction() > 0.95,
+            "fraction = {}",
+            report.acceptable_fraction()
+        );
+    }
+
+    #[test]
+    fn babble_is_contained_by_guardians() {
+        let sys = system(1);
+        let scenario = FaultScenario::single(NodeId(2), FaultKind::Babble, Time::from_millis(30));
+        let report = sys.run(&scenario, Duration::from_millis(400), 11);
+        assert!(report.guardian_drops > 0, "guardian never engaged");
+        // The babbler costs a bounded window (its own lanes go quiet
+        // until it is attributed and excluded); the tail must be clean.
+        assert!(
+            report.acceptable_fraction() > 0.8,
+            "fraction = {}",
+            report.acceptable_fraction()
+        );
+        let tl = report.timeline();
+        let tail = &tl[tl.len().saturating_sub(3)..];
+        assert!(tail.iter().all(|(_, f)| *f >= 0.99), "tail: {tail:?}");
+    }
+}

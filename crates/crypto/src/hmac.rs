@@ -1,0 +1,140 @@
+//! HMAC-SHA-256 (RFC 2104).
+//!
+//! Used as the authenticator primitive behind [`crate::sign`]. Keys longer
+//! than the block size are hashed first, per the RFC.
+
+use crate::sha256::{Digest, Sha256};
+
+const BLOCK: usize = 64;
+const IPAD: u8 = 0x36;
+const OPAD: u8 = 0x5c;
+
+/// A secret HMAC key.
+///
+/// Holds the preprocessed (padded or hashed) key material so repeated MAC
+/// computations avoid re-deriving it.
+#[derive(Clone)]
+pub struct HmacKey {
+    padded: [u8; BLOCK],
+}
+
+impl std::fmt::Debug for HmacKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        f.write_str("HmacKey(..)")
+    }
+}
+
+impl HmacKey {
+    /// Derive an HMAC key from arbitrary key bytes.
+    pub fn new(key: &[u8]) -> Self {
+        let mut padded = [0u8; BLOCK];
+        if key.len() > BLOCK {
+            let d = crate::sha256(key);
+            padded[..32].copy_from_slice(&d.0);
+        } else {
+            padded[..key.len()].copy_from_slice(key);
+        }
+        HmacKey { padded }
+    }
+
+    /// Compute `HMAC(key, msg)` over a list of message parts.
+    pub fn mac_parts(&self, parts: &[&[u8]]) -> Digest {
+        let mut inner = Sha256::new();
+        let mut ipad = [0u8; BLOCK];
+        for (i, b) in self.padded.iter().enumerate() {
+            ipad[i] = b ^ IPAD;
+        }
+        inner.update(&ipad);
+        for p in parts {
+            inner.update(p);
+        }
+        let inner_digest = inner.finalize();
+
+        let mut outer = Sha256::new();
+        let mut opad = [0u8; BLOCK];
+        for (i, b) in self.padded.iter().enumerate() {
+            opad[i] = b ^ OPAD;
+        }
+        outer.update(&opad);
+        outer.update(&inner_digest.0);
+        outer.finalize()
+    }
+
+    /// Compute `HMAC(key, msg)` over a single message slice.
+    pub fn mac(&self, msg: &[u8]) -> Digest {
+        self.mac_parts(&[msg])
+    }
+}
+
+/// One-shot HMAC-SHA-256.
+pub fn hmac_sha256(key: &[u8], msg: &[u8]) -> Digest {
+    HmacKey::new(key).mac(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// RFC 4231 test vectors for HMAC-SHA-256.
+    #[test]
+    fn rfc4231_vectors() {
+        // Test case 1.
+        let d = hmac_sha256(&[0x0b; 20], b"Hi There");
+        assert_eq!(
+            d.to_hex(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+        // Test case 2.
+        let d = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            d.to_hex(),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+        // Test case 3: 20-byte 0xaa key, 50 bytes of 0xdd.
+        let d = hmac_sha256(&[0xaa; 20], &[0xdd; 50]);
+        assert_eq!(
+            d.to_hex(),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+        // Test case 6: key larger than block size.
+        let d = hmac_sha256(
+            &[0xaa; 131],
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
+        assert_eq!(
+            d.to_hex(),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn mac_parts_equals_concat() {
+        let k = HmacKey::new(b"key");
+        assert_eq!(k.mac_parts(&[b"ab", b"cd"]), k.mac(b"abcd"));
+    }
+
+    #[test]
+    fn debug_hides_key() {
+        assert_eq!(format!("{:?}", HmacKey::new(b"secret")), "HmacKey(..)");
+    }
+
+    proptest! {
+        /// Different keys give different MACs for the same message.
+        #[test]
+        fn prop_key_separation(k1 in proptest::collection::vec(any::<u8>(), 1..48),
+                               k2 in proptest::collection::vec(any::<u8>(), 1..48),
+                               msg in proptest::collection::vec(any::<u8>(), 0..64)) {
+            prop_assume!(k1 != k2);
+            prop_assert_ne!(hmac_sha256(&k1, &msg), hmac_sha256(&k2, &msg));
+        }
+
+        /// MAC is deterministic.
+        #[test]
+        fn prop_deterministic(key in proptest::collection::vec(any::<u8>(), 0..80),
+                              msg in proptest::collection::vec(any::<u8>(), 0..128)) {
+            prop_assert_eq!(hmac_sha256(&key, &msg), hmac_sha256(&key, &msg));
+        }
+    }
+}

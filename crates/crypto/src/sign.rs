@@ -1,0 +1,252 @@
+//! Per-node authenticators ("signatures") and the verification keystore.
+//!
+//! The paper's evidence mechanism needs messages whose origin any correct
+//! node can verify, so a compromised node cannot forge statements by other
+//! nodes (Section 4.2: compromised nodes "can try to confuse the detector
+//! ... by making false statements about the actions of other nodes").
+//!
+//! We substitute HMAC authenticators for asymmetric signatures: every node
+//! `i` holds a secret key `k_i`, and every node holds a [`KeyStore`] with
+//! the *verification* material for all nodes. Inside the simulation this
+//! gives exactly the unforgeability property the protocol needs, because
+//! the simulator never leaks `k_i` to any behaviour other than node `i`'s.
+//! See DESIGN.md ("Substitutions") for the full argument.
+
+use crate::hmac::HmacKey;
+use crate::sha256::Digest;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a signing principal (one per node).
+///
+/// This deliberately mirrors `btr_model::NodeId` but is kept separate so the
+/// crypto crate stays at the bottom of the dependency graph.
+pub type KeyId = u32;
+
+/// A message authenticator produced by [`Signer::sign`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Signature {
+    /// Which key produced this signature.
+    pub key: KeyId,
+    /// The HMAC tag.
+    pub tag: Digest,
+}
+
+impl std::fmt::Debug for Signature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sig(k{},{})", self.key, self.tag.short())
+    }
+}
+
+/// Errors from signature verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SigError {
+    /// The signer id is not present in the keystore.
+    UnknownKey(KeyId),
+    /// The tag does not verify for the claimed signer and message.
+    BadTag(KeyId),
+}
+
+impl std::fmt::Display for SigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SigError::UnknownKey(k) => write!(f, "unknown key id {k}"),
+            SigError::BadTag(k) => write!(f, "bad signature tag for key {k}"),
+        }
+    }
+}
+
+impl std::error::Error for SigError {}
+
+/// A node's secret key material.
+#[derive(Clone)]
+pub struct NodeKey {
+    id: KeyId,
+    key: HmacKey,
+}
+
+impl NodeKey {
+    /// Deterministically derive a node key from a system-wide seed.
+    ///
+    /// Deterministic derivation keeps simulations reproducible; the seed
+    /// plays the role of the out-of-band key-provisioning step that a real
+    /// CPS deployment performs before the system goes live.
+    pub fn derive(system_seed: u64, id: KeyId) -> Self {
+        let material = crate::sha256_concat(&[
+            b"btr-node-key",
+            &system_seed.to_be_bytes(),
+            &id.to_be_bytes(),
+        ]);
+        NodeKey {
+            id,
+            key: HmacKey::new(&material.0),
+        }
+    }
+
+    /// The key's principal id.
+    pub fn id(&self) -> KeyId {
+        self.id
+    }
+}
+
+/// Signing handle held by a single node.
+#[derive(Clone)]
+pub struct Signer {
+    key: NodeKey,
+}
+
+impl Signer {
+    /// Create a signer from a node key.
+    pub fn new(key: NodeKey) -> Self {
+        Signer { key }
+    }
+
+    /// Sign a message (as a list of parts, MAC'd in order).
+    pub fn sign_parts(&self, parts: &[&[u8]]) -> Signature {
+        Signature {
+            key: self.key.id,
+            tag: self.key.key.mac_parts(parts),
+        }
+    }
+
+    /// Sign a single message slice.
+    pub fn sign(&self, msg: &[u8]) -> Signature {
+        self.sign_parts(&[msg])
+    }
+
+    /// The signer's principal id.
+    pub fn id(&self) -> KeyId {
+        self.key.id
+    }
+}
+
+/// Verification keystore installed on every node.
+///
+/// Holds verification material for all `n` principals. With the HMAC
+/// substitution the verification material *is* the key, but the API only
+/// exposes `verify`, mirroring what an asymmetric scheme would offer.
+#[derive(Clone)]
+pub struct KeyStore {
+    keys: Vec<HmacKey>,
+}
+
+impl KeyStore {
+    /// Build a keystore for principals `0..n`, all derived from `seed`.
+    pub fn derive(system_seed: u64, n: usize) -> Self {
+        let keys = (0..n as KeyId)
+            .map(|id| {
+                let material = crate::sha256_concat(&[
+                    b"btr-node-key",
+                    &system_seed.to_be_bytes(),
+                    &id.to_be_bytes(),
+                ]);
+                HmacKey::new(&material.0)
+            })
+            .collect();
+        KeyStore { keys }
+    }
+
+    /// Number of principals known to this store.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True if the store knows no principals.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Verify `sig` over `parts`.
+    pub fn verify_parts(&self, sig: &Signature, parts: &[&[u8]]) -> Result<(), SigError> {
+        let key = self
+            .keys
+            .get(sig.key as usize)
+            .ok_or(SigError::UnknownKey(sig.key))?;
+        if key.mac_parts(parts) == sig.tag {
+            Ok(())
+        } else {
+            Err(SigError::BadTag(sig.key))
+        }
+    }
+
+    /// Verify `sig` over a single message slice.
+    pub fn verify(&self, sig: &Signature, msg: &[u8]) -> Result<(), SigError> {
+        self.verify_parts(sig, &[msg])
+    }
+}
+
+impl std::fmt::Debug for KeyStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "KeyStore({} keys)", self.keys.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(n: usize) -> (Vec<Signer>, KeyStore) {
+        let signers = (0..n as KeyId)
+            .map(|i| Signer::new(NodeKey::derive(42, i)))
+            .collect();
+        (signers, KeyStore::derive(42, n))
+    }
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let (signers, store) = setup(4);
+        for s in &signers {
+            let sig = s.sign(b"measurement 17");
+            assert_eq!(store.verify(&sig, b"measurement 17"), Ok(()));
+        }
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let (signers, store) = setup(2);
+        let sig = signers[0].sign(b"open valve");
+        assert_eq!(
+            store.verify(&sig, b"close valve"),
+            Err(SigError::BadTag(0))
+        );
+    }
+
+    #[test]
+    fn wrong_claimed_signer_rejected() {
+        let (signers, store) = setup(3);
+        let mut sig = signers[1].sign(b"hello");
+        // A Byzantine node relabels the signature as coming from node 2.
+        sig.key = 2;
+        assert_eq!(store.verify(&sig, b"hello"), Err(SigError::BadTag(2)));
+    }
+
+    #[test]
+    fn unknown_key_rejected() {
+        let (signers, store) = setup(2);
+        let mut sig = signers[0].sign(b"hello");
+        sig.key = 99;
+        assert_eq!(store.verify(&sig, b"hello"), Err(SigError::UnknownKey(99)));
+    }
+
+    #[test]
+    fn different_seeds_do_not_cross_verify() {
+        let signer = Signer::new(NodeKey::derive(1, 0));
+        let store = KeyStore::derive(2, 1);
+        let sig = signer.sign(b"msg");
+        assert!(store.verify(&sig, b"msg").is_err());
+    }
+
+    #[test]
+    fn parts_equivalent_to_concat() {
+        let (signers, store) = setup(1);
+        let sig = signers[0].sign_parts(&[b"ab", b"cd"]);
+        assert_eq!(store.verify(&sig, b"abcd"), Ok(()));
+    }
+
+    #[test]
+    fn keystore_len() {
+        let store = KeyStore::derive(7, 5);
+        assert_eq!(store.len(), 5);
+        assert!(!store.is_empty());
+        assert!(KeyStore::derive(7, 0).is_empty());
+    }
+}

@@ -1,0 +1,444 @@
+//! The online fault detector (Section 4.2 of the paper).
+//!
+//! "Since there are no trusted nodes, the compromised nodes can try to
+//! confuse the detector, e.g., by reporting nonexistent faults or by
+//! making false statements about the actions of other nodes. Therefore,
+//! it is necessary to generate evidence of detected faults that other
+//! nodes can verify independently."
+//!
+//! The detector runs on every node and combines:
+//!
+//! * [`checker::ReplicaChecker`] — compares replica outputs; produces
+//!   *proofs* for commission faults (bad computation, checked against the
+//!   producer's own signed input commitment) and equivocation.
+//! * [`checker::OutputPool`] — a cross-task pool of first-seen signed
+//!   outputs; any conflicting second copy is an equivocation proof.
+//! * [`timing::TimingWatch`] — detects "doing the right thing at the
+//!   wrong time": validly signed outputs arriving outside their window
+//!   become timing *declarations*.
+//! * [`timing::HeartbeatMonitor`] — crash suspicion after missed beats.
+//! * [`omission::OmissionTracker`] — the paper's omission-fault counter-
+//!   measure: unprovable path declarations are counted, and "if a node is
+//!   on a large number of problematic paths", it is attributed faulty.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod omission;
+pub mod timing;
+
+pub use checker::{CheckerConfig, OutputPool, ReplicaChecker};
+pub use omission::OmissionTracker;
+pub use timing::{HeartbeatMonitor, TimingWatch};
+
+use btr_crypto::{KeyStore, Signature, Signer};
+use btr_model::evidence::WorkloadView;
+use btr_model::{
+    EvidenceId, EvidenceRecord, NodeId, PeriodIdx, SignedOutput, TaskId, Time,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-node detector facade combining all detection mechanisms.
+///
+/// The runtime feeds it observations; it returns evidence records, which
+/// the runtime signs into envelopes and hands to the evidence distributor.
+pub struct Detector {
+    node: NodeId,
+    pool: OutputPool,
+    checkers: BTreeMap<TaskId, ReplicaChecker>,
+    timing: TimingWatch,
+    heartbeats: HeartbeatMonitor,
+    omission: OmissionTracker,
+    /// Records already emitted (dedup so retransmits don't double-count).
+    emitted: BTreeSet<EvidenceId>,
+    /// Nodes exonerated from missing-output blame: the node itself
+    /// declared an upstream path problem for that period, so its silence
+    /// was a cascade. Maps to the *root* producer/task being blamed, so
+    /// downstream recipients can re-point their own declarations at the
+    /// root instead of implicating innocent intermediates.
+    exonerated: BTreeMap<(NodeId, PeriodIdx), (NodeId, TaskId)>,
+}
+
+impl Detector {
+    /// Create a detector for `node`.
+    pub fn new(node: NodeId, heartbeat_miss_threshold: u64, omission_threshold: usize) -> Self {
+        Detector {
+            node,
+            pool: OutputPool::default(),
+            checkers: BTreeMap::new(),
+            timing: TimingWatch::default(),
+            heartbeats: HeartbeatMonitor::new(heartbeat_miss_threshold),
+            omission: OmissionTracker::new(omission_threshold),
+            emitted: BTreeSet::new(),
+            exonerated: BTreeMap::new(),
+        }
+    }
+
+    /// Install (or replace) the checker for one task. Called on mode
+    /// switches when this node hosts `ATask::Check { task }`.
+    pub fn install_checker(&mut self, cfg: CheckerConfig) {
+        self.checkers.insert(cfg.task, ReplicaChecker::new(cfg));
+    }
+
+    /// Remove a checker no longer assigned to this node.
+    pub fn remove_checker(&mut self, task: TaskId) {
+        self.checkers.remove(&task);
+    }
+
+    /// Tasks this node currently checks.
+    pub fn checked_tasks(&self) -> Vec<TaskId> {
+        self.checkers.keys().copied().collect()
+    }
+
+    fn dedup(&mut self, records: Vec<EvidenceRecord>) -> Vec<EvidenceRecord> {
+        records
+            .into_iter()
+            .filter(|r| self.emitted.insert(r.id()))
+            .collect()
+    }
+
+    /// Feed a received task output (with witnesses) into the detector.
+    ///
+    /// `expected_by` is the output's arrival deadline (absolute time) and
+    /// `arrived_at` the local arrival timestamp, for timing detection.
+    #[allow(clippy::too_many_arguments)]
+    pub fn observe_output(
+        &mut self,
+        ks: &KeyStore,
+        signer: &Signer,
+        view: &dyn WorkloadView,
+        output: SignedOutput,
+        witnesses: &[SignedOutput],
+        arrived_at: Time,
+        expected_by: Option<Time>,
+        envelope: Option<(Time, Signature)>,
+    ) -> Vec<EvidenceRecord> {
+        let mut out = Vec::new();
+        // Signature gate: unverifiable outputs are dropped silently (the
+        // envelope layer already attributes traffic).
+        if output.verify(ks).is_err() {
+            return out;
+        }
+        // Equivocation pool over the output and each witness.
+        if let Some(ev) = self.pool.insert_checked(&output) {
+            out.push(ev);
+        }
+        for w in witnesses {
+            if w.verify(ks).is_ok() {
+                if let Some(ev) = self.pool.insert_checked(w) {
+                    out.push(ev);
+                }
+            }
+        }
+        // Timing declaration for late arrivals.
+        if let Some(deadline) = expected_by {
+            if let Some(ev) =
+                self.timing
+                    .observe(signer, self.node, &output, deadline, arrived_at)
+            {
+                out.push(ev);
+            }
+        }
+        // Commission checking, if this node checks the task.
+        if let Some(chk) = self.checkers.get_mut(&output.task) {
+            out.extend(chk.observe(ks, view, output, witnesses, envelope));
+        }
+        self.dedup(out)
+    }
+
+    /// Feed a heartbeat.
+    pub fn observe_heartbeat(&mut self, from: NodeId, period: PeriodIdx) {
+        self.heartbeats.observe(from, period);
+    }
+
+    /// End-of-period housekeeping: omission declarations for replicas
+    /// whose outputs never arrived, and crash suspicions for silent nodes.
+    pub fn end_of_period(
+        &mut self,
+        signer: &Signer,
+        period: PeriodIdx,
+        known_faulty: &BTreeSet<NodeId>,
+    ) -> Vec<EvidenceRecord> {
+        let mut out = Vec::new();
+        for chk in self.checkers.values_mut() {
+            for (_, producer) in chk.missing_lanes(period) {
+                if known_faulty.contains(&producer) || producer == self.node {
+                    continue;
+                }
+                // A producer that declared its own upstream path problem
+                // for this period is exonerated: its silence was a
+                // cascade, and blame belongs further up the dataflow.
+                if self.exonerated.contains_key(&(producer, period)) {
+                    continue;
+                }
+                out.push(EvidenceRecord::declare_path(
+                    signer,
+                    self.node,
+                    producer,
+                    self.node,
+                    chk.task(),
+                    period,
+                ));
+            }
+            chk.gc(period.saturating_sub(4));
+        }
+        for suspect in self.heartbeats.check(period) {
+            if suspect == self.node || known_faulty.contains(&suspect) {
+                continue;
+            }
+            out.push(EvidenceRecord::declare_crash(
+                signer, self.node, suspect, period,
+            ));
+        }
+        self.pool.gc(period.saturating_sub(4));
+        self.dedup(out)
+    }
+
+    /// Drop detector state older than `before` periods without emitting
+    /// declarations (used during mode-transition blackouts).
+    pub fn gc(&mut self, before: PeriodIdx) {
+        for chk in self.checkers.values_mut() {
+            chk.gc(before);
+        }
+        self.pool.gc(before);
+        self.timing.gc(before);
+        self.exonerated.retain(|&(_, p), _| p >= before);
+    }
+
+    /// Record an externally received (already validated) declaration for
+    /// omission attribution. Returns nodes newly attributed faulty.
+    pub fn record_declaration(&mut self, record: &EvidenceRecord) -> Vec<NodeId> {
+        match record {
+            EvidenceRecord::PathDeclaration {
+                declarer,
+                from,
+                to,
+                task,
+                period,
+                ..
+            } => {
+                // Recipient-side declarations exonerate the declarer from
+                // missing-output blame in the same period, recording the
+                // root being blamed so downstream declarations can chain
+                // to it (cascade blame moves upstream instead of pooling
+                // on innocent intermediates).
+                if declarer == to {
+                    self.exonerated
+                        .entry((*declarer, *period))
+                        .or_insert((*from, *task));
+                }
+                self.omission.record_path(*from, *to, *period)
+            }
+            EvidenceRecord::CrashSuspicion {
+                declarer,
+                about,
+                period,
+                ..
+            } => self.omission.record_suspicion(*declarer, *about, *period),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Nodes currently attributed faulty by the omission tracker.
+    pub fn attributed(&self) -> &BTreeSet<NodeId> {
+        self.omission.attributed()
+    }
+
+    /// The root (producer, task) a silent node blamed for `period`, if it
+    /// exonerated itself.
+    pub fn exoneration_of(&self, node: NodeId, period: PeriodIdx) -> Option<(NodeId, TaskId)> {
+        self.exonerated.get(&(node, period)).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btr_crypto::NodeKey;
+    use btr_model::{inputs_digest, sensor_value, task_value, Value};
+
+    struct View;
+    impl WorkloadView for View {
+        fn inputs_of_task(&self, task: TaskId) -> Option<Vec<TaskId>> {
+            match task.0 {
+                0 => Some(vec![]),
+                1 => Some(vec![TaskId(0)]),
+                _ => None,
+            }
+        }
+        fn task_is_source(&self, task: TaskId) -> bool {
+            task.0 == 0
+        }
+        fn workload_seed(&self) -> u64 {
+            9
+        }
+    }
+
+    fn signer(i: u32) -> Signer {
+        Signer::new(NodeKey::derive(11, i))
+    }
+    fn ks() -> KeyStore {
+        KeyStore::derive(11, 8)
+    }
+
+    fn checker_cfg() -> CheckerConfig {
+        CheckerConfig {
+            task: TaskId(1),
+            lanes: 2,
+            lane_nodes: vec![NodeId(1), NodeId(2)],
+            is_source: false,
+            inputs: vec![TaskId(0)],
+            seed: 9,
+        }
+    }
+
+    fn src_out(p: PeriodIdx) -> SignedOutput {
+        let v = sensor_value(TaskId(0), p, 9);
+        SignedOutput::sign(&signer(0), TaskId(0), 0, p, v, inputs_digest(&[]), NodeId(0))
+    }
+
+    fn lane_out(p: PeriodIdx, lane: u8, node: u32, value_xor: Value) -> (SignedOutput, Vec<SignedOutput>) {
+        let input = src_out(p);
+        let vals = [(TaskId(0), input.value)];
+        let v = task_value(TaskId(1), p, &vals) ^ value_xor;
+        let out = SignedOutput::sign(
+            &signer(node),
+            TaskId(1),
+            lane,
+            p,
+            v,
+            inputs_digest(&vals),
+            NodeId(node),
+        );
+        (out, vec![input])
+    }
+
+    #[test]
+    fn clean_outputs_produce_no_evidence() {
+        let mut d = Detector::new(NodeId(3), 3, 3);
+        d.install_checker(checker_cfg());
+        let (o0, w0) = lane_out(1, 0, 1, 0);
+        let (o1, w1) = lane_out(1, 1, 2, 0);
+        let s = signer(3);
+        let evs = d.observe_output(&ks(), &s, &View, o0, &w0, Time(100), None, None);
+        assert!(evs.is_empty());
+        let evs = d.observe_output(&ks(), &s, &View, o1, &w1, Time(100), None, None);
+        assert!(evs.is_empty(), "{evs:?}");
+    }
+
+    #[test]
+    fn bad_computation_is_proven() {
+        let mut d = Detector::new(NodeId(3), 3, 3);
+        d.install_checker(checker_cfg());
+        let (bad, w) = lane_out(1, 0, 1, 0xdead);
+        let s = signer(3);
+        let evs = d.observe_output(&ks(), &s, &View, bad, &w, Time(100), None, None);
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].convicts(), Some(NodeId(1)));
+        // The proof verifies independently.
+        assert_eq!(evs[0].verify(&ks(), &View), Ok(()));
+        // Re-observing does not re-emit (dedup).
+        let (bad2, w2) = lane_out(1, 0, 1, 0xdead);
+        let evs = d.observe_output(&ks(), &s, &View, bad2, &w2, Time(100), None, None);
+        assert!(evs.is_empty());
+    }
+
+    #[test]
+    fn equivocation_across_copies_is_proven() {
+        let mut d = Detector::new(NodeId(3), 3, 3);
+        let s = signer(3);
+        // Node 1 signs two different lane-0 outputs for the same period.
+        let (a, wa) = lane_out(2, 0, 1, 0);
+        let (b, wb) = lane_out(2, 0, 1, 0x55);
+        let evs = d.observe_output(&ks(), &s, &View, a, &wa, Time(0), None, None);
+        assert!(evs.is_empty());
+        let evs = d.observe_output(&ks(), &s, &View, b, &wb, Time(0), None, None);
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].convicts(), Some(NodeId(1)));
+        assert_eq!(evs[0].verify(&ks(), &View), Ok(()));
+    }
+
+    #[test]
+    fn late_arrival_yields_timing_declaration() {
+        let mut d = Detector::new(NodeId(3), 3, 3);
+        let s = signer(3);
+        let (o, w) = lane_out(1, 0, 1, 0);
+        let evs = d.observe_output(&ks(), &s, &View, o, &w, Time(9_000), Some(Time(5_000)), None);
+        assert_eq!(evs.len(), 1);
+        assert!(matches!(
+            evs[0],
+            EvidenceRecord::TimingDeclaration { .. }
+        ));
+        assert_eq!(evs[0].verify(&ks(), &View), Ok(()));
+    }
+
+    #[test]
+    fn missing_lane_yields_path_declaration() {
+        let mut d = Detector::new(NodeId(3), 3, 3);
+        d.install_checker(checker_cfg());
+        let s = signer(3);
+        // Only lane 1 arrives in period 5.
+        let (o1, w1) = lane_out(5, 1, 2, 0);
+        d.observe_output(&ks(), &s, &View, o1, &w1, Time(0), None, None);
+        let evs = d.end_of_period(&s, 5, &BTreeSet::new());
+        assert_eq!(evs.len(), 1);
+        match &evs[0] {
+            EvidenceRecord::PathDeclaration { from, to, task, .. } => {
+                assert_eq!((*from, *to, *task), (NodeId(1), NodeId(3), TaskId(1)));
+            }
+            other => panic!("expected path declaration, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn known_faulty_lanes_not_redeclared() {
+        let mut d = Detector::new(NodeId(3), 3, 3);
+        d.install_checker(checker_cfg());
+        let s = signer(3);
+        let faulty = BTreeSet::from([NodeId(1), NodeId(2)]);
+        let evs = d.end_of_period(&s, 1, &faulty);
+        assert!(evs.is_empty());
+    }
+
+    #[test]
+    fn heartbeat_silence_suspected() {
+        let mut d = Detector::new(NodeId(3), 2, 3);
+        let s = signer(3);
+        d.observe_heartbeat(NodeId(4), 0);
+        d.observe_heartbeat(NodeId(5), 0);
+        // Node 4 goes silent; node 5 keeps beating.
+        for p in 1..=4 {
+            d.observe_heartbeat(NodeId(5), p);
+        }
+        let evs = d.end_of_period(&s, 4, &BTreeSet::new());
+        let suspects: Vec<NodeId> = evs
+            .iter()
+            .filter_map(|e| match e {
+                EvidenceRecord::CrashSuspicion { about, .. } => Some(*about),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(suspects, vec![NodeId(4)]);
+    }
+
+    #[test]
+    fn attribution_via_declarations() {
+        let mut d = Detector::new(NodeId(3), 3, 2);
+        let decl1 = EvidenceRecord::declare_path(&signer(5), NodeId(5), NodeId(4), NodeId(5), TaskId(1), 1);
+        let decl2 = EvidenceRecord::declare_path(&signer(6), NodeId(6), NodeId(4), NodeId(6), TaskId(1), 2);
+        assert!(d.record_declaration(&decl1).is_empty());
+        let newly = d.record_declaration(&decl2);
+        assert_eq!(newly, vec![NodeId(4)]);
+        assert!(d.attributed().contains(&NodeId(4)));
+    }
+
+    #[test]
+    fn checker_management() {
+        let mut d = Detector::new(NodeId(3), 3, 3);
+        d.install_checker(checker_cfg());
+        assert_eq!(d.checked_tasks(), vec![TaskId(1)]);
+        d.remove_checker(TaskId(1));
+        assert!(d.checked_tasks().is_empty());
+    }
+}

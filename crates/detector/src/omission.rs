@@ -1,0 +1,176 @@
+//! Omission-fault attribution.
+//!
+//! Section 4.2: "In contrast to commission faults, there is no direct way
+//! to prove that a faulty node failed to send ... One way to avoid this
+//! would be to allow both the sender and the recipient to declare
+//! (without further evidence) a problem with the path between them; the
+//! system could then ... keep track of which paths have been declared
+//! problematic. If a node is on a large number of problematic paths, it
+//! may be possible to attribute the problem to that node."
+//!
+//! The tracker counts, for each suspect node, the number of *distinct
+//! counterparties* across problematic paths it appears on. A node that
+//! keeps dropping messages accumulates distinct peers quickly; so does a
+//! node that floods false declarations (it is an endpoint of every path
+//! it declares) — the paper's resource-drain attack is self-defeating.
+
+use btr_model::{NodeId, PeriodIdx};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Accusation matrix with distinct-peer thresholds.
+///
+/// Attribution additionally requires implication in at least two distinct
+/// periods, so a single transient burst (e.g. data delayed by an evidence
+/// flood during an unrelated recovery) never convicts a healthy node.
+#[derive(Debug)]
+pub struct OmissionTracker {
+    /// suspect -> set of distinct counterparties on declared-bad paths.
+    peers: BTreeMap<NodeId, BTreeSet<NodeId>>,
+    /// suspect -> periods in which it was implicated.
+    periods: BTreeMap<NodeId, BTreeSet<PeriodIdx>>,
+    threshold: usize,
+    attributed: BTreeSet<NodeId>,
+}
+
+impl OmissionTracker {
+    /// Attribute once a node is implicated with `threshold` distinct peers.
+    pub fn new(threshold: usize) -> Self {
+        OmissionTracker {
+            peers: BTreeMap::new(),
+            periods: BTreeMap::new(),
+            threshold: threshold.max(1),
+            attributed: BTreeSet::new(),
+        }
+    }
+
+    fn implicate(&mut self, suspect: NodeId, peer: NodeId, period: PeriodIdx) -> bool {
+        let set = self.peers.entry(suspect).or_default();
+        set.insert(peer);
+        let periods = self.periods.entry(suspect).or_default();
+        periods.insert(period);
+        set.len() >= self.threshold
+            && periods.len() >= 2
+            && self.attributed.insert(suspect)
+    }
+
+    /// Record a problematic-path declaration observed in `period`;
+    /// returns newly attributed nodes (0, 1, or 2 of the endpoints).
+    pub fn record_path(&mut self, from: NodeId, to: NodeId, period: PeriodIdx) -> Vec<NodeId> {
+        if from == to {
+            return Vec::new();
+        }
+        let mut newly = Vec::new();
+        if self.implicate(from, to, period) {
+            newly.push(from);
+        }
+        if self.implicate(to, from, period) {
+            newly.push(to);
+        }
+        newly
+    }
+
+    /// Record a crash suspicion (declarer suspects `about` in `period`).
+    pub fn record_suspicion(
+        &mut self,
+        declarer: NodeId,
+        about: NodeId,
+        period: PeriodIdx,
+    ) -> Vec<NodeId> {
+        if declarer == about {
+            return Vec::new();
+        }
+        if self.implicate(about, declarer, period) {
+            vec![about]
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Nodes attributed faulty so far.
+    pub fn attributed(&self) -> &BTreeSet<NodeId> {
+        &self.attributed
+    }
+
+    /// Distinct peers implicating a suspect (diagnostics).
+    pub fn peer_count(&self, suspect: NodeId) -> usize {
+        self.peers.get(&suspect).map_or(0, |s| s.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_path_attributes_nobody_at_threshold_two() {
+        let mut t = OmissionTracker::new(2);
+        assert!(t.record_path(NodeId(1), NodeId(2), 0).is_empty());
+        assert_eq!(t.peer_count(NodeId(1)), 1);
+        assert_eq!(t.peer_count(NodeId(2)), 1);
+    }
+
+    #[test]
+    fn common_endpoint_gets_attributed() {
+        // Node 4 drops traffic to/from three different peers over
+        // multiple periods.
+        let mut t = OmissionTracker::new(3);
+        assert!(t.record_path(NodeId(4), NodeId(1), 0).is_empty());
+        assert!(t.record_path(NodeId(4), NodeId(2), 1).is_empty());
+        let newly = t.record_path(NodeId(4), NodeId(3), 2);
+        assert_eq!(newly, vec![NodeId(4)]);
+        assert!(t.attributed().contains(&NodeId(4)));
+        // Peers are not attributed (1 peer each).
+        assert!(!t.attributed().contains(&NodeId(1)));
+    }
+
+    #[test]
+    fn single_period_burst_never_attributes() {
+        // Three declarations, all in the same period: no attribution.
+        let mut t = OmissionTracker::new(3);
+        assert!(t.record_path(NodeId(4), NodeId(1), 5).is_empty());
+        assert!(t.record_path(NodeId(4), NodeId(2), 5).is_empty());
+        assert!(t.record_path(NodeId(4), NodeId(3), 5).is_empty());
+        assert!(t.attributed().is_empty());
+        // One more in a later period crosses the line.
+        assert_eq!(t.record_path(NodeId(4), NodeId(5), 6), vec![NodeId(4)]);
+    }
+
+    #[test]
+    fn duplicate_paths_do_not_inflate() {
+        let mut t = OmissionTracker::new(2);
+        for p in 0..10 {
+            assert!(t.record_path(NodeId(1), NodeId(2), p).is_empty());
+        }
+        assert_eq!(t.peer_count(NodeId(1)), 1);
+    }
+
+    #[test]
+    fn false_declarer_implicates_itself() {
+        // Node 7 floods declarations about everyone: after `threshold`
+        // distinct victims, node 7 itself is attributed.
+        let mut t = OmissionTracker::new(3);
+        t.record_path(NodeId(7), NodeId(0), 0);
+        t.record_path(NodeId(7), NodeId(1), 1);
+        let newly = t.record_path(NodeId(7), NodeId(2), 2);
+        assert_eq!(newly, vec![NodeId(7)]);
+    }
+
+    #[test]
+    fn crash_suspicions_accumulate() {
+        let mut t = OmissionTracker::new(2);
+        assert!(t.record_suspicion(NodeId(1), NodeId(9), 0).is_empty());
+        assert_eq!(
+            t.record_suspicion(NodeId(2), NodeId(9), 1),
+            vec![NodeId(9)]
+        );
+        // Already attributed: no re-report.
+        assert!(t.record_suspicion(NodeId(3), NodeId(9), 2).is_empty());
+    }
+
+    #[test]
+    fn self_reports_ignored() {
+        let mut t = OmissionTracker::new(1);
+        assert!(t.record_path(NodeId(5), NodeId(5), 0).is_empty());
+        assert!(t.record_suspicion(NodeId(5), NodeId(5), 1).is_empty());
+    }
+}

@@ -1,0 +1,118 @@
+//! The deterministic task computation.
+//!
+//! Every workload task computes a *deterministic* function of its inputs.
+//! This is what makes the paper's evidence mechanism work: a "verification
+//! task" can re-execute any task from its (signed) inputs and compare the
+//! result against a replica's (signed) output, yielding a transferable
+//! proof of misbehaviour — the PeerReview recipe the authors build on.
+//!
+//! In the simulation the function is a digest: real control-law outputs
+//! are stand-ins for 64-bit values derived via SHA-256 from the task id,
+//! the period index, and the (sorted) input values. Determinism, input
+//! sensitivity, and cheap re-execution are the properties the protocol
+//! needs, and the digest provides all three.
+
+use crate::ids::{PeriodIdx, TaskId};
+use btr_crypto::digest64;
+
+/// A task output value.
+pub type Value = u64;
+
+/// Compute a task's output for one period from its input values.
+///
+/// `inputs` is (producer task, value) pairs; the function sorts them by
+/// producer id internally so callers need not pre-sort.
+pub fn task_value(task: TaskId, period: PeriodIdx, inputs: &[(TaskId, Value)]) -> Value {
+    let mut sorted: Vec<(TaskId, Value)> = inputs.to_vec();
+    sorted.sort_unstable_by_key(|(t, _)| *t);
+    let mut bytes = Vec::with_capacity(16 + sorted.len() * 12);
+    bytes.extend_from_slice(&task.0.to_be_bytes());
+    bytes.extend_from_slice(&period.to_be_bytes());
+    for (t, v) in &sorted {
+        bytes.extend_from_slice(&t.0.to_be_bytes());
+        bytes.extend_from_slice(&v.to_be_bytes());
+    }
+    digest64(&[b"btr-task", &bytes])
+}
+
+/// Commitment digest over the exact inputs a replica consumed.
+///
+/// Covered by the producer's signature on its [`crate::SignedOutput`], this
+/// is what makes bad-computation proofs *sound*: an honest replica commits
+/// to the inputs it actually used, so re-execution over any input set
+/// matching the commitment always reproduces its output — no valid proof
+/// against an honest node can exist, even when an upstream equivocates
+/// (the PeerReview-style argument; see DESIGN.md).
+pub fn inputs_digest(inputs: &[(TaskId, Value)]) -> u64 {
+    let mut sorted: Vec<(TaskId, Value)> = inputs.to_vec();
+    sorted.sort_unstable_by_key(|(t, _)| *t);
+    let mut bytes = Vec::with_capacity(sorted.len() * 12);
+    for (t, v) in &sorted {
+        bytes.extend_from_slice(&t.0.to_be_bytes());
+        bytes.extend_from_slice(&v.to_be_bytes());
+    }
+    digest64(&[b"btr-inputs", &bytes])
+}
+
+/// Compute a sensor (source) task's reading for one period.
+///
+/// Sources have no dataflow inputs; their "reading" is derived from the
+/// workload seed so reference and live runs agree.
+pub fn sensor_value(task: TaskId, period: PeriodIdx, workload_seed: u64) -> Value {
+    digest64(&[
+        b"btr-sensor",
+        &workload_seed.to_be_bytes(),
+        &task.0.to_be_bytes(),
+        &period.to_be_bytes(),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let inputs = [(TaskId(1), 10), (TaskId(2), 20)];
+        assert_eq!(
+            task_value(TaskId(5), 3, &inputs),
+            task_value(TaskId(5), 3, &inputs)
+        );
+    }
+
+    #[test]
+    fn input_order_does_not_matter() {
+        let a = task_value(TaskId(5), 3, &[(TaskId(1), 10), (TaskId(2), 20)]);
+        let b = task_value(TaskId(5), 3, &[(TaskId(2), 20), (TaskId(1), 10)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sensitive_to_every_argument() {
+        let base = task_value(TaskId(5), 3, &[(TaskId(1), 10)]);
+        assert_ne!(base, task_value(TaskId(6), 3, &[(TaskId(1), 10)]));
+        assert_ne!(base, task_value(TaskId(5), 4, &[(TaskId(1), 10)]));
+        assert_ne!(base, task_value(TaskId(5), 3, &[(TaskId(1), 11)]));
+        assert_ne!(base, task_value(TaskId(5), 3, &[(TaskId(2), 10)]));
+        assert_ne!(base, task_value(TaskId(5), 3, &[]));
+    }
+
+    #[test]
+    fn inputs_digest_order_independent_and_sensitive() {
+        let a = inputs_digest(&[(TaskId(1), 10), (TaskId(2), 20)]);
+        let b = inputs_digest(&[(TaskId(2), 20), (TaskId(1), 10)]);
+        assert_eq!(a, b);
+        assert_ne!(a, inputs_digest(&[(TaskId(1), 10), (TaskId(2), 21)]));
+        assert_ne!(a, inputs_digest(&[(TaskId(1), 10)]));
+        assert_ne!(inputs_digest(&[]), a);
+    }
+
+    #[test]
+    fn sensor_values_vary_with_seed_task_period() {
+        let v = sensor_value(TaskId(0), 0, 42);
+        assert_ne!(v, sensor_value(TaskId(0), 0, 43));
+        assert_ne!(v, sensor_value(TaskId(1), 0, 42));
+        assert_ne!(v, sensor_value(TaskId(0), 1, 42));
+        assert_eq!(v, sensor_value(TaskId(0), 0, 42));
+    }
+}

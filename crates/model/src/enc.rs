@@ -1,0 +1,89 @@
+//! Canonical byte encoding for signing.
+//!
+//! Signatures must cover a *canonical* byte representation: if two nodes
+//! encoded the same logical message differently, signature verification
+//! would diverge. This module provides a tiny, explicit, versioned
+//! encoding used for everything that is ever signed. (We deliberately do
+//! not sign `serde_json` output — field order and float formatting would
+//! make canonicalisation fragile.)
+
+/// Incrementally builds a canonical byte string.
+#[derive(Debug, Default, Clone)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// Start an encoding with a domain-separation tag.
+    pub fn new(domain: &str) -> Self {
+        let mut e = Enc { buf: Vec::new() };
+        e.bytes(domain.as_bytes());
+        e
+    }
+
+    /// Append a `u8`.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Append a `u32` (big-endian).
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Append a `u64` (big-endian).
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Append a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Finish and return the canonical bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// View the bytes so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_prefix_free() {
+        let mut a = Enc::new("tag");
+        a.u32(1).u64(2).bytes(b"xy");
+        let mut b = Enc::new("tag");
+        b.u32(1).u64(2).bytes(b"xy");
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn length_prefix_prevents_ambiguity() {
+        // ("a", "bc") must differ from ("ab", "c").
+        let mut a = Enc::new("t");
+        a.bytes(b"a").bytes(b"bc");
+        let mut b = Enc::new("t");
+        b.bytes(b"ab").bytes(b"c");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn domain_separation() {
+        let a = Enc::new("domain-a").finish();
+        let b = Enc::new("domain-b").finish();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,365 @@
+//! Wire messages.
+//!
+//! Everything nodes exchange is an [`Envelope`] carrying a [`Payload`].
+//! Envelopes are signed by their sender so that receivers can attribute
+//! traffic; the payloads that need independent lives of their own
+//! (task outputs, evidence) additionally carry their own signatures.
+
+use crate::enc::Enc;
+use crate::evidence::{EvidenceRecord, SignedOutput};
+use crate::ids::{NodeId, PeriodIdx, PlanId, TaskId};
+use crate::time::Time;
+use btr_crypto::{KeyStore, SigError, Signature, Signer};
+use serde::{Deserialize, Serialize};
+
+/// Phases of the PBFT-lite baseline's agreement round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PbftPhase {
+    /// Leader proposes a value.
+    PrePrepare,
+    /// Replicas echo the proposal.
+    Prepare,
+    /// Replicas commit.
+    Commit,
+}
+
+/// Message payloads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Payload {
+    /// A task output on the data plane, carrying the signed inputs the
+    /// producer consumed ("witnesses") so checkers can verify the
+    /// commitment and assign blame without extra round trips.
+    Output {
+        /// The signed output.
+        output: SignedOutput,
+        /// The signed inputs the producer consumed (empty for sources).
+        witnesses: Vec<SignedOutput>,
+    },
+    /// Periodic liveness beacon.
+    Heartbeat {
+        /// The sender's current period.
+        period: PeriodIdx,
+    },
+    /// A piece of fault evidence (control plane, Section 4.3).
+    Evidence(EvidenceRecord),
+    /// A chunk of migrating task state during a mode change (Section 4.4).
+    StateTransfer {
+        /// The migrating task.
+        task: TaskId,
+        /// Plan the state is migrating into.
+        to_plan: PlanId,
+        /// Chunk sequence number.
+        seq: u32,
+        /// Total number of chunks.
+        total: u32,
+        /// Bytes of task state in this chunk.
+        bytes: u32,
+    },
+    /// Acknowledgement that the sender will activate `plan` at the given time.
+    ModeAck {
+        /// The plan being activated.
+        plan: PlanId,
+        /// Activation instant (global time).
+        activate_at: Time,
+    },
+    /// Agreement traffic for the PBFT-lite baseline.
+    Pbft {
+        /// Task whose output is being agreed on.
+        task: TaskId,
+        /// Release period.
+        period: PeriodIdx,
+        /// Proposed/echoed value.
+        value: u64,
+        /// Protocol phase.
+        phase: PbftPhase,
+        /// View number.
+        view: u32,
+    },
+    /// ZZ baseline: wake a dormant replica.
+    Wake {
+        /// Task whose dormant replica should start.
+        task: TaskId,
+        /// Period at which disagreement was noticed.
+        period: PeriodIdx,
+    },
+    /// Self-stabilisation baseline: audit probe/response.
+    Audit {
+        /// Task being audited.
+        about: TaskId,
+        /// Period being audited.
+        period: PeriodIdx,
+        /// The value the audited node reported.
+        value: u64,
+    },
+    /// Small control message (tests and custom protocols).
+    Control(u8),
+}
+
+impl Payload {
+    /// Canonical bytes for envelope signing.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut e = Enc::new("btr-payload");
+        match self {
+            Payload::Output { output, witnesses } => {
+                e.u8(0).bytes(&output.canonical_id_bytes());
+                e.u32(witnesses.len() as u32);
+                for w in witnesses {
+                    e.bytes(&w.canonical_id_bytes());
+                }
+            }
+            Payload::Heartbeat { period } => {
+                e.u8(1).u64(*period);
+            }
+            Payload::Evidence(ev) => {
+                e.u8(2).bytes(&ev.canonical_bytes());
+            }
+            Payload::StateTransfer {
+                task,
+                to_plan,
+                seq,
+                total,
+                bytes,
+            } => {
+                e.u8(3)
+                    .u32(task.0)
+                    .u32(to_plan.0)
+                    .u32(*seq)
+                    .u32(*total)
+                    .u32(*bytes);
+            }
+            Payload::ModeAck { plan, activate_at } => {
+                e.u8(4).u32(plan.0).u64(activate_at.0);
+            }
+            Payload::Pbft {
+                task,
+                period,
+                value,
+                phase,
+                view,
+            } => {
+                let ph = match phase {
+                    PbftPhase::PrePrepare => 0,
+                    PbftPhase::Prepare => 1,
+                    PbftPhase::Commit => 2,
+                };
+                e.u8(5).u32(task.0).u64(*period).u64(*value).u8(ph).u32(*view);
+            }
+            Payload::Wake { task, period } => {
+                e.u8(6).u32(task.0).u64(*period);
+            }
+            Payload::Audit {
+                about,
+                period,
+                value,
+            } => {
+                e.u8(7).u32(about.0).u64(*period).u64(*value);
+            }
+            Payload::Control(tag) => {
+                e.u8(8).u8(*tag);
+            }
+        }
+        e.finish()
+    }
+
+    /// Bytes this payload occupies on the wire (approximate but stable).
+    ///
+    /// `StateTransfer` counts the carried state bytes; everything else is
+    /// sized by its canonical encoding.
+    pub fn wire_size(&self) -> u32 {
+        match self {
+            Payload::StateTransfer { bytes, .. } => 24 + *bytes,
+            other => other.canonical_bytes().len() as u32,
+        }
+    }
+
+    /// Short label for traces.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Payload::Output { .. } => "output",
+            Payload::Heartbeat { .. } => "heartbeat",
+            Payload::Evidence(_) => "evidence",
+            Payload::StateTransfer { .. } => "state",
+            Payload::ModeAck { .. } => "mode-ack",
+            Payload::Pbft { .. } => "pbft",
+            Payload::Wake { .. } => "wake",
+            Payload::Audit { .. } => "audit",
+            Payload::Control(_) => "control",
+        }
+    }
+}
+
+/// A message in flight.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Envelope {
+    /// Sending node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Sender's claimed send time (covered by the signature).
+    pub sent_at: Time,
+    /// The payload.
+    pub payload: Payload,
+    /// Sender's signature over (src, sent_at, payload).
+    pub sig: Option<Signature>,
+}
+
+/// Fixed per-envelope header bytes on the wire.
+pub const ENVELOPE_HEADER_BYTES: u32 = 28;
+/// Wire bytes for an envelope signature.
+pub const SIGNATURE_BYTES: u32 = 36;
+
+impl Envelope {
+    /// Create an unsigned envelope.
+    pub fn new(src: NodeId, dst: NodeId, sent_at: Time, payload: Payload) -> Envelope {
+        Envelope {
+            src,
+            dst,
+            sent_at,
+            payload,
+            sig: None,
+        }
+    }
+
+    fn signing_bytes(&self) -> Vec<u8> {
+        Self::signing_bytes_for(self.src, self.sent_at, &self.payload)
+    }
+
+    /// The canonical bytes an envelope signature covers. Public so that
+    /// evidence records can re-verify a sender's envelope signature from
+    /// its reconstructed parts (see `EvidenceRecord::BadWitness`).
+    pub fn signing_bytes_for(src: NodeId, sent_at: Time, payload: &Payload) -> Vec<u8> {
+        let mut e = Enc::new("btr-envelope");
+        e.u32(src.0)
+            .u64(sent_at.0)
+            .bytes(&payload.canonical_bytes());
+        e.finish()
+    }
+
+    /// Sign the envelope as `signer` (must match `src` to verify).
+    pub fn signed(mut self, signer: &Signer) -> Envelope {
+        self.sig = Some(signer.sign(&self.signing_bytes()));
+        self
+    }
+
+    /// Verify the envelope signature against the claimed source.
+    pub fn verify(&self, ks: &KeyStore) -> Result<(), SigError> {
+        match &self.sig {
+            None => Err(SigError::BadTag(self.src.0)),
+            Some(sig) => {
+                if sig.key != self.src.0 {
+                    return Err(SigError::BadTag(self.src.0));
+                }
+                ks.verify(sig, &self.signing_bytes())
+            }
+        }
+    }
+
+    /// Total wire size in bytes.
+    pub fn wire_size(&self) -> u32 {
+        ENVELOPE_HEADER_BYTES
+            + self.payload.wire_size()
+            + if self.sig.is_some() { SIGNATURE_BYTES } else { 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btr_crypto::NodeKey;
+
+    fn signer(i: u32) -> Signer {
+        Signer::new(NodeKey::derive(5, i))
+    }
+
+    fn ks() -> KeyStore {
+        KeyStore::derive(5, 4)
+    }
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let env = Envelope::new(
+            NodeId(1),
+            NodeId(2),
+            Time(500),
+            Payload::Heartbeat { period: 3 },
+        )
+        .signed(&signer(1));
+        assert_eq!(env.verify(&ks()), Ok(()));
+    }
+
+    #[test]
+    fn unsigned_envelope_rejected() {
+        let env = Envelope::new(NodeId(1), NodeId(2), Time(0), Payload::Control(1));
+        assert!(env.verify(&ks()).is_err());
+    }
+
+    #[test]
+    fn spoofed_source_rejected() {
+        // Node 3 signs but claims to be node 1.
+        let env = Envelope::new(NodeId(1), NodeId(2), Time(0), Payload::Control(1))
+            .signed(&signer(3));
+        assert!(env.verify(&ks()).is_err());
+    }
+
+    #[test]
+    fn tampered_payload_rejected() {
+        let mut env = Envelope::new(NodeId(1), NodeId(2), Time(0), Payload::Control(1))
+            .signed(&signer(1));
+        env.payload = Payload::Control(2);
+        assert!(env.verify(&ks()).is_err());
+    }
+
+    #[test]
+    fn tampered_send_time_rejected() {
+        let mut env = Envelope::new(NodeId(1), NodeId(2), Time(0), Payload::Control(1))
+            .signed(&signer(1));
+        env.sent_at = Time(99);
+        assert!(env.verify(&ks()).is_err());
+    }
+
+    #[test]
+    fn wire_sizes_are_sane() {
+        let hb = Envelope::new(
+            NodeId(0),
+            NodeId(1),
+            Time(0),
+            Payload::Heartbeat { period: 0 },
+        );
+        let signed = hb.clone().signed(&signer(0));
+        assert_eq!(signed.wire_size(), hb.wire_size() + SIGNATURE_BYTES);
+
+        let st = Payload::StateTransfer {
+            task: TaskId(1),
+            to_plan: PlanId(2),
+            seq: 0,
+            total: 1,
+            bytes: 1000,
+        };
+        assert_eq!(st.wire_size(), 1024);
+    }
+
+    #[test]
+    fn payload_labels() {
+        assert_eq!(Payload::Control(0).label(), "control");
+        assert_eq!(Payload::Heartbeat { period: 1 }.label(), "heartbeat");
+    }
+
+    #[test]
+    fn canonical_bytes_distinguish_variants() {
+        let a = Payload::Heartbeat { period: 1 }.canonical_bytes();
+        let b = Payload::Control(1).canonical_bytes();
+        assert_ne!(a, b);
+        let c = Payload::Wake {
+            task: TaskId(1),
+            period: 1,
+        }
+        .canonical_bytes();
+        let d = Payload::Audit {
+            about: TaskId(1),
+            period: 1,
+            value: 0,
+        }
+        .canonical_bytes();
+        assert_ne!(c, d);
+    }
+}

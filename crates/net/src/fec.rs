@@ -1,0 +1,409 @@
+//! Forward error correction: a systematic Reed–Solomon-style erasure code
+//! over GF(256).
+//!
+//! Section 2.1: "Packets can still be dropped due to transmission errors,
+//! but forward error correction (FEC) can be used to minimize this risk
+//! where necessary" (and the CAN bus guardian reference \[11\] notes FEC
+//! masks corruption). The codec takes `k` data shards and produces `m`
+//! parity shards such that *any* `k` of the `k + m` shards reconstruct
+//! the data — the classic erasure-coding guarantee.
+//!
+//! The field is GF(2^8) with the AES polynomial `x^8+x^4+x^3+x+1` (0x11b);
+//! encoding uses a Vandermonde matrix and decoding solves the linear
+//! system by Gauss–Jordan elimination over the field.
+
+/// GF(256) arithmetic (log/antilog tables built at first use).
+mod gf {
+    /// Multiplication in GF(2^8) mod 0x11b (bitwise, no tables needed).
+    pub fn mul(mut a: u8, mut b: u8) -> u8 {
+        let mut p = 0u8;
+        for _ in 0..8 {
+            if b & 1 != 0 {
+                p ^= a;
+            }
+            let hi = a & 0x80;
+            a <<= 1;
+            if hi != 0 {
+                a ^= 0x1b;
+            }
+            b >>= 1;
+        }
+        p
+    }
+
+    /// Multiplicative inverse via Fermat (a^254). `inv(0)` is undefined;
+    /// callers must not pass zero.
+    pub fn inv(a: u8) -> u8 {
+        debug_assert!(a != 0, "inverse of zero");
+        // a^254 by square-and-multiply: 254 = 0b11111110.
+        let mut result = 1u8;
+        let mut base = a;
+        let mut e = 254u8;
+        while e > 0 {
+            if e & 1 != 0 {
+                result = mul(result, base);
+            }
+            base = mul(base, base);
+            e >>= 1;
+        }
+        result
+    }
+
+    /// Exponentiation (exercised by the field-law tests).
+    #[allow(dead_code)]
+    pub fn pow(a: u8, mut e: u32) -> u8 {
+        let mut result = 1u8;
+        let mut base = a;
+        while e > 0 {
+            if e & 1 != 0 {
+                result = mul(result, base);
+            }
+            base = mul(base, base);
+            e >>= 1;
+        }
+        result
+    }
+}
+
+/// Errors from the codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FecError {
+    /// Fewer than `k` shards supplied to decode.
+    NotEnoughShards {
+        /// Shards required.
+        need: usize,
+        /// Shards supplied.
+        have: usize,
+    },
+    /// Shard lengths disagree.
+    ShardSizeMismatch,
+    /// Invalid parameters (k = 0 or k + m > 255).
+    BadParameters,
+    /// The supplied shard set was linearly dependent (cannot happen with
+    /// a proper Vandermonde matrix; kept for defensive completeness).
+    SingularMatrix,
+}
+
+impl std::fmt::Display for FecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FecError::NotEnoughShards { need, have } => {
+                write!(f, "need {need} shards, have {have}")
+            }
+            FecError::ShardSizeMismatch => write!(f, "shard sizes differ"),
+            FecError::BadParameters => write!(f, "invalid codec parameters"),
+            FecError::SingularMatrix => write!(f, "singular decode matrix"),
+        }
+    }
+}
+
+impl std::error::Error for FecError {}
+
+/// A systematic (k, m) erasure codec: k data shards, m parity shards.
+#[derive(Debug, Clone)]
+pub struct FecCodec {
+    k: usize,
+    m: usize,
+    /// m x k parity generator rows: parity_i = sum_j gen[i][j] * data_j.
+    gen: Vec<Vec<u8>>,
+}
+
+impl FecCodec {
+    /// Create a codec with `k` data shards and `m` parity shards.
+    pub fn new(k: usize, m: usize) -> Result<FecCodec, FecError> {
+        if k == 0 || k + m > 255 {
+            return Err(FecError::BadParameters);
+        }
+        // Vandermonde rows: gen[i][j] = (i + 1 + k)^j would not guarantee
+        // MDS after systematic concatenation; instead evaluate each data
+        // polynomial at distinct points beyond the data indices, which
+        // for Vandermonde interpolation-style coding is MDS.
+        let mut gen = Vec::with_capacity(m);
+        for i in 0..m {
+            let x = (k + i + 1) as u8; // Points 1..=k reserved for data.
+            let mut row = Vec::with_capacity(k);
+            // Lagrange-style: treat data shards as values at x = 1..=k and
+            // parity as the interpolating polynomial evaluated at k+1+i.
+            for j in 0..k {
+                let xj = (j + 1) as u8;
+                // L_j(x) = prod_{t != j} (x - x_t) / (x_j - x_t); in GF(2^n)
+                // subtraction is xor.
+                let mut num = 1u8;
+                let mut den = 1u8;
+                for t in 0..k {
+                    if t == j {
+                        continue;
+                    }
+                    let xt = (t + 1) as u8;
+                    num = gf::mul(num, x ^ xt);
+                    den = gf::mul(den, xj ^ xt);
+                }
+                row.push(gf::mul(num, gf::inv(den)));
+            }
+            gen.push(row);
+        }
+        Ok(FecCodec { k, m, gen })
+    }
+
+    /// Number of data shards.
+    pub fn data_shards(&self) -> usize {
+        self.k
+    }
+
+    /// Number of parity shards.
+    pub fn parity_shards(&self) -> usize {
+        self.m
+    }
+
+    /// Encode: split `data` into k shards (padding with zeros) and return
+    /// all `k + m` shards. Shard 0..k are the (padded) data; k..k+m parity.
+    pub fn encode(&self, data: &[u8]) -> Vec<Vec<u8>> {
+        let shard_len = data.len().div_ceil(self.k).max(1);
+        let mut shards: Vec<Vec<u8>> = (0..self.k)
+            .map(|i| {
+                let mut s = vec![0u8; shard_len];
+                let start = i * shard_len;
+                if start < data.len() {
+                    let end = (start + shard_len).min(data.len());
+                    s[..end - start].copy_from_slice(&data[start..end]);
+                }
+                s
+            })
+            .collect();
+        for row in &self.gen {
+            let mut parity = vec![0u8; shard_len];
+            for (j, coeff) in row.iter().enumerate() {
+                if *coeff == 0 {
+                    continue;
+                }
+                for (p, d) in parity.iter_mut().zip(&shards[j]) {
+                    *p ^= gf::mul(*coeff, *d);
+                }
+            }
+            shards.push(parity);
+        }
+        shards
+    }
+
+    /// Decode from any `k` (or more) shards. `shards[i] = Some(bytes)` for
+    /// received shard `i` (data shards are indices `0..k`, parity `k..k+m`).
+    ///
+    /// Returns the reconstructed data shards concatenated (caller trims
+    /// padding using its own length prefix).
+    pub fn decode(&self, shards: &[Option<Vec<u8>>]) -> Result<Vec<u8>, FecError> {
+        let have: Vec<usize> = shards
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|_| i))
+            .collect();
+        if have.len() < self.k {
+            return Err(FecError::NotEnoughShards {
+                need: self.k,
+                have: have.len(),
+            });
+        }
+        let shard_len = shards[have[0]].as_ref().expect("present").len();
+        for &i in &have {
+            if shards[i].as_ref().expect("present").len() != shard_len {
+                return Err(FecError::ShardSizeMismatch);
+            }
+        }
+        // Fast path: all data shards present.
+        if have.iter().take_while(|&&i| i < self.k).count() >= self.k {
+            let mut out = Vec::with_capacity(self.k * shard_len);
+            for i in 0..self.k {
+                out.extend_from_slice(shards[i].as_ref().expect("present"));
+            }
+            return Ok(out);
+        }
+        // General path: build the coefficient rows for the first k
+        // available shards and invert.
+        let rows: Vec<usize> = have.into_iter().take(self.k).collect();
+        let mut mat = Vec::with_capacity(self.k);
+        let mut rhs: Vec<&[u8]> = Vec::with_capacity(self.k);
+        for &i in &rows {
+            if i < self.k {
+                let mut row = vec![0u8; self.k];
+                row[i] = 1;
+                mat.push(row);
+            } else {
+                mat.push(self.gen[i - self.k].clone());
+            }
+            rhs.push(shards[i].as_ref().expect("present"));
+        }
+        // Gauss-Jordan: mat * data = rhs => data = mat^-1 * rhs.
+        let inv = invert_matrix(mat).ok_or(FecError::SingularMatrix)?;
+        let mut out = vec![0u8; self.k * shard_len];
+        for (r, inv_row) in inv.iter().enumerate() {
+            let dst = &mut out[r * shard_len..(r + 1) * shard_len];
+            for (c, coeff) in inv_row.iter().enumerate() {
+                if *coeff == 0 {
+                    continue;
+                }
+                for (o, s) in dst.iter_mut().zip(rhs[c]) {
+                    *o ^= gf::mul(*coeff, *s);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Invert a square matrix over GF(256) by Gauss–Jordan; None if singular.
+fn invert_matrix(mut mat: Vec<Vec<u8>>) -> Option<Vec<Vec<u8>>> {
+    let n = mat.len();
+    let mut inv: Vec<Vec<u8>> = (0..n)
+        .map(|i| {
+            let mut row = vec![0u8; n];
+            row[i] = 1;
+            row
+        })
+        .collect();
+    for col in 0..n {
+        // Find pivot.
+        let pivot = (col..n).find(|&r| mat[r][col] != 0)?;
+        mat.swap(col, pivot);
+        inv.swap(col, pivot);
+        // Normalise pivot row.
+        let p_inv = gf::inv(mat[col][col]);
+        for x in &mut mat[col] {
+            *x = gf::mul(*x, p_inv);
+        }
+        for x in &mut inv[col] {
+            *x = gf::mul(*x, p_inv);
+        }
+        // Eliminate other rows.
+        for r in 0..n {
+            if r == col || mat[r][col] == 0 {
+                continue;
+            }
+            let factor = mat[r][col];
+            for c in 0..n {
+                let m = gf::mul(factor, mat[col][c]);
+                mat[r][c] ^= m;
+                let i = gf::mul(factor, inv[col][c]);
+                inv[r][c] ^= i;
+            }
+        }
+    }
+    Some(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn gf_axioms() {
+        // Multiplicative identity and commutativity on a sample.
+        for a in [1u8, 2, 7, 0x53, 0xff] {
+            assert_eq!(gf::mul(a, 1), a);
+            assert_eq!(gf::mul(a, gf::inv(a)), 1, "a = {a}");
+            for b in [1u8, 3, 0xca] {
+                assert_eq!(gf::mul(a, b), gf::mul(b, a));
+            }
+        }
+        // Known AES value: 0x53 * 0xca = 0x01.
+        assert_eq!(gf::mul(0x53, 0xca), 0x01);
+        assert_eq!(gf::pow(2, 8), 0x1b); // x^8 = x^4+x^3+x+1.
+    }
+
+    #[test]
+    fn encode_shapes() {
+        let c = FecCodec::new(4, 2).unwrap();
+        let shards = c.encode(b"hello world, this is fec");
+        assert_eq!(shards.len(), 6);
+        let len = shards[0].len();
+        assert!(shards.iter().all(|s| s.len() == len));
+        assert_eq!(c.data_shards(), 4);
+        assert_eq!(c.parity_shards(), 2);
+    }
+
+    #[test]
+    fn decode_with_all_data_present() {
+        let c = FecCodec::new(3, 2).unwrap();
+        let data = b"abcdefghi".to_vec();
+        let shards = c.encode(&data);
+        let received: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+        let out = c.decode(&received).unwrap();
+        assert_eq!(&out[..data.len()], &data[..]);
+    }
+
+    #[test]
+    fn decode_with_erasures() {
+        let c = FecCodec::new(4, 2).unwrap();
+        let data = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let shards = c.encode(&data);
+        // Lose two data shards.
+        let mut received: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+        received[0] = None;
+        received[2] = None;
+        let out = c.decode(&received).unwrap();
+        assert_eq!(&out[..data.len()], &data[..]);
+    }
+
+    #[test]
+    fn too_many_erasures_fail() {
+        let c = FecCodec::new(4, 2).unwrap();
+        let shards = c.encode(b"0123456789abcdef");
+        let mut received: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+        received[0] = None;
+        received[1] = None;
+        received[4] = None;
+        assert_eq!(
+            c.decode(&received),
+            Err(FecError::NotEnoughShards { need: 4, have: 3 })
+        );
+    }
+
+    #[test]
+    fn bad_parameters_rejected() {
+        assert_eq!(FecCodec::new(0, 2).err(), Some(FecError::BadParameters));
+        assert_eq!(FecCodec::new(200, 100).err(), Some(FecError::BadParameters));
+    }
+
+    #[test]
+    fn shard_size_mismatch_rejected() {
+        let c = FecCodec::new(2, 1).unwrap();
+        let shards = c.encode(b"abcd");
+        let mut received: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+        received[1].as_mut().unwrap().push(0);
+        assert_eq!(c.decode(&received), Err(FecError::ShardSizeMismatch));
+    }
+
+    proptest! {
+        /// Any loss pattern with at most m erasures reconstructs exactly.
+        #[test]
+        fn prop_recovers_any_m_erasures(
+            data in proptest::collection::vec(any::<u8>(), 1..200),
+            k in 1usize..6,
+            m in 1usize..4,
+            seed in any::<u64>(),
+        ) {
+            let c = FecCodec::new(k, m).unwrap();
+            let shards = c.encode(&data);
+            // Choose up to m distinct shards to erase, pseudo-randomly.
+            let mut received: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+            let mut s = seed;
+            let mut erased = 0;
+            while erased < m {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let idx = (s >> 33) as usize % (k + m);
+                if received[idx].is_some() {
+                    received[idx] = None;
+                    erased += 1;
+                }
+            }
+            let out = c.decode(&received).unwrap();
+            prop_assert_eq!(&out[..data.len()], &data[..]);
+        }
+
+        /// GF multiplication is associative and distributes over xor.
+        #[test]
+        fn prop_gf_laws(a in any::<u8>(), b in any::<u8>(), c in any::<u8>()) {
+            prop_assert_eq!(gf::mul(a, gf::mul(b, c)), gf::mul(gf::mul(a, b), c));
+            prop_assert_eq!(gf::mul(a, b ^ c), gf::mul(a, b) ^ gf::mul(a, c));
+        }
+    }
+}

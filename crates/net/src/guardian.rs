@@ -1,0 +1,165 @@
+//! Bandwidth guardians: the babbling-idiot defence.
+//!
+//! Section 2.1: "we assume ... that there is some solution to the
+//! babbling-idiot problem \[11\] — e.g., that the bandwidth of each link is
+//! statically allocated between the nodes", and "the MAC is often
+//! implemented in hardware and thus can enforce bandwidth allocations
+//! even if nodes are corrupted". A [`Guardian`] is that hardware MAC:
+//! a per-period byte budget that refills at period boundaries and cannot
+//! be bypassed by the node software (faulty or not) because the simulator
+//! routes every send through it.
+
+use btr_model::{Duration, Time};
+
+/// Outcome of a guardian check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuardianVerdict {
+    /// The send fits in the current period's remaining budget.
+    Permit,
+    /// The send exceeds the budget and is dropped at the MAC.
+    Deny,
+}
+
+/// A per-period byte-budget enforcer for one (sender, link) pair.
+#[derive(Debug, Clone)]
+pub struct Guardian {
+    /// Budget in bytes per period.
+    budget: u64,
+    /// Refill interval.
+    period: Duration,
+    /// Period index the current budget belongs to.
+    current_period: u64,
+    /// Bytes still available in the current period.
+    remaining: u64,
+    /// Total bytes denied over the guardian's lifetime (diagnostics).
+    denied: u64,
+}
+
+impl Guardian {
+    /// Create a guardian with `budget` bytes per `period`.
+    ///
+    /// # Panics
+    /// Panics if the period is zero.
+    pub fn new(budget: u64, period: Duration) -> Guardian {
+        assert!(period.as_micros() > 0, "guardian period must be positive");
+        Guardian {
+            budget,
+            period,
+            current_period: 0,
+            remaining: budget,
+            denied: 0,
+        }
+    }
+
+    fn roll(&mut self, now: Time) {
+        let p = now.period_index(self.period);
+        if p != self.current_period {
+            self.current_period = p;
+            self.remaining = self.budget;
+        }
+    }
+
+    /// Check (and account for) a send of `bytes` at time `now`.
+    pub fn check(&mut self, now: Time, bytes: u64) -> GuardianVerdict {
+        self.roll(now);
+        if bytes <= self.remaining {
+            self.remaining -= bytes;
+            GuardianVerdict::Permit
+        } else {
+            self.denied += bytes;
+            GuardianVerdict::Deny
+        }
+    }
+
+    /// Remaining budget in the period containing `now` (without spending).
+    pub fn remaining_at(&self, now: Time) -> u64 {
+        if now.period_index(self.period) != self.current_period {
+            self.budget
+        } else {
+            self.remaining
+        }
+    }
+
+    /// Total bytes denied so far.
+    pub fn denied_bytes(&self) -> u64 {
+        self.denied
+    }
+
+    /// The configured per-period budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn permits_within_budget() {
+        let mut g = Guardian::new(100, Duration(1_000));
+        assert_eq!(g.check(Time(0), 60), GuardianVerdict::Permit);
+        assert_eq!(g.check(Time(10), 40), GuardianVerdict::Permit);
+        assert_eq!(g.check(Time(20), 1), GuardianVerdict::Deny);
+        assert_eq!(g.denied_bytes(), 1);
+    }
+
+    #[test]
+    fn refills_at_period_boundary() {
+        let mut g = Guardian::new(100, Duration(1_000));
+        assert_eq!(g.check(Time(0), 100), GuardianVerdict::Permit);
+        assert_eq!(g.check(Time(999), 1), GuardianVerdict::Deny);
+        assert_eq!(g.check(Time(1_000), 100), GuardianVerdict::Permit);
+    }
+
+    #[test]
+    fn remaining_at_is_pure() {
+        let mut g = Guardian::new(100, Duration(1_000));
+        g.check(Time(0), 30);
+        assert_eq!(g.remaining_at(Time(1)), 70);
+        assert_eq!(g.remaining_at(Time(1)), 70);
+        // Next period looks fresh even before a check rolls it.
+        assert_eq!(g.remaining_at(Time(1_000)), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_panics() {
+        let _ = Guardian::new(10, Duration(0));
+    }
+
+    proptest! {
+        /// Within any single period, permitted bytes never exceed budget.
+        #[test]
+        fn prop_budget_never_exceeded(budget in 1u64..10_000,
+                                      sends in proptest::collection::vec((0u64..2_000, 0u64..999), 1..50)) {
+            let mut g = Guardian::new(budget, Duration(1_000));
+            let mut permitted = 0u64;
+            for (bytes, t) in sends {
+                if g.check(Time(t), bytes) == GuardianVerdict::Permit {
+                    permitted += bytes;
+                }
+            }
+            prop_assert!(permitted <= budget);
+        }
+
+        /// Over k periods, permitted bytes never exceed k * budget.
+        #[test]
+        fn prop_multi_period_bound(budget in 1u64..1_000,
+                                   sends in proptest::collection::vec((0u64..500, 0u64..5_000), 1..100)) {
+            let mut g = Guardian::new(budget, Duration(1_000));
+            let mut by_period = std::collections::BTreeMap::new();
+            let mut ordered = sends.clone();
+            ordered.sort_by_key(|&(_, t)| t);
+            for (bytes, t) in ordered {
+                if g.check(Time(t), bytes) == GuardianVerdict::Permit {
+                    *by_period.entry(t / 1_000).or_insert(0u64) += bytes;
+                }
+            }
+            for (_, total) in by_period {
+                prop_assert!(total <= budget);
+            }
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Network substrate for the CPS platform.
+//!
+//! Section 2.1 of the paper assumes a network unlike the ones classical
+//! BFT runs on: "it is more common to see circuit-switched networks with
+//! strict bandwidth reservations, which enable predictable timing and
+//! prevent packet drops due to queue overflows. Packets can still be
+//! dropped due to transmission errors, but forward error correction (FEC)
+//! can be used to minimize this risk", plus "some solution to the
+//! babbling-idiot problem ... the bandwidth of each link is statically
+//! allocated between the nodes".
+//!
+//! This crate implements exactly that substrate, as pure logic the
+//! simulator drives:
+//!
+//! * [`routing`] — static shortest-path routing over partial topologies,
+//!   with fault-avoiding recomputation.
+//! * [`guardian`] — per-(node, link) bandwidth guardians (the MAC-enforced
+//!   static allocation). Guardians bind *even Byzantine senders*, as the
+//!   paper argues hardware MACs do.
+//! * [`fec`] — a GF(256) Reed–Solomon-style erasure code for masking
+//!   transmission losses.
+//! * [`Nic`] — the per-link transmission model: each sender owns a
+//!   reserved bandwidth slice, so one sender's backlog never delays
+//!   another's traffic (no shared queues to overflow).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fec;
+pub mod guardian;
+pub mod routing;
+
+pub use fec::{FecCodec, FecError};
+pub use guardian::{Guardian, GuardianVerdict};
+pub use routing::RoutingTable;
+
+use btr_model::{Duration, LinkSpec, NodeId, Time};
+use std::collections::BTreeMap;
+
+/// Why a send was refused by the link layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendError {
+    /// The sender is not attached to this link.
+    NotAttached,
+    /// The sender exhausted its static bandwidth allocation this period
+    /// (babbling-idiot guard).
+    AllocationExhausted,
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendError::NotAttached => write!(f, "sender not attached to link"),
+            SendError::AllocationExhausted => write!(f, "bandwidth allocation exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// Per-sender transmission state on one link.
+#[derive(Debug, Clone)]
+struct SenderLane {
+    /// Reserved bandwidth for this sender, bytes per millisecond.
+    rate_bytes_per_ms: u64,
+    /// When this sender's reserved slice is next free.
+    busy_until: Time,
+    /// The per-period byte budget guardian.
+    guardian: Guardian,
+}
+
+/// The transmission model for one link.
+///
+/// Each attached node owns a *reserved slice* of the link bandwidth
+/// (circuit-switched style). Serialisation happens at the slice rate, so
+/// transmissions by different senders do not interact — predictable
+/// timing by construction. A guardian additionally caps each sender's
+/// bytes per period so a babbling node cannot even saturate its own
+/// future slots indefinitely beyond its allocation.
+#[derive(Debug, Clone)]
+pub struct Nic {
+    spec: LinkSpec,
+    lanes: BTreeMap<NodeId, SenderLane>,
+}
+
+impl Nic {
+    /// Build the link model with an equal static split between endpoints.
+    ///
+    /// `period` is the system period (guardian refill interval);
+    /// `alloc_override` can give specific senders a different bytes-per-
+    /// period budget than the default full-slice budget.
+    pub fn new(
+        spec: LinkSpec,
+        period: Duration,
+        alloc_override: &BTreeMap<NodeId, u64>,
+    ) -> Nic {
+        let n = spec.endpoints.len() as u64;
+        let slice_rate = (spec.bytes_per_ms as u64 / n).max(1);
+        let default_budget = slice_rate * period.as_micros() / 1_000;
+        let lanes = spec
+            .endpoints
+            .iter()
+            .map(|&node| {
+                let budget = alloc_override
+                    .get(&node)
+                    .copied()
+                    .unwrap_or(default_budget)
+                    .max(1);
+                (
+                    node,
+                    SenderLane {
+                        rate_bytes_per_ms: slice_rate,
+                        busy_until: Time::ZERO,
+                        guardian: Guardian::new(budget, period),
+                    },
+                )
+            })
+            .collect();
+        Nic { spec, lanes }
+    }
+
+    /// The static link description.
+    pub fn spec(&self) -> &LinkSpec {
+        &self.spec
+    }
+
+    /// Serialisation time of `bytes` on a sender's reserved slice.
+    pub fn slice_tx_time(&self, src: NodeId, bytes: u32) -> Option<Duration> {
+        let lane = self.lanes.get(&src)?;
+        let us = (bytes as u64 * 1_000).div_ceil(lane.rate_bytes_per_ms);
+        Some(Duration(us.max(1)))
+    }
+
+    /// Attempt to transmit `bytes` from `src` at time `now`.
+    ///
+    /// On success returns the *delivery time* at the receiving ends
+    /// (serialisation on the sender's slice + propagation latency).
+    pub fn send(&mut self, now: Time, src: NodeId, bytes: u32) -> Result<Time, SendError> {
+        if !self.spec.attaches(src) {
+            return Err(SendError::NotAttached);
+        }
+        let tx = self
+            .slice_tx_time(src, bytes)
+            .ok_or(SendError::NotAttached)?;
+        let lane = self.lanes.get_mut(&src).ok_or(SendError::NotAttached)?;
+        match lane.guardian.check(now, bytes as u64) {
+            GuardianVerdict::Permit => {}
+            GuardianVerdict::Deny => return Err(SendError::AllocationExhausted),
+        }
+        let start = now.max(lane.busy_until);
+        let done = start + tx;
+        lane.busy_until = done;
+        Ok(done + self.spec.latency)
+    }
+
+    /// Bytes dropped by the guardian for a sender so far.
+    pub fn guardian_drops(&self, src: NodeId) -> u64 {
+        self.lanes.get(&src).map_or(0, |l| l.guardian.denied_bytes())
+    }
+
+    /// Remaining budget for a sender in the period containing `now`.
+    pub fn remaining_budget(&self, src: NodeId, now: Time) -> u64 {
+        self.lanes
+            .get(&src)
+            .map_or(0, |l| l.guardian.remaining_at(now))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btr_model::LinkId;
+
+    fn link(bw: u32) -> LinkSpec {
+        LinkSpec {
+            id: LinkId(0),
+            endpoints: vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
+            bytes_per_ms: bw,
+            latency: Duration(50),
+        }
+    }
+
+    fn nic(bw: u32) -> Nic {
+        Nic::new(link(bw), Duration::from_millis(10), &BTreeMap::new())
+    }
+
+    #[test]
+    fn equal_split_and_delivery_time() {
+        // 4000 B/ms across 4 nodes = 1000 B/ms per slice = 1 B/µs.
+        let mut n = nic(4000);
+        let t = n.send(Time(0), NodeId(0), 100).unwrap();
+        assert_eq!(t, Time(100 + 50)); // 100 µs serialise + 50 µs latency.
+    }
+
+    #[test]
+    fn senders_do_not_interfere() {
+        let mut n = nic(4000);
+        let a = n.send(Time(0), NodeId(0), 100).unwrap();
+        let b = n.send(Time(0), NodeId(1), 100).unwrap();
+        // Different reserved slices: identical delivery time.
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn same_sender_serialises() {
+        let mut n = nic(4000);
+        let a = n.send(Time(0), NodeId(0), 100).unwrap();
+        let b = n.send(Time(0), NodeId(0), 100).unwrap();
+        assert_eq!(b, a + Duration(100));
+    }
+
+    #[test]
+    fn babbler_is_cut_off() {
+        // Budget = 1000 B/ms * 10 ms = 10_000 bytes per period.
+        let mut n = nic(4000);
+        let mut sent = 0u64;
+        let mut denied = false;
+        for i in 0..200 {
+            match n.send(Time(i), NodeId(2), 100) {
+                Ok(_) => sent += 100,
+                Err(SendError::AllocationExhausted) => {
+                    denied = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(denied, "guardian never engaged");
+        assert!(sent <= 10_000);
+        // Other senders are unaffected.
+        assert!(n.send(Time(0), NodeId(0), 100).is_ok());
+        assert!(n.guardian_drops(NodeId(2)) > 0);
+    }
+
+    #[test]
+    fn budget_refills_next_period() {
+        let mut n = nic(4000);
+        for _ in 0..100 {
+            let _ = n.send(Time(0), NodeId(2), 100);
+        }
+        assert!(matches!(
+            n.send(Time(1), NodeId(2), 100),
+            Err(SendError::AllocationExhausted)
+        ));
+        // Next period boundary at 10 ms: budget is fresh.
+        assert!(n.send(Time::from_millis(10), NodeId(2), 100).is_ok());
+        assert_eq!(
+            n.remaining_budget(NodeId(2), Time::from_millis(10)),
+            10_000 - 100
+        );
+    }
+
+    #[test]
+    fn detached_sender_rejected() {
+        let mut n = nic(4000);
+        assert_eq!(n.send(Time(0), NodeId(9), 10), Err(SendError::NotAttached));
+    }
+
+    #[test]
+    fn override_allocation() {
+        let mut alloc = BTreeMap::new();
+        alloc.insert(NodeId(0), 150u64);
+        let mut n = Nic::new(link(4000), Duration::from_millis(10), &alloc);
+        assert!(n.send(Time(0), NodeId(0), 100).is_ok());
+        assert!(matches!(
+            n.send(Time(0), NodeId(0), 100),
+            Err(SendError::AllocationExhausted)
+        ));
+    }
+}

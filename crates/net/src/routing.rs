@@ -1,0 +1,195 @@
+//! Static shortest-path routing.
+//!
+//! CPS networks are only partially connected ("Each link is connected to
+//! some subset of the nodes"), so multi-hop flows exist and the planner
+//! must know the paths — both to budget link bandwidth and to reason
+//! about which faults cut which flows. Routes are computed offline (BFS,
+//! deterministic lowest-id tie-breaking) and recomputed per plan to avoid
+//! nodes in the plan's fault set.
+
+use btr_model::{NodeId, Topology};
+use std::collections::{BTreeSet, VecDeque};
+
+/// All-pairs next-hop routing for one fault pattern.
+#[derive(Debug, Clone)]
+pub struct RoutingTable {
+    n: usize,
+    /// `next_hop[src][dst]` = the neighbour of `src` on the chosen
+    /// shortest path to `dst`, or `None` if unreachable.
+    next_hop: Vec<Vec<Option<NodeId>>>,
+}
+
+impl RoutingTable {
+    /// Compute routes over the full topology.
+    pub fn new(topo: &Topology) -> RoutingTable {
+        Self::avoiding(topo, &BTreeSet::new())
+    }
+
+    /// Compute routes that never traverse (or terminate at) `avoid` nodes.
+    ///
+    /// Deterministic: BFS from each destination with neighbours visited in
+    /// ascending id order, so every correct node derives identical tables
+    /// from identical inputs.
+    pub fn avoiding(topo: &Topology, avoid: &BTreeSet<NodeId>) -> RoutingTable {
+        let n = topo.node_count();
+        let mut next_hop = vec![vec![None; n]; n];
+        // BFS backwards from each destination: parent pointers give the
+        // next hop toward that destination.
+        for dst in 0..n {
+            let dst_id = NodeId(dst as u32);
+            if avoid.contains(&dst_id) {
+                continue;
+            }
+            let mut visited = vec![false; n];
+            visited[dst] = true;
+            let mut queue = VecDeque::from([dst_id]);
+            while let Some(cur) = queue.pop_front() {
+                for nb in topo.neighbors(cur) {
+                    if visited[nb.index()] || avoid.contains(&nb) {
+                        continue;
+                    }
+                    visited[nb.index()] = true;
+                    // From nb, the next hop toward dst is cur.
+                    next_hop[nb.index()][dst] = Some(cur);
+                    queue.push_back(nb);
+                }
+            }
+        }
+        RoutingTable { n, next_hop }
+    }
+
+    /// The next hop from `src` toward `dst` (None if unreachable or equal).
+    pub fn next_hop(&self, src: NodeId, dst: NodeId) -> Option<NodeId> {
+        if src == dst {
+            return None;
+        }
+        self.next_hop[src.index()][dst.index()]
+    }
+
+    /// The full path from `src` to `dst`, inclusive of both endpoints.
+    ///
+    /// Returns `None` if no route exists.
+    pub fn path(&self, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+        if src == dst {
+            return Some(vec![src]);
+        }
+        let mut path = vec![src];
+        let mut cur = src;
+        for _ in 0..=self.n {
+            let hop = self.next_hop(cur, dst)?;
+            path.push(hop);
+            if hop == dst {
+                return Some(path);
+            }
+            cur = hop;
+        }
+        None // Cycle guard; unreachable with consistent tables.
+    }
+
+    /// Hop count from `src` to `dst` (0 for self, None if unreachable).
+    pub fn hops(&self, src: NodeId, dst: NodeId) -> Option<u32> {
+        self.path(src, dst).map(|p| (p.len() - 1) as u32)
+    }
+
+    /// True if every pair of non-avoided nodes can reach each other.
+    pub fn fully_connected(&self, avoid: &BTreeSet<NodeId>) -> bool {
+        for s in 0..self.n {
+            for d in 0..self.n {
+                let (s_id, d_id) = (NodeId(s as u32), NodeId(d as u32));
+                if s == d || avoid.contains(&s_id) || avoid.contains(&d_id) {
+                    continue;
+                }
+                if self.next_hop[s][d].is_none() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btr_model::{Duration, Topology};
+
+    #[test]
+    fn bus_routes_are_single_hop() {
+        let t = Topology::bus(4, 100, Duration(1));
+        let r = RoutingTable::new(&t);
+        assert_eq!(r.path(NodeId(0), NodeId(3)), Some(vec![NodeId(0), NodeId(3)]));
+        assert_eq!(r.hops(NodeId(0), NodeId(3)), Some(1));
+        assert_eq!(r.hops(NodeId(2), NodeId(2)), Some(0));
+    }
+
+    #[test]
+    fn ring_routes_take_shortest_side() {
+        let t = Topology::ring(6, 100, Duration(1));
+        let r = RoutingTable::new(&t);
+        assert_eq!(r.hops(NodeId(0), NodeId(2)), Some(2));
+        assert_eq!(r.hops(NodeId(0), NodeId(3)), Some(3));
+        let p = r.path(NodeId(0), NodeId(2)).unwrap();
+        assert_eq!(p, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn avoiding_faulty_reroutes() {
+        let t = Topology::ring(4, 100, Duration(1));
+        let avoid = BTreeSet::from([NodeId(1)]);
+        let r = RoutingTable::avoiding(&t, &avoid);
+        // 0 -> 2 must go the long way: 0 -> 3 -> 2.
+        assert_eq!(
+            r.path(NodeId(0), NodeId(2)),
+            Some(vec![NodeId(0), NodeId(3), NodeId(2)])
+        );
+        // Routes to the avoided node do not exist.
+        assert_eq!(r.path(NodeId(0), NodeId(1)), None);
+        assert!(r.fully_connected(&avoid));
+    }
+
+    #[test]
+    fn cut_network_detected() {
+        // A line 0-1-2: avoiding the middle disconnects the ends.
+        let mut b = btr_model::TopologyBuilder::new();
+        let n0 = b.full_node();
+        let n1 = b.full_node();
+        let n2 = b.full_node();
+        b.link(&[n0, n1], 100, Duration(1));
+        b.link(&[n1, n2], 100, Duration(1));
+        let t = b.build().unwrap();
+        let avoid = BTreeSet::from([NodeId(1)]);
+        let r = RoutingTable::avoiding(&t, &avoid);
+        assert_eq!(r.path(NodeId(0), NodeId(2)), None);
+        assert!(!r.fully_connected(&avoid));
+    }
+
+    #[test]
+    fn determinism() {
+        let t = Topology::mesh(3, 3, 100, Duration(1));
+        let r1 = RoutingTable::new(&t);
+        let r2 = RoutingTable::new(&t);
+        for s in 0..9u32 {
+            for d in 0..9u32 {
+                assert_eq!(
+                    r1.next_hop(NodeId(s), NodeId(d)),
+                    r2.next_hop(NodeId(s), NodeId(d))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paths_are_simple() {
+        // No node repeats on any path.
+        let t = Topology::mesh(3, 4, 100, Duration(1));
+        let r = RoutingTable::new(&t);
+        for s in 0..12u32 {
+            for d in 0..12u32 {
+                if let Some(p) = r.path(NodeId(s), NodeId(d)) {
+                    let set: BTreeSet<_> = p.iter().collect();
+                    assert_eq!(set.len(), p.len(), "path {s}->{d} not simple");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,588 @@
+//! Strategy construction: a plan for every fault pattern up to `f`.
+//!
+//! Section 4.1: the planner must anticipate fault patterns — "Suppose ...
+//! the planner has already chosen a plan Π{X} for the case where node X
+//! has failed, and is now looking for a plan Π{X,Y} that can handle an
+//! extra fault on node Y" — and keep transitions cheap ("Any extra
+//! reassignments will consume resources ... and can thus prolong
+//! recovery"). Plans are derived breadth-first over fault-set sizes, each
+//! child seeded by a parent plan for delta minimisation; transition
+//! metadata (migrations, state bytes, time bounds) is recorded for every
+//! single-fault edge, and the whole strategy is admitted against the
+//! recovery bound R.
+
+use crate::augment::lane_counts;
+use crate::placement::{place, placement_distance, worst_comm, PlaceOpts, PlacementError};
+use crate::{PlannerConfig, ShedPolicy};
+use btr_model::{
+    ATask, Criticality, Duration, FaultSet, Migration, NodeId, Plan, PlanId, Strategy, TaskId,
+    Transition,
+};
+use btr_net::RoutingTable;
+use btr_sched::synthesize;
+use btr_workload::Workload;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Approximate wire size of an evidence record for bounds.
+pub const EVIDENCE_WIRE_BYTES: u32 = 420;
+/// Fixed slack for per-hop evidence validation in the distribution bound.
+const VALIDATION_SLACK: Duration = Duration(500);
+
+/// Why strategy construction failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StrategyError {
+    /// A mode could not be scheduled even after shedding (policy Never),
+    /// or the platform cannot host the workload at all.
+    Infeasible {
+        /// The offending fault pattern.
+        fault_set: FaultSet,
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// A transition's recovery bound exceeds R (strict admission).
+    RBoundViolated {
+        /// Fault set being left.
+        from: FaultSet,
+        /// Fault set being entered.
+        to: FaultSet,
+        /// The computed worst-case recovery time for this transition.
+        bound: Duration,
+        /// The requested R.
+        r: Duration,
+    },
+}
+
+impl std::fmt::Display for StrategyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StrategyError::Infeasible { fault_set, reason } => {
+                write!(f, "no feasible plan for {fault_set}: {reason}")
+            }
+            StrategyError::RBoundViolated { from, to, bound, r } => {
+                write!(f, "transition {from} -> {to} bound {bound} exceeds R = {r}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StrategyError {}
+
+/// The result of planning one mode.
+#[derive(Debug, Clone)]
+pub struct PlanOutcome {
+    /// The plan (id assigned by the strategy builder).
+    pub plan: Plan,
+    /// Tasks shed to make the mode feasible (duplicated in `plan.shed`).
+    pub shed: BTreeSet<TaskId>,
+}
+
+/// Aggregate statistics about a built strategy.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StrategyStats {
+    /// Number of plans (fault patterns covered).
+    pub plans: usize,
+    /// Number of precomputed transitions.
+    pub transitions: usize,
+    /// Worst per-transition recovery bound (excl. detection margin).
+    pub worst_transition: Duration,
+    /// Worst plan distance (task reassignments) across transitions.
+    pub worst_distance: usize,
+    /// Total task reassignments across all transitions.
+    pub total_distance: usize,
+    /// Largest shed-set size in any plan.
+    pub max_shed: usize,
+    /// Plans that had to shed at least one task.
+    pub degraded_plans: usize,
+}
+
+fn shed_order_key(workload: &Workload, t: TaskId) -> (u8, std::cmp::Reverse<u64>, u32) {
+    let spec = workload.task(t);
+    (
+        spec.criticality.rank(),
+        std::cmp::Reverse(spec.wcet.0),
+        t.0,
+    )
+}
+
+/// Plan a single mode: place, schedule, shed-and-retry.
+fn plan_mode(
+    workload: &Workload,
+    topo: &btr_model::Topology,
+    cfg: &PlannerConfig,
+    fs: &FaultSet,
+    parent: Option<&BTreeMap<ATask, NodeId>>,
+) -> Result<(BTreeMap<ATask, NodeId>, btr_sched::Synthesis, BTreeSet<TaskId>), StrategyError> {
+    let routing = RoutingTable::avoiding(topo, fs.as_set());
+    let healthy_sensors = topo
+        .nodes()
+        .iter()
+        .filter(|n| n.can_sense && !fs.contains(n.id))
+        .count()
+        .max(1) as u8;
+    let opts = PlaceOpts {
+        checker_colocate: cfg.checker_colocate,
+        minimize_delta: cfg.minimize_delta,
+        ..PlaceOpts::default()
+    };
+    let mut shed: BTreeSet<TaskId> = BTreeSet::new();
+    loop {
+        let lanes = lane_counts(workload, cfg.replication, cfg.f, &shed, healthy_sensors);
+        if lanes.is_empty() {
+            // Everything shed: the empty plan (always feasible).
+            let synth = synthesize(workload, topo, &routing, &BTreeMap::new(), &lanes, &cfg.sched)
+                .map_err(|e| StrategyError::Infeasible {
+                    fault_set: fs.clone(),
+                    reason: format!("even the empty plan failed: {e}"),
+                })?;
+            return Ok((BTreeMap::new(), synth, shed));
+        }
+        let placement = match place(workload, topo, &routing, &lanes, fs.as_set(), parent, &opts)
+        {
+            Ok(p) => p,
+            Err(e) => {
+                let victim = match e {
+                    PlacementError::ActuatorLost(t)
+                    | PlacementError::NoSensorNode(t)
+                    | PlacementError::InsufficientNodes { task: t, .. } => t,
+                };
+                if cfg.shed == ShedPolicy::Never {
+                    return Err(StrategyError::Infeasible {
+                        fault_set: fs.clone(),
+                        reason: e.to_string(),
+                    });
+                }
+                shed.insert(victim);
+                continue;
+            }
+        };
+        match synthesize(workload, topo, &routing, &placement, &lanes, &cfg.sched) {
+            Ok(synth) => {
+                // Effective shed set: anything without lanes.
+                let mut effective = shed.clone();
+                for t in workload.tasks() {
+                    if !lanes.contains_key(&t.id) {
+                        effective.insert(t.id);
+                    }
+                }
+                return Ok((placement, synth, effective));
+            }
+            Err(e) => {
+                if cfg.shed == ShedPolicy::Never {
+                    return Err(StrategyError::Infeasible {
+                        fault_set: fs.clone(),
+                        reason: e.to_string(),
+                    });
+                }
+                // Pick the shedding victim: lowest criticality alive task;
+                // within a level, largest WCET first.
+                let victim = workload
+                    .tasks()
+                    .iter()
+                    .filter(|t| lanes.contains_key(&t.id))
+                    .min_by_key(|t| shed_order_key(workload, t.id))
+                    .map(|t| t.id);
+                match victim {
+                    Some(v) => {
+                        shed.insert(v);
+                    }
+                    None => {
+                        return Err(StrategyError::Infeasible {
+                            fault_set: fs.clone(),
+                            reason: format!("unschedulable with empty workload: {e}"),
+                        });
+                    }
+                }
+                let _ = e; // Reason folded into retry.
+            }
+        }
+    }
+}
+
+fn enumerate_fault_sets(n: usize, k: usize) -> Vec<FaultSet> {
+    // All k-subsets of 0..n in lexicographic order.
+    let mut out = Vec::new();
+    let mut idx: Vec<usize> = (0..k).collect();
+    if k == 0 {
+        return vec![FaultSet::empty()];
+    }
+    if k > n {
+        return out;
+    }
+    loop {
+        out.push(
+            idx.iter()
+                .map(|&i| NodeId(i as u32))
+                .collect::<FaultSet>(),
+        );
+        // Advance combination.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if idx[i] != i + n - k {
+                idx[i] += 1;
+                for j in i + 1..k {
+                    idx[j] = idx[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// Build the full strategy for a workload on a platform.
+pub fn build_strategy(
+    workload: &Workload,
+    topo: &btr_model::Topology,
+    cfg: &PlannerConfig,
+) -> Result<(Strategy, StrategyStats), StrategyError> {
+    let n = topo.node_count();
+    let mut plans: Vec<Plan> = Vec::new();
+    let mut index: BTreeMap<FaultSet, PlanId> = BTreeMap::new();
+    let mut stats = StrategyStats::default();
+
+    // Level-by-level BFS over fault-set sizes.
+    let mut prev_level: BTreeMap<FaultSet, usize> = BTreeMap::new(); // -> plan idx.
+    for k in 0..=cfg.f as usize {
+        let sets = enumerate_fault_sets(n, k);
+        let compute = |fs: &FaultSet| -> Result<(FaultSet, _), StrategyError> {
+            let parent_placement = if k == 0 {
+                None
+            } else {
+                // Parent: remove the largest faulty node.
+                let mut ids: Vec<NodeId> = fs.iter().collect();
+                let last = ids.pop().expect("nonempty");
+                let parent_fs: FaultSet = ids.into_iter().collect();
+                let _ = last;
+                prev_level
+                    .get(&parent_fs)
+                    .map(|&i| plans[i].placement.clone())
+            };
+            let out = plan_mode(workload, topo, cfg, fs, parent_placement.as_ref())?;
+            Ok((fs.clone(), out))
+        };
+
+        let results: Vec<(FaultSet, _)> = if cfg.threads > 1 && sets.len() > 8 {
+            let chunks: Vec<&[FaultSet]> =
+                sets.chunks(sets.len().div_ceil(cfg.threads)).collect();
+            let mut collected: Vec<Result<Vec<(FaultSet, _)>, StrategyError>> = Vec::new();
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|chunk| {
+                        scope.spawn(move |_| {
+                            chunk
+                                .iter()
+                                .map(&compute)
+                                .collect::<Result<Vec<_>, StrategyError>>()
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    collected.push(h.join().expect("planner worker panicked"));
+                }
+            })
+            .expect("crossbeam scope");
+            let mut flat = Vec::new();
+            for c in collected {
+                flat.extend(c?);
+            }
+            flat
+        } else {
+            let mut flat = Vec::new();
+            for fs in &sets {
+                flat.push(compute(fs)?);
+            }
+            flat
+        };
+
+        let mut this_level: BTreeMap<FaultSet, usize> = BTreeMap::new();
+        for (fs, (placement, synth, shed)) in results {
+            let id = PlanId(plans.len() as u32);
+            stats.max_shed = stats.max_shed.max(shed.len());
+            if !shed.is_empty() {
+                stats.degraded_plans += 1;
+            }
+            plans.push(Plan {
+                id,
+                fault_set: fs.clone(),
+                placement,
+                schedules: synth.schedules,
+                shed,
+                link_alloc: synth.link_alloc,
+            });
+            index.insert(fs.clone(), id);
+            this_level.insert(fs, plans.len() - 1);
+        }
+        prev_level = this_level;
+    }
+
+    stats.plans = plans.len();
+
+    // Transition metadata for every single-fault edge F -> F ∪ {x}.
+    let mut transitions: BTreeMap<(PlanId, PlanId), Transition> = BTreeMap::new();
+    let all_sets: Vec<FaultSet> = index.keys().cloned().collect();
+    for from_fs in &all_sets {
+        if from_fs.len() >= cfg.f as usize {
+            continue;
+        }
+        let from_id = index[from_fs];
+        for x in 0..n as u32 {
+            let xid = NodeId(x);
+            if from_fs.contains(xid) {
+                continue;
+            }
+            let mut to_fs = from_fs.clone();
+            to_fs.insert(xid);
+            let Some(&to_id) = index.get(&to_fs) else {
+                continue;
+            };
+            let from_plan = &plans[from_id.index()];
+            let to_plan = &plans[to_id.index()];
+            let routing_to = RoutingTable::avoiding(topo, to_fs.as_set());
+
+            // Migrations: every work/check task whose host changed.
+            let mut migrations = Vec::new();
+            let mut sender_bytes: BTreeMap<NodeId, u64> = BTreeMap::new();
+            for (&atask, &new_node) in &to_plan.placement {
+                if matches!(atask, ATask::Verify { .. }) {
+                    continue;
+                }
+                let old = from_plan.placement.get(&atask).copied();
+                if old == Some(new_node) {
+                    continue;
+                }
+                let state_bytes = match atask {
+                    ATask::Work { task, .. } => workload.task(task).state_bytes,
+                    _ => 0,
+                };
+                if let Some(o) = old {
+                    *sender_bytes.entry(o).or_insert(0) += state_bytes as u64;
+                }
+                migrations.push(Migration {
+                    atask,
+                    from: old,
+                    to: new_node,
+                    state_bytes,
+                });
+            }
+
+            // Bound: evidence distribution + state transfer + alignment.
+            let dist_bound = Duration(
+                2 * worst_comm(topo, &routing_to, EVIDENCE_WIRE_BYTES).as_micros()
+                    + VALIDATION_SLACK.as_micros(),
+            );
+            let transfer_bound = sender_bytes
+                .iter()
+                .map(|(_, &bytes)| {
+                    worst_comm(topo, &routing_to, bytes.min(u32::MAX as u64) as u32)
+                })
+                .max()
+                .unwrap_or(Duration::ZERO);
+            let bound = dist_bound + transfer_bound + cfg.sched.period;
+
+            let total = cfg.detect_margin + bound;
+            if total > cfg.r_bound && !cfg.admit_best_effort {
+                return Err(StrategyError::RBoundViolated {
+                    from: from_fs.clone(),
+                    to: to_fs.clone(),
+                    bound: total,
+                    r: cfg.r_bound,
+                });
+            }
+
+            stats.worst_transition = stats.worst_transition.max(bound);
+            let dist = placement_distance(&from_plan.placement, &to_plan.placement);
+            stats.worst_distance = stats.worst_distance.max(dist);
+            stats.total_distance += dist;
+            transitions.insert(
+                (from_id, to_id),
+                Transition {
+                    from: from_id,
+                    to: to_id,
+                    trigger: xid,
+                    migrations,
+                    bound,
+                },
+            );
+        }
+    }
+    stats.transitions = transitions.len();
+
+    Ok((
+        Strategy {
+            f: cfg.f,
+            r_bound: cfg.r_bound,
+            period: cfg.sched.period,
+            plans,
+            index,
+            transitions,
+        },
+        stats,
+    ))
+}
+
+/// Count of sink outputs per criticality level that survive in a plan.
+pub fn surviving_sinks(plan: &Plan, workload: &Workload) -> BTreeMap<Criticality, usize> {
+    let mut out: BTreeMap<Criticality, usize> = BTreeMap::new();
+    for sink in workload.sinks() {
+        if !plan.is_shed(sink.id) {
+            *out.entry(sink.criticality).or_insert(0) += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btr_model::Topology;
+
+    fn ms(x: u64) -> Duration {
+        Duration::from_millis(x)
+    }
+
+    fn setup() -> (Workload, Topology) {
+        let w = btr_workload::generators::avionics(9);
+        let topo = Topology::bus(9, 100_000, Duration(5));
+        (w, topo)
+    }
+
+    #[test]
+    fn enumerates_fault_sets_correctly() {
+        assert_eq!(enumerate_fault_sets(4, 0).len(), 1);
+        assert_eq!(enumerate_fault_sets(4, 1).len(), 4);
+        assert_eq!(enumerate_fault_sets(4, 2).len(), 6);
+        assert_eq!(enumerate_fault_sets(4, 5).len(), 0);
+        // All distinct.
+        let sets = enumerate_fault_sets(6, 3);
+        let uniq: BTreeSet<_> = sets.iter().cloned().collect();
+        assert_eq!(uniq.len(), sets.len());
+        assert_eq!(sets.len(), 20);
+    }
+
+    #[test]
+    fn f1_strategy_covers_all_single_faults() {
+        let (w, topo) = setup();
+        let cfg = PlannerConfig::new(1, ms(100));
+        let (strategy, stats) = build_strategy(&w, &topo, &cfg).expect("plannable");
+        assert_eq!(stats.plans, 1 + 9);
+        assert_eq!(strategy.plan_count(), 10);
+        // Every single-fault set indexed; every plan validates.
+        for i in 0..9u32 {
+            let fs = FaultSet::from_nodes(&[NodeId(i)]);
+            let pid = strategy.plan_for(&fs).expect("indexed");
+            let plan = strategy.plan(pid);
+            plan.validate(&topo, strategy.period).expect("valid plan");
+            assert!(!plan.placement.values().any(|&n| n == NodeId(i)));
+        }
+        // Transitions exist from the initial plan to each single fault.
+        assert_eq!(stats.transitions, 9);
+    }
+
+    #[test]
+    fn f2_strategy_size() {
+        let (w, topo) = setup();
+        let mut cfg = PlannerConfig::new(2, ms(200));
+        cfg.admit_best_effort = true;
+        let (strategy, stats) = build_strategy(&w, &topo, &cfg).expect("plannable");
+        assert_eq!(stats.plans, 1 + 9 + 36);
+        // Transitions: 9 from empty + 36 pairs * 2 orders = 81.
+        assert_eq!(stats.transitions, 9 + 36 * 2);
+        assert!(strategy.worst_transition_bound() > Duration::ZERO);
+    }
+
+    #[test]
+    fn strict_admission_rejects_tiny_r() {
+        let (w, topo) = setup();
+        let cfg = PlannerConfig::new(1, Duration(10)); // R = 10 µs: impossible.
+        let err = build_strategy(&w, &topo, &cfg).unwrap_err();
+        assert!(matches!(err, StrategyError::RBoundViolated { .. }));
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (w, topo) = setup();
+        let mut cfg = PlannerConfig::new(2, ms(200));
+        cfg.admit_best_effort = true;
+        let (s1, _) = build_strategy(&w, &topo, &cfg).unwrap();
+        cfg.threads = 4;
+        let (s2, _) = build_strategy(&w, &topo, &cfg).unwrap();
+        assert_eq!(s1, s2, "parallel planning must be deterministic");
+    }
+
+    #[test]
+    fn actuator_fault_sheds_its_sink() {
+        let (w, topo) = setup();
+        let cfg = PlannerConfig::new(1, ms(100));
+        let (strategy, _) = build_strategy(&w, &topo, &cfg).unwrap();
+        // The elevator sink is pinned to node 3 (avionics pinning).
+        let elevator = w.tasks().iter().find(|t| t.name == "elevator").unwrap();
+        let pinned = elevator.kind.pinned_node().unwrap();
+        let fs = FaultSet::from_nodes(&[pinned]);
+        let plan = strategy.plan(strategy.plan_for(&fs).unwrap());
+        assert!(plan.is_shed(elevator.id), "lost actuator must be shed");
+        // But the aileron still runs.
+        let aileron = w.tasks().iter().find(|t| t.name == "aileron").unwrap();
+        assert!(!plan.is_shed(aileron.id));
+    }
+
+    #[test]
+    fn shedding_prefers_low_criticality() {
+        // Overload a tiny platform so the planner must shed.
+        let w = btr_workload::generators::avionics(4);
+        let topo = Topology::bus(4, 30_000, Duration(5));
+        let mut cfg = PlannerConfig::new(1, ms(100));
+        cfg.admit_best_effort = true;
+        let (strategy, stats) = build_strategy(&w, &topo, &cfg).expect("plannable with shedding");
+        if stats.max_shed > 0 {
+            // In any degraded plan, if a Safety task was shed for capacity
+            // reasons, all Low tasks must be gone too (shed order).
+            for plan in &strategy.plans {
+                let shed_caps: BTreeSet<_> = plan
+                    .shed
+                    .iter()
+                    .map(|t| w.task(*t).criticality)
+                    .collect();
+                if shed_caps.contains(&Criticality::Safety) {
+                    let low_alive = w
+                        .tasks_at(Criticality::Low)
+                        .any(|t| !plan.is_shed(t.id) && !matches!(t.kind, btr_workload::TaskKind::Sink{..}));
+                    // Safety shed only after Low exhausted, except pinned
+                    // actuator losses which shed regardless of level.
+                    let actuator_losses: BTreeSet<_> = w
+                        .sinks()
+                        .filter(|s| {
+                            s.kind
+                                .pinned_node()
+                                .is_some_and(|n| plan.fault_set.contains(n))
+                        })
+                        .map(|s| s.id)
+                        .collect();
+                    let capacity_safety_shed = plan
+                        .shed
+                        .iter()
+                        .any(|t| {
+                            w.task(*t).criticality == Criticality::Safety
+                                && !actuator_losses.contains(t)
+                        });
+                    if capacity_safety_shed {
+                        assert!(!low_alive, "Low tasks alive while Safety shed");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn surviving_sinks_counts() {
+        let (w, topo) = setup();
+        let cfg = PlannerConfig::new(1, ms(100));
+        let (strategy, _) = build_strategy(&w, &topo, &cfg).unwrap();
+        let s = surviving_sinks(strategy.initial_plan(), &w);
+        let total: usize = s.values().sum();
+        assert_eq!(total, w.sinks().count());
+    }
+}

@@ -1,0 +1,255 @@
+//! Per-node view of the active plan: schedule slots, output routes,
+//! expected inputs, and checker configurations.
+
+use btr_detector::CheckerConfig;
+use btr_model::{ATask, NodeId, Plan, PlanId, ReplicaIdx, ScheduleEntry, TaskId};
+use btr_sched::input_lane;
+use btr_workload::{TaskKind, Workload};
+use std::collections::BTreeMap;
+
+/// Everything a node needs to execute its part of one plan.
+#[derive(Debug, Clone)]
+pub struct PlanView {
+    /// The plan this view was derived from.
+    pub plan_id: PlanId,
+    /// My schedule slots, in plan order (indices stable for timers).
+    pub entries: Vec<ScheduleEntry>,
+    /// For each Work task I host: destination nodes for its output.
+    pub out_routes: BTreeMap<ATask, Vec<NodeId>>,
+    /// For each Work task I host: (input task, lane, producer node).
+    pub in_flows: BTreeMap<ATask, Vec<(TaskId, ReplicaIdx, NodeId)>>,
+    /// Replica lane counts per unshed task.
+    pub lanes: BTreeMap<TaskId, u8>,
+    /// Checker configurations for Check tasks I host.
+    pub checkers: Vec<CheckerConfig>,
+}
+
+/// Lane counts implied by a plan's placement.
+pub fn plan_lanes(plan: &Plan) -> BTreeMap<TaskId, u8> {
+    let mut lanes: BTreeMap<TaskId, u8> = BTreeMap::new();
+    for atask in plan.placement.keys() {
+        if let ATask::Work { task, replica } = atask {
+            let e = lanes.entry(*task).or_insert(0);
+            *e = (*e).max(replica + 1);
+        }
+    }
+    lanes
+}
+
+/// Derive the node-local view of a plan.
+pub fn derive_view(node: NodeId, plan: &Plan, workload: &Workload) -> PlanView {
+    let lanes = plan_lanes(plan);
+    let entries: Vec<ScheduleEntry> = plan
+        .schedules
+        .get(&node)
+        .map(|s| s.entries.clone())
+        .unwrap_or_default();
+
+    let mut out_routes: BTreeMap<ATask, Vec<NodeId>> = BTreeMap::new();
+    let mut in_flows: BTreeMap<ATask, Vec<(TaskId, ReplicaIdx, NodeId)>> = BTreeMap::new();
+    let mut checkers = Vec::new();
+
+    for e in &entries {
+        match e.atask {
+            ATask::Work { task, replica } => {
+                // Output routes: consumer lanes reading this lane, plus
+                // the task's checker.
+                let my_lanes = lanes.get(&task).copied().unwrap_or(1);
+                let mut targets = Vec::new();
+                for &c in workload.consumers_of(task) {
+                    let Some(&c_lanes) = lanes.get(&c) else {
+                        continue; // Consumer shed.
+                    };
+                    for rc in 0..c_lanes {
+                        if input_lane(rc, my_lanes) == replica {
+                            if let Some(n) = plan.node_of(ATask::Work {
+                                task: c,
+                                replica: rc,
+                            }) {
+                                targets.push(n);
+                            }
+                        }
+                    }
+                }
+                if let Some(chk) = plan.checker_of(task) {
+                    targets.push(chk);
+                }
+                targets.sort_unstable();
+                targets.dedup();
+                targets.retain(|&n| n != node); // Local delivery is direct.
+                out_routes.insert(e.atask, targets);
+
+                // Input flows.
+                let spec = workload.task(task);
+                let mut flows = Vec::new();
+                for &u in &spec.inputs {
+                    let Some(&u_lanes) = lanes.get(&u) else {
+                        continue; // Input shed: degraded.
+                    };
+                    let lane = input_lane(replica, u_lanes);
+                    if let Some(pnode) = plan.node_of(ATask::Work {
+                        task: u,
+                        replica: lane,
+                    }) {
+                        flows.push((u, lane, pnode));
+                    }
+                }
+                in_flows.insert(e.atask, flows);
+            }
+            ATask::Check { task } => {
+                let n_lanes = lanes.get(&task).copied().unwrap_or(0);
+                let lane_nodes: Vec<NodeId> = (0..n_lanes)
+                    .filter_map(|r| {
+                        plan.node_of(ATask::Work { task, replica: r })
+                    })
+                    .collect();
+                let spec = workload.task(task);
+                checkers.push(CheckerConfig {
+                    task,
+                    lanes: n_lanes,
+                    lane_nodes,
+                    is_source: matches!(spec.kind, TaskKind::Source { .. }),
+                    inputs: spec.inputs.clone(),
+                    seed: workload.seed,
+                });
+            }
+            ATask::Verify { .. } => {}
+        }
+    }
+
+    PlanView {
+        plan_id: plan.id,
+        entries,
+        out_routes,
+        in_flows,
+        lanes,
+        checkers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btr_model::{Criticality, Duration, FaultSet, NodeSchedule, PlanId};
+    use btr_workload::WorkloadBuilder;
+
+    fn ms(x: u64) -> Duration {
+        Duration::from_millis(x)
+    }
+
+    /// source(2 lanes) -> ctl(2 lanes) -> sink; checker for ctl on n3.
+    fn setup() -> (Workload, Plan) {
+        let mut b = WorkloadBuilder::new(ms(10), 1);
+        let s = b.source("s", NodeId(0), Duration(100), Criticality::High, ms(10));
+        let c = b.compute("c", &[s], Duration(200), Criticality::High, ms(10), 64);
+        b.sink("k", NodeId(2), &[c], Duration(50), Criticality::High, ms(9));
+        let w = b.build().unwrap();
+
+        let mut placement = BTreeMap::new();
+        let work = |t: u32, r: u8| ATask::Work {
+            task: TaskId(t),
+            replica: r,
+        };
+        placement.insert(work(0, 0), NodeId(0));
+        placement.insert(work(0, 1), NodeId(1));
+        placement.insert(work(1, 0), NodeId(0));
+        placement.insert(work(1, 1), NodeId(1));
+        placement.insert(work(2, 0), NodeId(2));
+        placement.insert(ATask::Check { task: TaskId(1) }, NodeId(3));
+        placement.insert(ATask::Check { task: TaskId(0) }, NodeId(3));
+
+        let mut schedules: BTreeMap<NodeId, NodeSchedule> = BTreeMap::new();
+        let mut add = |node: NodeId, atask: ATask, start: u64, wcet: u64| {
+            schedules.entry(node).or_default().entries.push(ScheduleEntry {
+                atask,
+                start: Duration(start),
+                wcet: Duration(wcet),
+            });
+        };
+        add(NodeId(0), work(0, 0), 0, 100);
+        add(NodeId(0), work(1, 0), 200, 200);
+        add(NodeId(1), work(0, 1), 0, 100);
+        add(NodeId(1), work(1, 1), 200, 200);
+        add(NodeId(2), work(2, 0), 600, 50);
+        add(NodeId(3), ATask::Check { task: TaskId(0) }, 300, 30);
+        add(NodeId(3), ATask::Check { task: TaskId(1) }, 500, 30);
+
+        let plan = Plan {
+            id: PlanId(0),
+            fault_set: FaultSet::empty(),
+            placement,
+            schedules,
+            shed: Default::default(),
+            link_alloc: vec![],
+        };
+        (w, plan)
+    }
+
+    #[test]
+    fn lanes_derived_from_placement() {
+        let (_, plan) = setup();
+        let lanes = plan_lanes(&plan);
+        assert_eq!(lanes[&TaskId(0)], 2);
+        assert_eq!(lanes[&TaskId(1)], 2);
+        assert_eq!(lanes[&TaskId(2)], 1);
+    }
+
+    #[test]
+    fn node0_routes_and_flows() {
+        let (w, plan) = setup();
+        let v = derive_view(NodeId(0), &plan, &w);
+        assert_eq!(v.plan_id, PlanId(0));
+        assert_eq!(v.entries.len(), 2);
+        // Source lane 0 output: consumed by ctl lane 0 (local, excluded)
+        // and the checker on n3.
+        let w00 = ATask::Work {
+            task: TaskId(0),
+            replica: 0,
+        };
+        assert_eq!(v.out_routes[&w00], vec![NodeId(3)]);
+        // Ctl lane 0: feeds sink on n2 and checker on n3.
+        let w10 = ATask::Work {
+            task: TaskId(1),
+            replica: 0,
+        };
+        assert_eq!(v.out_routes[&w10], vec![NodeId(2), NodeId(3)]);
+        // Ctl lane 0 consumes source lane 0, produced locally on n0.
+        assert_eq!(v.in_flows[&w10], vec![(TaskId(0), 0, NodeId(0))]);
+        assert!(v.checkers.is_empty());
+    }
+
+    #[test]
+    fn sink_consumes_primary_lane() {
+        let (w, plan) = setup();
+        let v = derive_view(NodeId(2), &plan, &w);
+        let w20 = ATask::Work {
+            task: TaskId(2),
+            replica: 0,
+        };
+        assert_eq!(v.in_flows[&w20], vec![(TaskId(1), 0, NodeId(0))]);
+        // Sink output goes nowhere (actuator).
+        assert!(v.out_routes[&w20].is_empty());
+    }
+
+    #[test]
+    fn checker_node_gets_configs() {
+        let (w, plan) = setup();
+        let v = derive_view(NodeId(3), &plan, &w);
+        assert_eq!(v.checkers.len(), 2);
+        let chk1 = v.checkers.iter().find(|c| c.task == TaskId(1)).unwrap();
+        assert_eq!(chk1.lanes, 2);
+        assert_eq!(chk1.lane_nodes, vec![NodeId(0), NodeId(1)]);
+        assert!(!chk1.is_source);
+        let chk0 = v.checkers.iter().find(|c| c.task == TaskId(0)).unwrap();
+        assert!(chk0.is_source);
+    }
+
+    #[test]
+    fn unplaced_node_has_empty_view() {
+        let (w, plan) = setup();
+        let v = derive_view(NodeId(7), &plan, &w);
+        assert!(v.entries.is_empty());
+        assert!(v.out_routes.is_empty());
+        assert!(v.checkers.is_empty());
+    }
+}

@@ -1,0 +1,1042 @@
+//! The per-node BTR software stack.
+//!
+//! [`BtrNode`] is what a correct node runs: the static cyclic executor
+//! for its slice of the active plan, the fault detector, the evidence
+//! pool and disseminator, and the mode switcher. It implements the
+//! simulator's `NodeBehavior`, so a system run is just: plan offline
+//! (`btr-planner`), install a `BtrNode` per node, inject faults, observe
+//! sink outputs.
+//!
+//! A compromised node runs the same stack with an [`Attack`] script
+//! spliced in (Section 2.1's "complete control", minus other nodes' keys
+//! and the hardware MAC).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack;
+pub mod flows;
+pub mod timers;
+
+pub use attack::Attack;
+pub use flows::{derive_view, plan_lanes, PlanView};
+
+use btr_detector::Detector;
+use btr_evidence::{AdmitOutcome, Disseminator, EvidencePool, PoolConfig};
+use btr_model::{
+    inputs_digest, sensor_value, task_value, ATask, Duration, Envelope, EvidenceClass,
+    EvidenceRecord, NodeId, Payload, PeriodIdx, ReplicaIdx, SignedOutput, Strategy, TaskId, Time,
+    Value,
+};
+use btr_modeswitch::{ModeSwitcher, SwitchAction};
+use btr_sim::{NodeBehavior, NodeCtx, TimerId};
+use btr_workload::{TaskKind, Workload};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use timers::Timer;
+
+/// Runtime configuration for a BTR node.
+#[derive(Debug, Clone)]
+pub struct BtrConfig {
+    /// Heartbeat periods missed before crash suspicion.
+    pub heartbeat_miss_threshold: u64,
+    /// Distinct peers implicating a node before omission attribution.
+    pub omission_threshold: usize,
+    /// Evidence pool admission limits.
+    pub pool: PoolConfig,
+    /// Send per-period heartbeats (crash detection substrate).
+    pub heartbeats: bool,
+    /// Optional adversarial script (compromised node).
+    pub attack: Option<Attack>,
+}
+
+impl Default for BtrConfig {
+    fn default() -> Self {
+        BtrConfig {
+            heartbeat_miss_threshold: 3,
+            omission_threshold: 3,
+            pool: PoolConfig::default(),
+            heartbeats: true,
+            attack: None,
+        }
+    }
+}
+
+/// Counters exposed for experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Task outputs emitted.
+    pub outputs_sent: u64,
+    /// Task instances skipped because an input never arrived.
+    pub outputs_missed: u64,
+    /// Evidence records generated locally.
+    pub evidence_generated: u64,
+    /// Evidence records forwarded (endorsed).
+    pub evidence_forwarded: u64,
+    /// Evidence records rejected as bogus.
+    pub evidence_rejected: u64,
+    /// Heartbeats sent.
+    pub heartbeats_sent: u64,
+    /// Bytes of migrated task state received.
+    pub state_bytes_in: u64,
+}
+
+/// The BTR node behaviour.
+pub struct BtrNode {
+    id: NodeId,
+    workload: Arc<Workload>,
+    strategy: Arc<Strategy>,
+    cfg: BtrConfig,
+    detector: Detector,
+    pool: EvidencePool,
+    dissem: Disseminator,
+    switcher: ModeSwitcher,
+    view: PlanView,
+    /// Bumped on every plan install; stale slot timers are dropped.
+    version: u8,
+    /// Received input values: (period, task, lane) -> output (first wins).
+    inputs: BTreeMap<(PeriodIdx, TaskId, ReplicaIdx), SignedOutput>,
+    /// Computed outputs awaiting their emit instant: (period, slot idx).
+    pending_emit: BTreeMap<(PeriodIdx, u16), (SignedOutput, Vec<SignedOutput>, bool)>,
+    /// Node count (flooding targets).
+    n_nodes: usize,
+    /// Exposed counters.
+    stats: NodeStats,
+    /// Alternation flip used by the equivocation attack.
+    equiv_flip: u64,
+    /// Time of the last completed mode switch (declaration blackout).
+    last_activation: Option<Time>,
+}
+
+impl BtrNode {
+    /// Create a node runtime over an installed workload and strategy.
+    pub fn new(
+        id: NodeId,
+        workload: Arc<Workload>,
+        strategy: Arc<Strategy>,
+        n_nodes: usize,
+        cfg: BtrConfig,
+    ) -> BtrNode {
+        let detector = Detector::new(id, cfg.heartbeat_miss_threshold, cfg.omission_threshold);
+        let pool = EvidencePool::new(cfg.pool.clone());
+        let switcher = ModeSwitcher::new(id, &strategy);
+        let view = derive_view(id, strategy.initial_plan(), &workload);
+        BtrNode {
+            id,
+            workload,
+            strategy,
+            cfg,
+            detector,
+            pool,
+            dissem: Disseminator::new(),
+            switcher,
+            view,
+            version: 0,
+            inputs: BTreeMap::new(),
+            pending_emit: BTreeMap::new(),
+            n_nodes,
+            stats: NodeStats::default(),
+            equiv_flip: 0,
+            last_activation: None,
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> NodeStats {
+        self.stats
+    }
+
+    /// The node's current plan.
+    pub fn current_plan(&self) -> btr_model::PlanId {
+        self.switcher.current_plan()
+    }
+
+    /// The node's local fault set.
+    pub fn fault_set(&self) -> &btr_model::FaultSet {
+        self.switcher.fault_set()
+    }
+
+    /// Completed mode switches.
+    pub fn switch_count(&self) -> u64 {
+        self.switcher.switch_count()
+    }
+
+    /// The node's evidence pool (diagnostics and experiments).
+    pub fn pool(&self) -> &EvidencePool {
+        &self.pool
+    }
+
+    fn period_start(&self, p: PeriodIdx) -> Time {
+        Time(p * self.workload.period.as_micros())
+    }
+
+    /// True while a mode transition is pending or freshly completed:
+    /// missing messages in this window are expected confusion (charged
+    /// against R), not new faults.
+    fn in_blackout(&self, now: Time) -> bool {
+        self.switcher.pending().is_some()
+            || self.last_activation.is_some_and(|t| {
+                now.saturating_since(t) <= Duration(2 * self.workload.period.as_micros())
+            })
+    }
+
+    /// Install the checkers for the current view.
+    fn sync_checkers(&mut self) {
+        for t in self.detector.checked_tasks() {
+            self.detector.remove_checker(t);
+        }
+        for cfg in &self.view.checkers {
+            self.detector.install_checker(cfg.clone());
+        }
+    }
+
+    fn install_plan(&mut self, plan_id: btr_model::PlanId, ctx: &mut NodeCtx<'_>) {
+        let plan = self.strategy.plan(plan_id);
+        self.view = derive_view(self.id, plan, &self.workload);
+        self.version = self.version.wrapping_add(1);
+        self.sync_checkers();
+        // Schedule the remaining slots of the current period under the
+        // new version (the boundary handler for this period ran before
+        // activation and its slots are now stale).
+        let now = ctx.now();
+        let p = now.period_index(self.workload.period);
+        let p_start = self.period_start(p);
+        for (idx, e) in self.view.entries.iter().enumerate() {
+            let at = p_start + e.start;
+            if at >= now {
+                ctx.set_timer_at(
+                    at,
+                    timers::encode(Timer::SlotStart {
+                        version: self.version,
+                        idx: idx as u16,
+                        period: p,
+                    }),
+                );
+            }
+        }
+    }
+
+    fn report_fault(&mut self, faulty: NodeId, reference: Time, ctx: &mut NodeCtx<'_>) {
+        match self
+            .switcher
+            .add_fault(&self.strategy, ctx.now(), reference, faulty)
+        {
+            SwitchAction::None => {}
+            SwitchAction::Begin {
+                to: _,
+                activate_at,
+                transfers,
+            } => {
+                for t in transfers {
+                    if let ATask::Work { task, .. } = t.atask {
+                        ctx.send(
+                            t.to,
+                            Payload::StateTransfer {
+                                task,
+                                to_plan: self.switcher.pending().map(|(p, _)| p).unwrap_or(
+                                    self.switcher.current_plan(),
+                                ),
+                                seq: 0,
+                                total: 1,
+                                bytes: t.bytes,
+                            },
+                        );
+                    }
+                }
+                ctx.set_timer_at(activate_at, timers::encode(Timer::Activate));
+            }
+        }
+    }
+
+    fn act_on_verified(&mut self, record: &EvidenceRecord, ctx: &mut NodeCtx<'_>) {
+        // Reference time = end of the period the evidence refers to:
+        // identical on every node holding the record, so mode switches
+        // align cluster-wide.
+        let reference = self.period_start(record.period() + 1);
+        if let Some(x) = record.convicts() {
+            self.report_fault(x, reference, ctx);
+        } else {
+            let newly = self.detector.record_declaration(record);
+            for x in newly {
+                self.report_fault(x, reference, ctx);
+            }
+        }
+    }
+
+    fn flood(&mut self, record: &EvidenceRecord, from: Option<NodeId>, ctx: &mut NodeCtx<'_>) {
+        if !self.dissem.should_forward(record.id()) {
+            return;
+        }
+        // Flood to everyone (even suspected nodes): fault sets converge
+        // only if all correct nodes eventually hold the same evidence,
+        // and local suspicion must never partition the control plane.
+        let targets =
+            self.dissem
+                .targets(self.id, self.n_nodes, from, &std::collections::BTreeSet::new());
+        for t in targets {
+            ctx.send(t, Payload::Evidence(record.clone()));
+            self.stats.evidence_forwarded += 1;
+        }
+    }
+
+    /// Admit locally generated evidence, act on it, and flood it.
+    fn handle_local_evidence(&mut self, records: Vec<EvidenceRecord>, ctx: &mut NodeCtx<'_>) {
+        let period = ctx.now().period_index(self.workload.period);
+        for record in records {
+            let outcome = self.pool.admit(
+                ctx.keystore(),
+                self.workload.as_ref(),
+                self.id,
+                &record,
+                period,
+            );
+            if let AdmitOutcome::Verified { .. } = outcome {
+                self.stats.evidence_generated += 1;
+                self.act_on_verified(&record, ctx);
+                self.flood(&record, None, ctx);
+            }
+        }
+    }
+
+    fn handle_boundary(&mut self, p: PeriodIdx, ctx: &mut NodeCtx<'_>) {
+        let p_start = self.period_start(p);
+        // Heartbeats.
+        let drop_hb = matches!(
+            self.cfg.attack,
+            Some(Attack::Omission {
+                drop_heartbeats: true,
+                ..
+            }) if self.cfg.attack.as_ref().unwrap().active(ctx.now())
+        );
+        if self.cfg.heartbeats && !drop_hb {
+            // Heartbeats go to *everyone*, including suspected nodes: a
+            // wrongly suspected peer must keep hearing us, or suspicion
+            // becomes self-fulfilling.
+            for n in 0..self.n_nodes as u32 {
+                let n = NodeId(n);
+                if n != self.id {
+                    ctx.send(n, Payload::Heartbeat { period: p });
+                    self.stats.heartbeats_sent += 1;
+                }
+            }
+        }
+        // Attack side-channels that fire per period.
+        match self.cfg.attack.clone() {
+            Some(Attack::EvidenceSpam { from, per_period }) if Time::ZERO + Duration::ZERO <= ctx.now() && ctx.now() >= from => {
+                for i in 0..per_period {
+                    let victim = NodeId(((self.id.0 as u32 + 1 + i) % self.n_nodes as u32) as u32);
+                    // Fabricated "proof" with an invalid inner signature:
+                    // cheap for verifiers to reject, counted against us.
+                    let forged = SignedOutput::sign(
+                        ctx.signer(),
+                        TaskId(0),
+                        0,
+                        p,
+                        0xBAD0 + i as u64,
+                        0,
+                        victim, // Producer mismatch: sig.key != producer.
+                    );
+                    let bogus = EvidenceRecord::BadComputation {
+                        accused: victim,
+                        output: forged,
+                        inputs: vec![],
+                    };
+                    for n in 0..self.n_nodes as u32 {
+                        if NodeId(n) != self.id {
+                            ctx.send(NodeId(n), Payload::Evidence(bogus.clone()));
+                        }
+                    }
+                }
+            }
+            Some(Attack::Babble {
+                from,
+                msgs_per_period,
+            }) if ctx.now() >= from => {
+                for i in 0..msgs_per_period {
+                    let dst = NodeId((i % self.n_nodes as u32) as u32);
+                    if dst != self.id {
+                        ctx.send(dst, Payload::Control(0xBB));
+                    }
+                }
+            }
+            _ => {}
+        }
+        // Close out the previous period's detection — unless we are in a
+        // mode-transition blackout: while a switch is pending or within
+        // two periods after activation, missing outputs are expected
+        // confusion, not omission faults (Section 4.4: "some brief
+        // confusion may even be acceptable"). BTR charges that window
+        // against R rather than generating false accusations from it.
+        if p > 0 {
+            let blackout = self.in_blackout(ctx.now());
+            if blackout {
+                self.detector.gc(p.saturating_sub(4));
+            } else {
+                let faulty = self.switcher.fault_set().as_set().clone();
+                let evs = self
+                    .detector
+                    .end_of_period(ctx.signer(), p - 1, &faulty);
+                self.handle_local_evidence(evs, ctx);
+            }
+        }
+        // Schedule this period's slots.
+        for (idx, e) in self.view.entries.iter().enumerate() {
+            ctx.set_timer_at(
+                p_start + e.start,
+                timers::encode(Timer::SlotStart {
+                    version: self.version,
+                    idx: idx as u16,
+                    period: p,
+                }),
+            );
+        }
+        // Garbage-collect stale inputs.
+        let keep_from = p.saturating_sub(3);
+        self.inputs.retain(|&(ip, _, _), _| ip >= keep_from);
+        self.pending_emit.retain(|&(ip, _), _| ip >= keep_from);
+        // Re-arm.
+        ctx.set_timer_at(
+            p_start + self.workload.period,
+            timers::encode(Timer::PeriodBoundary { period: p + 1 }),
+        );
+    }
+
+    fn handle_slot_start(&mut self, version: u8, idx: u16, p: PeriodIdx, ctx: &mut NodeCtx<'_>) {
+        if version != self.version {
+            return; // Stale plan.
+        }
+        let Some(entry) = self.view.entries.get(idx as usize).copied() else {
+            return;
+        };
+        let ATask::Work { task, replica } = entry.atask else {
+            return; // Check/Verify slots are event-driven.
+        };
+        let spec = self.workload.task(task);
+        let is_sink = matches!(spec.kind, TaskKind::Sink { .. });
+        let is_source = matches!(spec.kind, TaskKind::Source { .. });
+
+        // Gather inputs.
+        let (vals, witnesses): (Vec<(TaskId, Value)>, Vec<SignedOutput>) = if is_source {
+            (Vec::new(), Vec::new())
+        } else {
+            let flows = self.view.in_flows.get(&entry.atask).cloned().unwrap_or_default();
+            let mut vals = Vec::with_capacity(flows.len());
+            let mut wits = Vec::with_capacity(flows.len());
+            let mut missing: Option<(TaskId, NodeId)> = None;
+            for (u, lane, node) in flows {
+                match self.inputs.get(&(p, u, lane)) {
+                    Some(w) => {
+                        vals.push((u, w.value));
+                        wits.push(w.clone());
+                    }
+                    None => {
+                        missing = Some((u, node));
+                        break;
+                    }
+                }
+            }
+            if let Some((u, producer)) = missing {
+                self.stats.outputs_missed += 1;
+                // Recipient-side path declaration (Section 4.2: "allow
+                // both the sender and the recipient to declare ... a
+                // problem with the path between them"). If the silent
+                // producer already exonerated itself by blaming its own
+                // upstream, chain the declaration to that *root* — blame
+                // propagates up the dataflow instead of pooling on
+                // innocent intermediates.
+                let (blame_node, blame_task) = self
+                    .detector
+                    .exoneration_of(producer, p)
+                    .unwrap_or((producer, u));
+                if !self.in_blackout(ctx.now())
+                    && blame_node != self.id
+                    && !self.switcher.fault_set().contains(blame_node)
+                {
+                    let decl = EvidenceRecord::declare_path(
+                        ctx.signer(),
+                        self.id,
+                        blame_node,
+                        self.id,
+                        blame_task,
+                        p,
+                    );
+                    self.handle_local_evidence(vec![decl], ctx);
+                }
+                return; // Cannot compute this period.
+            }
+            (vals, wits)
+        };
+
+        let mut value = if is_source {
+            sensor_value(task, p, self.workload.seed)
+        } else {
+            task_value(task, p, &vals)
+        };
+        let mut digest = inputs_digest(&vals);
+
+        // Commission attack: corrupt the value (and maybe the commitment).
+        if let Some(attack) = &self.cfg.attack {
+            if attack.corrupts(ctx.now(), task) {
+                value ^= 0xDEAD_BEEF;
+                if let Attack::Commission {
+                    garble_commitment: true,
+                    ..
+                } = attack
+                {
+                    digest ^= 0x1234_5678;
+                }
+            }
+        }
+
+        let output = SignedOutput::sign(ctx.signer(), task, replica, p, value, digest, self.id);
+        // Make the value available to same-node consumers immediately:
+        // the static schedule already serialises slots on this node, so a
+        // local consumer can never be scheduled before this slot ends —
+        // except exactly at the end boundary, where event order would
+        // otherwise race.
+        self.store_input(output.clone());
+        self.pending_emit
+            .insert((p, idx), (output, witnesses, is_sink));
+
+        // Emit after the execution budget (plus any timing-attack delay).
+        let mut delay = entry.wcet;
+        if let Some(Attack::Timing { from, delay: d }) = &self.cfg.attack {
+            if ctx.now() >= *from {
+                delay += *d;
+            }
+        }
+        ctx.set_timer(
+            delay,
+            timers::encode(Timer::SlotEmit {
+                version: self.version,
+                idx,
+                period: p,
+            }),
+        );
+    }
+
+    fn handle_slot_emit(&mut self, version: u8, idx: u16, p: PeriodIdx, ctx: &mut NodeCtx<'_>) {
+        if version != self.version {
+            return;
+        }
+        let Some((output, witnesses, is_sink)) = self.pending_emit.remove(&(p, idx)) else {
+            return;
+        };
+        if is_sink {
+            ctx.actuate(output.task, p, output.value);
+            return;
+        }
+        // Omission attack: silently drop outputs.
+        if let Some(Attack::Omission {
+            from,
+            drop_outputs: true,
+            ..
+        }) = &self.cfg.attack
+        {
+            if ctx.now() >= *from {
+                return;
+            }
+        }
+        let targets = self
+            .view
+            .out_routes
+            .get(&ATask::Work {
+                task: output.task,
+                replica: output.replica,
+            })
+            .cloned()
+            .unwrap_or_default();
+        // Equivocation attack: sign a conflicting twin and split targets.
+        let equivocate = matches!(&self.cfg.attack, Some(Attack::Equivocate { from }) if ctx.now() >= *from);
+        if equivocate && targets.len() >= 2 {
+            self.equiv_flip += 1;
+            let twin = SignedOutput::sign(
+                ctx.signer(),
+                output.task,
+                output.replica,
+                p,
+                output.value ^ (0x5150 + self.equiv_flip),
+                output.inputs_digest,
+                self.id,
+            );
+            let half = targets.len() / 2;
+            for (i, t) in targets.iter().enumerate() {
+                let o = if i < half { output.clone() } else { twin.clone() };
+                ctx.send(
+                    *t,
+                    Payload::Output {
+                        output: o,
+                        witnesses: witnesses.clone(),
+                    },
+                );
+            }
+            self.stats.outputs_sent += 1;
+            return;
+        }
+        for t in targets {
+            ctx.send(
+                t,
+                Payload::Output {
+                    output: output.clone(),
+                    witnesses: witnesses.clone(),
+                },
+            );
+        }
+        self.stats.outputs_sent += 1;
+    }
+
+    fn store_input(&mut self, output: SignedOutput) {
+        let key = (output.period, output.task, output.replica);
+        self.inputs.entry(key).or_insert(output);
+    }
+
+    fn handle_output_msg(
+        &mut self,
+        env_src: NodeId,
+        sent_at: Time,
+        env_sig: Option<btr_crypto::Signature>,
+        output: SignedOutput,
+        witnesses: Vec<SignedOutput>,
+        ctx: &mut NodeCtx<'_>,
+    ) {
+        // Store if this is an input one of my tasks expects.
+        let wanted = self.view.in_flows.values().any(|flows| {
+            flows
+                .iter()
+                .any(|&(u, lane, _)| u == output.task && lane == output.replica)
+        });
+        if wanted && output.verify(ctx.keystore()).is_ok() {
+            self.store_input(output.clone());
+        }
+        let _ = env_src;
+        // Detection: timing window = the task's deadline within its period.
+        let spec = self.workload.task(output.task);
+        let expected_by = self.period_start(output.period) + spec.deadline;
+        let signer = ctx.signer().clone();
+        let evs = self.detector.observe_output(
+            ctx.keystore(),
+            &signer,
+            self.workload.as_ref(),
+            output,
+            &witnesses,
+            ctx.now(),
+            Some(expected_by),
+            env_sig.map(|s| (sent_at, s)),
+        );
+        self.handle_local_evidence(evs, ctx);
+    }
+
+    fn handle_evidence_msg(
+        &mut self,
+        from: NodeId,
+        record: EvidenceRecord,
+        ctx: &mut NodeCtx<'_>,
+    ) {
+        let period = ctx.now().period_index(self.workload.period);
+        let outcome = self.pool.admit(
+            ctx.keystore(),
+            self.workload.as_ref(),
+            from,
+            &record,
+            period,
+        );
+        match outcome {
+            AdmitOutcome::Verified { .. } => {
+                // Record declarations for attribution even when they do
+                // not (yet) cross the threshold.
+                self.act_on_verified(&record, ctx);
+                self.flood(&record, Some(from), ctx);
+                // Declarations also feed the detector's tracker above via
+                // act_on_verified; proofs update the switcher directly.
+                let _ = EvidenceClass::Proof;
+            }
+            AdmitOutcome::Rejected(_) => {
+                self.stats.evidence_rejected += 1;
+            }
+            _ => {}
+        }
+    }
+}
+
+impl NodeBehavior for BtrNode {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        self.sync_checkers();
+        ctx.set_timer(
+            Duration::ZERO,
+            timers::encode(Timer::PeriodBoundary { period: 0 }),
+        );
+    }
+
+    fn on_message(&mut self, ctx: &mut NodeCtx<'_>, env: Envelope) {
+        // Authentication gate: unattributable traffic is dropped.
+        if env.verify(ctx.keystore()).is_err() {
+            return;
+        }
+        let sig = env.sig;
+        match env.payload {
+            Payload::Output { output, witnesses } => {
+                self.handle_output_msg(env.src, env.sent_at, sig, output, witnesses, ctx);
+            }
+            Payload::Heartbeat { period } => {
+                self.detector.observe_heartbeat(env.src, period);
+            }
+            Payload::Evidence(record) => {
+                self.handle_evidence_msg(env.src, record, ctx);
+            }
+            Payload::StateTransfer { bytes, .. } => {
+                self.stats.state_bytes_in += bytes as u64;
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, timer: TimerId) {
+        match timers::decode(timer) {
+            Some(Timer::PeriodBoundary { period }) => self.handle_boundary(period, ctx),
+            Some(Timer::SlotStart {
+                version,
+                idx,
+                period,
+            }) => self.handle_slot_start(version, idx, period, ctx),
+            Some(Timer::SlotEmit {
+                version,
+                idx,
+                period,
+            }) => self.handle_slot_emit(version, idx, period, ctx),
+            Some(Timer::Activate) => {
+                if let Some(plan) = self.switcher.poll(ctx.now()) {
+                    self.last_activation = Some(ctx.now());
+                    self.install_plan(plan, ctx);
+                }
+            }
+            None => {}
+        }
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btr_model::Topology;
+    use btr_planner::{build_strategy, PlannerConfig};
+    use btr_sim::{SimConfig, World};
+
+    fn ms(x: u64) -> Duration {
+        Duration::from_millis(x)
+    }
+
+    fn setup(f: u8) -> (Arc<Workload>, Arc<Strategy>, Topology) {
+        let w = Arc::new(btr_workload::generators::avionics(9));
+        let topo = Topology::bus(9, 100_000, Duration(5));
+        let mut cfg = PlannerConfig::new(f, ms(150));
+        cfg.admit_best_effort = true;
+        let (s, _) = build_strategy(&w, &topo, &cfg).unwrap();
+        (w, Arc::new(s), topo)
+    }
+
+    fn world_with_btr(
+        w: &Arc<Workload>,
+        s: &Arc<Strategy>,
+        topo: &Topology,
+        attacks: &[(NodeId, Attack)],
+    ) -> World {
+        let mut sim_cfg = SimConfig::new(7);
+        sim_cfg.period = w.period;
+        let mut world = World::new(topo.clone(), sim_cfg);
+        for n in 0..topo.node_count() as u32 {
+            let mut cfg = BtrConfig::default();
+            if let Some((_, a)) = attacks.iter().find(|(id, _)| *id == NodeId(n)) {
+                cfg.attack = Some(a.clone());
+            }
+            world.set_behavior(
+                NodeId(n),
+                Box::new(BtrNode::new(
+                    NodeId(n),
+                    Arc::clone(w),
+                    Arc::clone(s),
+                    topo.node_count(),
+                    cfg,
+                )),
+            );
+        }
+        world
+    }
+
+    fn node_ref<'a>(world: &'a World, id: NodeId) -> &'a BtrNode {
+        world
+            .behavior(id)
+            .and_then(|b| b.as_any())
+            .and_then(|a| a.downcast_ref::<BtrNode>())
+            .expect("btr node")
+    }
+
+    #[test]
+    fn fault_free_run_produces_correct_sink_outputs() {
+        let (w, s, topo) = setup(1);
+        let mut world = world_with_btr(&w, &s, &topo, &[]);
+        world.start();
+        world.run_until(Time::from_millis(100));
+        // Every sink actuated in (nearly) every period.
+        let sinks = w.sinks().count() as u64;
+        let periods = 9; // Periods 0..9 fully complete.
+        let acts = world.actuations().len() as u64;
+        assert!(
+            acts >= sinks * periods,
+            "expected >= {} actuations, got {acts}",
+            sinks * periods
+        );
+        // All actuation values match the deterministic reference.
+        for a in world.actuations() {
+            let spec = w.task(a.task);
+            let vals: Vec<(TaskId, Value)> = spec
+                .inputs
+                .iter()
+                .map(|&u| {
+                    // Recursively reference values: inputs of sinks are
+                    // compute tasks; recompute from the dataflow.
+                    (u, reference_value(&w, u, a.period))
+                })
+                .collect();
+            let expect = task_value(a.task, a.period, &vals);
+            assert_eq!(a.value, expect, "sink {} period {}", a.task, a.period);
+        }
+        // No evidence generated in a fault-free run.
+        for n in 0..9u32 {
+            let node = node_ref(&world, NodeId(n));
+            assert_eq!(node.stats().evidence_generated, 0, "node {n}");
+            assert_eq!(node.fault_set().len(), 0);
+        }
+    }
+
+    fn reference_value(w: &Workload, t: TaskId, p: PeriodIdx) -> Value {
+        let spec = w.task(t);
+        if matches!(spec.kind, TaskKind::Source { .. }) {
+            return sensor_value(t, p, w.seed);
+        }
+        let vals: Vec<(TaskId, Value)> = spec
+            .inputs
+            .iter()
+            .map(|&u| (u, reference_value(w, u, p)))
+            .collect();
+        task_value(t, p, &vals)
+    }
+
+    /// Reference value under a plan's shed set (degraded modes drop
+    /// inputs, so expected sink values change with the plan).
+    fn plan_reference_value(
+        w: &Workload,
+        shed: &std::collections::BTreeSet<TaskId>,
+        t: TaskId,
+        p: PeriodIdx,
+    ) -> Option<Value> {
+        if shed.contains(&t) {
+            return None;
+        }
+        let spec = w.task(t);
+        if matches!(spec.kind, TaskKind::Source { .. }) {
+            return Some(sensor_value(t, p, w.seed));
+        }
+        let vals: Vec<(TaskId, Value)> = spec
+            .inputs
+            .iter()
+            .filter_map(|&u| plan_reference_value(w, shed, u, p).map(|v| (u, v)))
+            .collect();
+        if vals.is_empty() {
+            return None;
+        }
+        Some(task_value(t, p, &vals))
+    }
+
+    #[test]
+    fn commission_fault_is_detected_and_recovered() {
+        let (w, s, topo) = setup(1);
+        // Find a node hosting a lane-0 compute task in the initial plan,
+        // so corruption actually reaches a sink.
+        let initial = s.initial_plan();
+        let ctl = w
+            .tasks()
+            .iter()
+            .find(|t| t.name == "flight-control")
+            .unwrap()
+            .id;
+        let victim = initial
+            .node_of(ATask::Work {
+                task: ctl,
+                replica: 0,
+            })
+            .unwrap();
+        let attack = Attack::Commission {
+            from: Time::from_millis(30),
+            tasks: None,
+            garble_commitment: false,
+        };
+        let mut world = world_with_btr(&w, &s, &topo, &[(victim, attack)]);
+        world.start();
+        world.run_until(Time::from_millis(200));
+        // Every correct node converged on the fault set {victim}.
+        for n in 0..9u32 {
+            if NodeId(n) == victim {
+                continue;
+            }
+            let node = node_ref(&world, NodeId(n));
+            assert!(
+                node.fault_set().contains(victim),
+                "node {n} never learned about {victim}"
+            );
+            assert_eq!(node.current_plan(), s.best_plan_for(node.fault_set()));
+        }
+        // And sink outputs are correct again at the end of the run,
+        // relative to the degraded plan the system converged to.
+        let sample = node_ref(&world, (0..9u32).map(NodeId).find(|&n| n != victim).unwrap());
+        let plan = s.plan(sample.current_plan());
+        let last_period = world
+            .actuations()
+            .iter()
+            .map(|a| a.period)
+            .max()
+            .unwrap();
+        let tail: Vec<_> = world
+            .actuations()
+            .iter()
+            .filter(|a| a.period == last_period)
+            .collect();
+        assert!(!tail.is_empty());
+        for a in &tail {
+            let expect = plan_reference_value(&w, &plan.shed, a.task, a.period);
+            assert_eq!(Some(a.value), expect, "sink {} period {}", a.task, a.period);
+        }
+    }
+
+    #[test]
+    fn crash_fault_triggers_suspicion_and_switch() {
+        let (w, s, topo) = setup(1);
+        let initial = s.initial_plan();
+        // Crash a node hosting work (not an actuator pin, to keep sinks).
+        let fusion = w
+            .tasks()
+            .iter()
+            .find(|t| t.name == "state-fusion")
+            .unwrap()
+            .id;
+        let victim = initial
+            .node_of(ATask::Work {
+                task: fusion,
+                replica: 0,
+            })
+            .unwrap();
+        let mut world = world_with_btr(&w, &s, &topo, &[]);
+        world.schedule_control(
+            Time::from_millis(35),
+            btr_sim::ControlAction::Crash(victim),
+        );
+        world.start();
+        world.run_until(Time::from_millis(250));
+        let mut converged = 0;
+        for n in 0..9u32 {
+            if NodeId(n) == victim || world.is_crashed(NodeId(n)) {
+                continue;
+            }
+            let node = node_ref(&world, NodeId(n));
+            if node.fault_set().contains(victim) {
+                converged += 1;
+            }
+        }
+        assert!(
+            converged >= 7,
+            "only {converged} nodes converged on the crash"
+        );
+    }
+
+    #[test]
+    fn garbled_commitment_is_convicted_via_bad_witness() {
+        let (w, s, topo) = setup(1);
+        let initial = s.initial_plan();
+        let fusion = w
+            .tasks()
+            .iter()
+            .find(|t| t.name == "state-fusion")
+            .unwrap()
+            .id;
+        let victim = initial
+            .node_of(ATask::Work {
+                task: fusion,
+                replica: 0,
+            })
+            .unwrap();
+        // The smarter commission attacker: lies about its commitment to
+        // dodge re-execution proofs. BadWitness catches it instead.
+        let attack = Attack::Commission {
+            from: Time::from_millis(30),
+            tasks: None,
+            garble_commitment: true,
+        };
+        let mut world = world_with_btr(&w, &s, &topo, &[(victim, attack)]);
+        world.start();
+        world.run_until(Time::from_millis(250));
+        let mut converged = 0;
+        for n in 0..9u32 {
+            if NodeId(n) == victim {
+                continue;
+            }
+            let node = node_ref(&world, NodeId(n));
+            if node.fault_set().contains(victim) {
+                converged += 1;
+            }
+        }
+        assert_eq!(converged, 8, "garbled commitment must still convict");
+    }
+
+    #[test]
+    fn timing_attack_is_declared_and_recovered() {
+        let (w, s, topo) = setup(1);
+        let initial = s.initial_plan();
+        let fusion = w
+            .tasks()
+            .iter()
+            .find(|t| t.name == "state-fusion")
+            .unwrap()
+            .id;
+        let victim = initial
+            .node_of(ATask::Work {
+                task: fusion,
+                replica: 0,
+            })
+            .unwrap();
+        let attack = Attack::Timing {
+            from: Time::from_millis(30),
+            delay: Duration::from_millis(8),
+        };
+        let mut world = world_with_btr(&w, &s, &topo, &[(victim, attack)]);
+        world.start();
+        world.run_until(Time::from_millis(400));
+        let mut converged = 0;
+        for n in 0..9u32 {
+            if NodeId(n) == victim {
+                continue;
+            }
+            let node = node_ref(&world, NodeId(n));
+            if node.fault_set().contains(victim) {
+                converged += 1;
+            }
+        }
+        assert!(converged >= 7, "timing fault not attributed: {converged}");
+    }
+
+    #[test]
+    fn timer_version_prevents_stale_slots() {
+        // Covered implicitly by recovery tests; here check decode gating.
+        let t = timers::encode(Timer::SlotStart {
+            version: 3,
+            idx: 1,
+            period: 10,
+        });
+        assert!(matches!(
+            timers::decode(t),
+            Some(Timer::SlotStart { version: 3, .. })
+        ));
+    }
+}

@@ -1,0 +1,91 @@
+//! Worst-case communication bounds between placed tasks.
+//!
+//! The planner and scheduler need an upper bound on how long a message of
+//! a given size takes between two nodes. With reserved per-sender slices
+//! and static routes this is a closed form: per hop, serialisation at the
+//! slice rate plus propagation latency. This is the same arithmetic the
+//! simulator's `Nic` performs, so the bound is exact when the sender's
+//! slice is idle and conservative otherwise.
+
+use btr_model::{Duration, NodeId, Topology};
+use btr_net::RoutingTable;
+
+/// Upper bound on delivering `bytes` from `src` to `dst`.
+///
+/// Returns `Duration::ZERO` for `src == dst` and `None` when no route
+/// exists (e.g. the fault pattern cut the network).
+pub fn comm_bound(
+    topo: &Topology,
+    routing: &RoutingTable,
+    src: NodeId,
+    dst: NodeId,
+    bytes: u32,
+) -> Option<Duration> {
+    if src == dst {
+        return Some(Duration::ZERO);
+    }
+    let path = routing.path(src, dst)?;
+    let mut total = Duration::ZERO;
+    for hop in path.windows(2) {
+        let link_id = topo.link_between(hop[0], hop[1])?;
+        let link = topo.link(link_id);
+        let slice_rate = (link.bytes_per_ms as u64 / link.endpoints.len() as u64).max(1);
+        let tx = (bytes as u64 * 1_000).div_ceil(slice_rate).max(1);
+        total += Duration(tx) + link.latency;
+    }
+    Some(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_for_local() {
+        let t = Topology::bus(3, 1_000, Duration(10));
+        let r = RoutingTable::new(&t);
+        assert_eq!(
+            comm_bound(&t, &r, NodeId(1), NodeId(1), 500),
+            Some(Duration::ZERO)
+        );
+    }
+
+    #[test]
+    fn single_hop_bus() {
+        // 3 nodes on a 3000 B/ms bus: slice = 1000 B/ms = 1 B/µs.
+        let t = Topology::bus(3, 3_000, Duration(10));
+        let r = RoutingTable::new(&t);
+        // 100 bytes -> 100 µs + 10 µs latency.
+        assert_eq!(
+            comm_bound(&t, &r, NodeId(0), NodeId(2), 100),
+            Some(Duration(110))
+        );
+    }
+
+    #[test]
+    fn multi_hop_accumulates() {
+        let t = Topology::ring(4, 2_000, Duration(5));
+        let r = RoutingTable::new(&t);
+        // Each p2p link: slice = 1000 B/ms; 2 hops for opposite corners.
+        let one = comm_bound(&t, &r, NodeId(0), NodeId(1), 100).unwrap();
+        let two = comm_bound(&t, &r, NodeId(0), NodeId(2), 100).unwrap();
+        assert_eq!(two, Duration(one.0 * 2));
+    }
+
+    #[test]
+    fn matches_simulator_nic_timing() {
+        use btr_net::Nic;
+        use btr_model::Time;
+        use std::collections::BTreeMap;
+        let t = Topology::bus(4, 4_000, Duration(50));
+        let r = RoutingTable::new(&t);
+        let bound = comm_bound(&t, &r, NodeId(0), NodeId(3), 128).unwrap();
+        let mut nic = Nic::new(
+            t.link(t.links()[0].id).clone(),
+            Duration::from_millis(10),
+            &BTreeMap::new(),
+        );
+        let measured = nic.send(Time(0), NodeId(0), 128).unwrap();
+        assert_eq!(Time(bound.0), measured);
+    }
+}

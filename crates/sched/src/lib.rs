@@ -1,0 +1,670 @@
+//! Schedule synthesis and schedulability analysis.
+//!
+//! Section 4.1 of the paper: "The planner then tries to derive a schedule
+//! for each node and a resource allocation for each link. If the system
+//! is not schedulable ... the planner removes some of the less critical
+//! tasks and retries."
+//!
+//! This crate is the "derive a schedule" half: given a placement of
+//! augmented tasks (replicas, checkers, verification slots) onto nodes,
+//! it list-schedules the dataflow in topological order, accounting for
+//! message latency between nodes on their reserved link slices, and
+//! checks deadlines, period fit, and link-bandwidth budgets. The
+//! criticality-shedding retry loop lives in `btr-planner`.
+//!
+//! It also answers the domain's favourite cost question — "the impact on
+//! clock frequency is a common evaluation metric" (Section 2) — via
+//! [`min_speed_pct`]: the slowest global CPU speed at which the system is
+//! still schedulable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod comm;
+
+pub use comm::comm_bound;
+
+use btr_model::{
+    ATask, Duration, LinkAlloc, NodeId, NodeSchedule, ScheduleEntry, TaskId, Topology,
+};
+use btr_net::RoutingTable;
+use btr_workload::{TaskKind, Workload};
+use std::collections::BTreeMap;
+
+/// Base wire size of one task-output envelope (header + signed output).
+pub const OUTPUT_WIRE_BYTES: u32 = 200;
+/// Additional wire bytes per carried witness (signed input).
+pub const WITNESS_WIRE_BYTES: u32 = 120;
+
+/// Estimated wire size of a task output carrying `fanin` witnesses.
+pub fn output_wire_estimate(base: u32, fanin: usize) -> u32 {
+    base + WITNESS_WIRE_BYTES * fanin as u32
+}
+
+/// Scheduling parameters.
+#[derive(Debug, Clone)]
+pub struct SchedParams {
+    /// The system period P.
+    pub period: Duration,
+    /// Global CPU speed in percent of nominal (sweeps the clock-frequency
+    /// metric; per-node speeds from the topology are multiplied in).
+    pub speed_pct: u32,
+    /// Base wire bytes per task-output message (witnesses are added per
+    /// input; see [`output_wire_estimate`]).
+    pub output_bytes: u32,
+    /// Slack added to every message-arrival bound, covering control-plane
+    /// competition on the sender's reserved slice (heartbeat bursts at
+    /// period boundaries, evidence floods during recovery).
+    pub comm_slack: Duration,
+    /// Per-node CPU reserve for evidence verification (the paper's
+    /// "verification tasks ... consume resources at runtime and must
+    /// therefore be scheduled together with the workload tasks").
+    pub verify_reserve: Duration,
+    /// Fraction of each link share reserved for control traffic
+    /// (evidence distribution and mode changes, Section 4.3).
+    pub control_reserve_frac: f64,
+    /// Voting schemes (BFT/ZZ baselines) read *every* lane of each input:
+    /// readiness waits for the slowest lane and bandwidth is charged for
+    /// all lane-to-consumer flows. BTR's lane-matched dataflow leaves
+    /// this off.
+    pub consume_all_lanes: bool,
+}
+
+impl Default for SchedParams {
+    fn default() -> Self {
+        SchedParams {
+            period: Duration::from_millis(10),
+            speed_pct: 100,
+            output_bytes: OUTPUT_WIRE_BYTES,
+            comm_slack: Duration(300),
+            verify_reserve: Duration(200),
+            control_reserve_frac: 0.2,
+            consume_all_lanes: false,
+        }
+    }
+}
+
+/// Why synthesis failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedError {
+    /// A lane's sink output misses its deadline.
+    DeadlineMiss {
+        /// The sink (or checked) task.
+        task: TaskId,
+        /// When it would finish.
+        finish: Duration,
+        /// Its deadline.
+        deadline: Duration,
+    },
+    /// A node's schedule does not fit in the period.
+    PeriodOverrun {
+        /// The overloaded node.
+        node: NodeId,
+    },
+    /// A sender's data-plane traffic exceeds its link share.
+    BandwidthExceeded {
+        /// The sending node.
+        node: NodeId,
+        /// Demanded bytes per period.
+        demand: u64,
+        /// Available bytes per period after the control reserve.
+        capacity: u64,
+    },
+    /// The placement is missing a required augmented task.
+    MissingPlacement(ATask),
+    /// Two placed nodes have no route between them.
+    NoRoute {
+        /// Producer node.
+        from: NodeId,
+        /// Consumer node.
+        to: NodeId,
+    },
+}
+
+impl std::fmt::Display for SchedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedError::DeadlineMiss {
+                task,
+                finish,
+                deadline,
+            } => write!(f, "{task} finishes at {finish} after deadline {deadline}"),
+            SchedError::PeriodOverrun { node } => write!(f, "schedule overruns period on {node}"),
+            SchedError::BandwidthExceeded {
+                node,
+                demand,
+                capacity,
+            } => write!(f, "{node} needs {demand} B/period, share is {capacity}"),
+            SchedError::MissingPlacement(a) => write!(f, "no placement for {a}"),
+            SchedError::NoRoute { from, to } => write!(f, "no route {from} -> {to}"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+/// The synthesised distributed schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Synthesis {
+    /// Per-node cyclic schedules.
+    pub schedules: BTreeMap<NodeId, NodeSchedule>,
+    /// Per-link bandwidth shares actually used (plus control reserve).
+    pub link_alloc: Vec<LinkAlloc>,
+    /// Completion offset of the latest task in the period.
+    pub makespan: Duration,
+    /// Finish offset of each task's primary lane (for deadline reports).
+    pub primary_finish: BTreeMap<TaskId, Duration>,
+}
+
+/// Which upstream replica a consumer lane reads.
+///
+/// Replica lanes are "vertical": lane `r` of a task consumes lane
+/// `min(r, producer_lanes - 1)` of each input. Lane 0 is the primary
+/// pipeline that feeds sinks; checkers read *all* lanes of their task.
+pub fn input_lane(consumer_replica: u8, producer_lanes: u8) -> u8 {
+    consumer_replica.min(producer_lanes.saturating_sub(1))
+}
+
+/// WCET budget for a checking task over `lanes` replica outputs.
+pub fn check_wcet(lanes: u8) -> Duration {
+    Duration(20 + 10 * lanes as u64)
+}
+
+/// Synthesise schedules for a placement.
+///
+/// `lanes[task]` is the replica count for each *unshed* workload task;
+/// shed tasks simply do not appear. `placement` must contain a node for
+/// every `ATask::Work { task, replica < lanes[task] }`, for every
+/// `ATask::Check { task }` with `lanes[task] >= 2`, and may contain
+/// `ATask::Verify` entries for per-node reserves.
+pub fn synthesize(
+    workload: &Workload,
+    topo: &Topology,
+    routing: &RoutingTable,
+    placement: &BTreeMap<ATask, NodeId>,
+    lanes: &BTreeMap<TaskId, u8>,
+    params: &SchedParams,
+) -> Result<Synthesis, SchedError> {
+    let mut node_avail: BTreeMap<NodeId, Duration> = BTreeMap::new();
+    let mut entries: BTreeMap<NodeId, Vec<ScheduleEntry>> = BTreeMap::new();
+    let mut finish: BTreeMap<ATask, Duration> = BTreeMap::new();
+    let mut link_demand: BTreeMap<(NodeId, u32), u64> = BTreeMap::new(); // (sender, link) -> bytes.
+    let mut primary_finish: BTreeMap<TaskId, Duration> = BTreeMap::new();
+
+    let scale = |wcet: Duration, node: NodeId| -> Duration {
+        let node_speed = topo.node(node).speed_pct.max(1) as u64;
+        let eff = node_speed * params.speed_pct.max(1) as u64 / 100;
+        Duration((wcet.0 * 100).div_ceil(eff.max(1)))
+    };
+
+    let place = |atask: ATask,
+                     node: NodeId,
+                     ready: Duration,
+                     wcet: Duration,
+                     node_avail: &mut BTreeMap<NodeId, Duration>,
+                     entries: &mut BTreeMap<NodeId, Vec<ScheduleEntry>>|
+     -> Duration {
+        let avail = node_avail.get(&node).copied().unwrap_or(Duration::ZERO);
+        let start = ready.max(avail);
+        let end = start + wcet;
+        node_avail.insert(node, end);
+        entries.entry(node).or_default().push(ScheduleEntry {
+            atask,
+            start,
+            wcet,
+        });
+        end
+    };
+
+    // Account one flow's bytes along its route.
+    let charge_route = |from: NodeId,
+                            to: NodeId,
+                            bytes: u32,
+                            link_demand: &mut BTreeMap<(NodeId, u32), u64>|
+     -> Result<(), SchedError> {
+        if from == to {
+            return Ok(());
+        }
+        let path = routing
+            .path(from, to)
+            .ok_or(SchedError::NoRoute { from, to })?;
+        for hop in path.windows(2) {
+            let link = topo
+                .link_between(hop[0], hop[1])
+                .expect("routing uses existing links");
+            *link_demand.entry((hop[0], link.0)).or_insert(0) += bytes as u64;
+        }
+        Ok(())
+    };
+
+    // Schedule workload tasks in topological order; within a task,
+    // replicas ascending, then the checker.
+    for &tid in workload.topo_order() {
+        let Some(&n_lanes) = lanes.get(&tid) else {
+            continue; // Shed task.
+        };
+        let spec = workload.task(tid);
+        for r in 0..n_lanes {
+            let atask = ATask::Work {
+                task: tid,
+                replica: r,
+            };
+            let node = *placement
+                .get(&atask)
+                .ok_or(SchedError::MissingPlacement(atask))?;
+            // Ready when the needed input lanes' outputs have arrived
+            // here: the matched lane for BTR, every lane for voting
+            // baselines.
+            let mut ready = Duration::ZERO;
+            for &input in &spec.inputs {
+                let Some(&in_lanes) = lanes.get(&input) else {
+                    continue; // Input shed: task runs degraded (no data).
+                };
+                let needed: Vec<u8> = if params.consume_all_lanes {
+                    (0..in_lanes).collect()
+                } else {
+                    vec![input_lane(r, in_lanes)]
+                };
+                for lane in needed {
+                    let in_atask = ATask::Work {
+                        task: input,
+                        replica: lane,
+                    };
+                    let in_node = *placement
+                        .get(&in_atask)
+                        .ok_or(SchedError::MissingPlacement(in_atask))?;
+                    let f = finish.get(&in_atask).copied().unwrap_or(Duration::ZERO);
+                    // The producer's message carries one witness per input
+                    // of the *producer* task.
+                    let bytes = output_wire_estimate(
+                        params.output_bytes,
+                        workload.task(input).inputs.len(),
+                    );
+                    let hop = comm_bound(topo, routing, in_node, node, bytes).ok_or(
+                        SchedError::NoRoute {
+                            from: in_node,
+                            to: node,
+                        },
+                    )?;
+                    let arrive = f
+                        + if in_node == node {
+                            Duration::ZERO
+                        } else {
+                            hop + params.comm_slack
+                        };
+                    ready = ready.max(arrive);
+                    charge_route(in_node, node, bytes, &mut link_demand)?;
+                }
+            }
+            let wcet = scale(spec.wcet, node);
+            let end = place(atask, node, ready, wcet, &mut node_avail, &mut entries);
+            finish.insert(atask, end);
+            if r == 0 {
+                primary_finish.insert(tid, end);
+            }
+        }
+        // Checking task (only for replicated tasks).
+        if n_lanes >= 2 {
+            let chk = ATask::Check { task: tid };
+            let node = *placement
+                .get(&chk)
+                .ok_or(SchedError::MissingPlacement(chk))?;
+            let mut ready = Duration::ZERO;
+            let bytes = output_wire_estimate(params.output_bytes, spec.inputs.len());
+            for r in 0..n_lanes {
+                let in_atask = ATask::Work {
+                    task: tid,
+                    replica: r,
+                };
+                let in_node = placement[&in_atask];
+                let f = finish[&in_atask];
+                let hop = comm_bound(topo, routing, in_node, node, bytes).ok_or(
+                    SchedError::NoRoute {
+                        from: in_node,
+                        to: node,
+                    },
+                )?;
+                let arrive = f
+                    + if in_node == node {
+                        Duration::ZERO
+                    } else {
+                        hop + params.comm_slack
+                    };
+                ready = ready.max(arrive);
+                charge_route(in_node, node, bytes, &mut link_demand)?;
+            }
+            let wcet = scale(check_wcet(n_lanes), node);
+            let end = place(chk, node, ready, wcet, &mut node_avail, &mut entries);
+            finish.insert(chk, end);
+        }
+    }
+
+    // Deadline checks on the primary lane of every scheduled task.
+    for (&tid, &f) in &primary_finish {
+        let spec = workload.task(tid);
+        // For sinks the finish time includes delivering to the actuator
+        // (the sink task runs *on* the actuating node).
+        if f > spec.deadline {
+            return Err(SchedError::DeadlineMiss {
+                task: tid,
+                finish: f,
+                deadline: spec.deadline,
+            });
+        }
+    }
+
+    // Verification reserves: appended after the data-plane slots.
+    for (&atask, &node) in placement.iter() {
+        if let ATask::Verify { .. } = atask {
+            let wcet = scale(params.verify_reserve, node);
+            place(
+                atask,
+                node,
+                Duration::ZERO,
+                wcet,
+                &mut node_avail,
+                &mut entries,
+            );
+        }
+    }
+
+    // Period fit.
+    let mut makespan = Duration::ZERO;
+    for (&node, avail) in &node_avail {
+        if *avail > params.period {
+            return Err(SchedError::PeriodOverrun { node });
+        }
+        makespan = makespan.max(*avail);
+    }
+
+    // Link bandwidth: each sender's demand must fit its share minus the
+    // control reserve.
+    let mut link_alloc: Vec<LinkAlloc> = Vec::new();
+    for link in topo.links() {
+        let slice_rate = (link.bytes_per_ms as u64 / link.endpoints.len() as u64).max(1);
+        let share = slice_rate * params.period.as_micros() / 1_000;
+        let control = (share as f64 * params.control_reserve_frac) as u64;
+        let capacity = share.saturating_sub(control);
+        let mut shares = BTreeMap::new();
+        for &node in &link.endpoints {
+            let demand = link_demand
+                .get(&(node, link.id.0))
+                .copied()
+                .unwrap_or(0);
+            if demand > capacity {
+                return Err(SchedError::BandwidthExceeded {
+                    node,
+                    demand,
+                    capacity,
+                });
+            }
+            shares.insert(node, demand);
+        }
+        link_alloc.push(LinkAlloc {
+            link: link.id,
+            shares,
+            control_reserve: control,
+        });
+    }
+
+    // Sort and wrap schedules.
+    let schedules = entries
+        .into_iter()
+        .map(|(node, mut es)| {
+            es.sort_by_key(|e| (e.start, e.atask));
+            (node, NodeSchedule { entries: es })
+        })
+        .collect();
+
+    Ok(Synthesis {
+        schedules,
+        link_alloc,
+        makespan,
+        primary_finish,
+    })
+}
+
+/// The minimum global CPU speed (percent of nominal) at which `try_synth`
+/// succeeds, found by binary search over 1..=1600. Returns `None` if even
+/// 1600% fails.
+pub fn min_speed_pct(
+    mut try_synth: impl FnMut(u32) -> bool,
+) -> Option<u32> {
+    if !try_synth(1600) {
+        return None;
+    }
+    let (mut lo, mut hi) = (1u32, 1600u32);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if try_synth(mid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Some(lo)
+}
+
+/// Trivial placement used by tests and baselines: pin sources/sinks,
+/// round-robin everything else over non-faulty nodes, lane `r` offset by
+/// `r` so replicas land on distinct nodes.
+pub fn round_robin_placement(
+    workload: &Workload,
+    topo: &Topology,
+    lanes: &BTreeMap<TaskId, u8>,
+    faulty: &[NodeId],
+) -> BTreeMap<ATask, NodeId> {
+    let healthy: Vec<NodeId> = topo
+        .nodes()
+        .iter()
+        .map(|n| n.id)
+        .filter(|n| !faulty.contains(n))
+        .collect();
+    assert!(!healthy.is_empty(), "no healthy nodes");
+    let mut placement = BTreeMap::new();
+    let mut cursor = 0usize;
+    for spec in workload.tasks() {
+        let Some(&n_lanes) = lanes.get(&spec.id) else {
+            continue;
+        };
+        for r in 0..n_lanes {
+            let node = match spec.kind {
+                TaskKind::Source { pinned } | TaskKind::Sink { pinned } if r == 0 => {
+                    // Pinned copies stay put even if the pin is faulty —
+                    // callers exclude pinned-faulty tasks beforehand.
+                    pinned
+                }
+                _ => {
+                    let node = healthy[(cursor + r as usize) % healthy.len()];
+                    node
+                }
+            };
+            placement.insert(
+                ATask::Work {
+                    task: spec.id,
+                    replica: r,
+                },
+                node,
+            );
+        }
+        if n_lanes >= 2 {
+            let node = healthy[(cursor + n_lanes as usize) % healthy.len()];
+            placement.insert(ATask::Check { task: spec.id }, node);
+        }
+        cursor += 1;
+    }
+    for &node in &healthy {
+        placement.insert(ATask::Verify { node }, node);
+    }
+    placement
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btr_model::Criticality;
+    use btr_workload::WorkloadBuilder;
+
+    fn ms(x: u64) -> Duration {
+        Duration::from_millis(x)
+    }
+
+    /// source(n0) -> ctl -> sink(n1), single lane.
+    fn chain() -> Workload {
+        let mut b = WorkloadBuilder::new(ms(10), 1);
+        let s = b.source("s", NodeId(0), Duration(200), Criticality::Safety, ms(10));
+        let c = b.compute("c", &[s], Duration(400), Criticality::Safety, ms(10), 0);
+        b.sink("k", NodeId(1), &[c], Duration(100), Criticality::Safety, ms(5));
+        b.build().unwrap()
+    }
+
+    fn single_lanes(w: &Workload) -> BTreeMap<TaskId, u8> {
+        w.tasks().iter().map(|t| (t.id, 1)).collect()
+    }
+
+    #[test]
+    fn schedules_simple_chain() {
+        let w = chain();
+        let topo = Topology::bus(2, 10_000, Duration(10));
+        let routing = RoutingTable::new(&topo);
+        let lanes = single_lanes(&w);
+        let placement = round_robin_placement(&w, &topo, &lanes, &[]);
+        let synth = synthesize(&w, &topo, &routing, &placement, &lanes, &SchedParams::default())
+            .expect("chain is schedulable");
+        // Primary lane of the sink finished before its 5 ms deadline.
+        assert!(synth.primary_finish[&TaskId(2)] <= ms(5));
+        assert!(synth.makespan <= ms(10));
+        // Schedules validate as plan schedules.
+        for (node, sched) in &synth.schedules {
+            sched.validate(*node, ms(10)).expect("valid schedule");
+        }
+    }
+
+    #[test]
+    fn deadline_miss_detected_at_low_speed() {
+        let w = chain();
+        let topo = Topology::bus(2, 10_000, Duration(10));
+        let routing = RoutingTable::new(&topo);
+        let lanes = single_lanes(&w);
+        let placement = round_robin_placement(&w, &topo, &lanes, &[]);
+        let params = SchedParams {
+            speed_pct: 10, // 10x slower: 200+400+100 -> 7000 µs > 5 ms deadline.
+            ..SchedParams::default()
+        };
+        let err = synthesize(&w, &topo, &routing, &placement, &lanes, &params).unwrap_err();
+        assert!(matches!(err, SchedError::DeadlineMiss { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn replicated_lanes_schedule_and_check() {
+        let w = chain();
+        let topo = Topology::bus(4, 10_000, Duration(10));
+        let routing = RoutingTable::new(&topo);
+        let mut lanes = BTreeMap::new();
+        lanes.insert(TaskId(0), 2u8);
+        lanes.insert(TaskId(1), 2u8);
+        lanes.insert(TaskId(2), 1u8); // Sink single.
+        let placement = round_robin_placement(&w, &topo, &lanes, &[]);
+        let synth = synthesize(&w, &topo, &routing, &placement, &lanes, &SchedParams::default())
+            .expect("replicated chain schedulable");
+        // Checkers are scheduled for both replicated tasks.
+        let has_chk = |t: u32| {
+            synth
+                .schedules
+                .values()
+                .any(|s| s.slot(ATask::Check { task: TaskId(t) }).is_some())
+        };
+        assert!(has_chk(0));
+        assert!(has_chk(1));
+        assert!(!has_chk(2));
+    }
+
+    #[test]
+    fn bandwidth_exceeded_on_tiny_link() {
+        let w = chain();
+        // 2-node bus with 2 B/ms: share = 1 B/ms = 10 bytes/period.
+        let topo = Topology::bus(2, 2, Duration(10));
+        let routing = RoutingTable::new(&topo);
+        let lanes = single_lanes(&w);
+        let placement = round_robin_placement(&w, &topo, &lanes, &[]);
+        // Even one 150-byte output exceeds the 8-byte post-reserve share,
+        // but with a tiny link the comm bound alone blows the deadline
+        // first; accept either error.
+        let err = synthesize(&w, &topo, &routing, &placement, &lanes, &SchedParams::default())
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SchedError::BandwidthExceeded { .. } | SchedError::DeadlineMiss { .. }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn shed_tasks_are_skipped() {
+        let w = chain();
+        let topo = Topology::bus(2, 10_000, Duration(10));
+        let routing = RoutingTable::new(&topo);
+        // Shed everything but the source: only the source is scheduled...
+        // but the source has consumers, so shed the consumer chain fully.
+        let mut lanes = BTreeMap::new();
+        lanes.insert(TaskId(0), 1u8);
+        let placement = round_robin_placement(&w, &topo, &lanes, &[]);
+        let synth =
+            synthesize(&w, &topo, &routing, &placement, &lanes, &SchedParams::default()).unwrap();
+        let slots: usize = synth.schedules.values().map(|s| s.entries.len()).sum();
+        // Source + 2 verify slots.
+        assert_eq!(slots, 3);
+    }
+
+    #[test]
+    fn min_speed_search_is_tight() {
+        let w = chain();
+        let topo = Topology::bus(2, 10_000, Duration(10));
+        let routing = RoutingTable::new(&topo);
+        let lanes = single_lanes(&w);
+        let placement = round_robin_placement(&w, &topo, &lanes, &[]);
+        let try_at = |pct: u32| {
+            let params = SchedParams {
+                speed_pct: pct,
+                ..SchedParams::default()
+            };
+            synthesize(&w, &topo, &routing, &placement, &lanes, &params).is_ok()
+        };
+        let min = min_speed_pct(try_at).expect("schedulable at some speed");
+        assert!(try_at(min));
+        assert!(min == 1 || !try_at(min - 1), "min {min} not tight");
+    }
+
+    #[test]
+    fn missing_placement_reported() {
+        let w = chain();
+        let topo = Topology::bus(2, 10_000, Duration(10));
+        let routing = RoutingTable::new(&topo);
+        let lanes = single_lanes(&w);
+        let placement = BTreeMap::new();
+        let err = synthesize(&w, &topo, &routing, &placement, &lanes, &SchedParams::default())
+            .unwrap_err();
+        assert!(matches!(err, SchedError::MissingPlacement(_)));
+    }
+
+    #[test]
+    fn input_lane_mapping() {
+        assert_eq!(input_lane(0, 3), 0);
+        assert_eq!(input_lane(2, 3), 2);
+        assert_eq!(input_lane(2, 1), 0); // Fewer producer lanes: clamp.
+        assert_eq!(input_lane(1, 0), 0); // Degenerate.
+    }
+
+    #[test]
+    fn avionics_is_schedulable_on_nine_nodes() {
+        let w = btr_workload::generators::avionics(9);
+        let topo = Topology::bus(9, 50_000, Duration(10));
+        let routing = RoutingTable::new(&topo);
+        let lanes = single_lanes(&w);
+        let placement = round_robin_placement(&w, &topo, &lanes, &[]);
+        let synth = synthesize(&w, &topo, &routing, &placement, &lanes, &SchedParams::default());
+        assert!(synth.is_ok(), "{synth:?}");
+    }
+}

@@ -1,0 +1,160 @@
+//! Trace records and aggregate metrics for simulation runs.
+
+use btr_model::{NodeId, PeriodIdx, TaskId, Time, Value};
+
+/// Why a message never arrived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// The sender exceeded its static bandwidth allocation.
+    GuardianDenied,
+    /// A relay on the path refused to forward (crashed or malicious).
+    ForwardRefused(NodeId),
+    /// No route existed between the endpoints.
+    NoRoute,
+    /// The sender was crashed.
+    SenderCrashed,
+    /// The destination was crashed at delivery time.
+    ReceiverCrashed,
+    /// Residual transmission loss (post-FEC bit errors).
+    TransmissionLoss,
+}
+
+impl std::fmt::Display for DropReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DropReason::GuardianDenied => write!(f, "guardian-denied"),
+            DropReason::ForwardRefused(n) => write!(f, "forward-refused@{n}"),
+            DropReason::NoRoute => write!(f, "no-route"),
+            DropReason::SenderCrashed => write!(f, "sender-crashed"),
+            DropReason::ReceiverCrashed => write!(f, "receiver-crashed"),
+            DropReason::TransmissionLoss => write!(f, "transmission-loss"),
+        }
+    }
+}
+
+/// One trace record (only collected when tracing is enabled).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A message entered the network.
+    Sent {
+        /// Send time.
+        at: Time,
+        /// Sender.
+        src: NodeId,
+        /// Destination.
+        dst: NodeId,
+        /// Payload label (`Payload::label`).
+        label: &'static str,
+        /// Wire bytes.
+        bytes: u32,
+    },
+    /// A message reached its destination.
+    Delivered {
+        /// Delivery time.
+        at: Time,
+        /// Sender.
+        src: NodeId,
+        /// Destination.
+        dst: NodeId,
+        /// Payload label.
+        label: &'static str,
+    },
+    /// A message was dropped.
+    Dropped {
+        /// Drop time (send time for origin drops).
+        at: Time,
+        /// Sender.
+        src: NodeId,
+        /// Destination.
+        dst: NodeId,
+        /// Why.
+        reason: DropReason,
+    },
+    /// A sink actuated.
+    Actuated {
+        /// Actuation time.
+        at: Time,
+        /// Actuating node.
+        node: NodeId,
+        /// Sink task.
+        task: TaskId,
+        /// Period index.
+        period: PeriodIdx,
+        /// The emitted value.
+        value: Value,
+    },
+    /// A node crashed.
+    Crashed {
+        /// Crash time.
+        at: Time,
+        /// The node.
+        node: NodeId,
+    },
+}
+
+impl TraceEvent {
+    /// The record's timestamp.
+    pub fn at(&self) -> Time {
+        match self {
+            TraceEvent::Sent { at, .. }
+            | TraceEvent::Delivered { at, .. }
+            | TraceEvent::Dropped { at, .. }
+            | TraceEvent::Actuated { at, .. }
+            | TraceEvent::Crashed { at, .. } => *at,
+        }
+    }
+}
+
+/// Aggregate counters for one run (always collected).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimMetrics {
+    /// Messages accepted into the network.
+    pub msgs_sent: u64,
+    /// Bytes accepted into the network (per hop counted once).
+    pub bytes_sent: u64,
+    /// Messages delivered to destinations.
+    pub msgs_delivered: u64,
+    /// Messages dropped by guardians.
+    pub drops_guardian: u64,
+    /// Messages dropped by refusing/crashed relays.
+    pub drops_forward: u64,
+    /// Messages dropped for other reasons (no route, crashed endpoints).
+    pub drops_other: u64,
+    /// Events processed by the engine.
+    pub events: u64,
+    /// Timers fired.
+    pub timers: u64,
+    /// Actuations recorded.
+    pub actuations: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_event_time_accessor() {
+        let e = TraceEvent::Crashed {
+            at: Time(5),
+            node: NodeId(1),
+        };
+        assert_eq!(e.at(), Time(5));
+        let e = TraceEvent::Actuated {
+            at: Time(9),
+            node: NodeId(0),
+            task: TaskId(1),
+            period: 2,
+            value: 3,
+        };
+        assert_eq!(e.at(), Time(9));
+    }
+
+    #[test]
+    fn drop_reason_display() {
+        assert_eq!(DropReason::GuardianDenied.to_string(), "guardian-denied");
+        assert_eq!(
+            DropReason::ForwardRefused(NodeId(3)).to_string(),
+            "forward-refused@n3"
+        );
+    }
+}

@@ -1,0 +1,1012 @@
+//! The simulation engine.
+
+use crate::trace::{DropReason, SimMetrics, TraceEvent};
+use crate::{NodeBehavior, TimerId};
+use btr_model::{
+    Duration, Envelope, NodeId, Payload, PeriodIdx, TaskId, Time, Topology, Value,
+};
+use btr_crypto::{digest64, KeyStore, NodeKey, Signer};
+use btr_net::{Nic, RoutingTable, SendError};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+
+/// Simulation-wide configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Seed for keys, clock skews, and per-node RNG streams.
+    pub seed: u64,
+    /// The system period P (guardian refill interval).
+    pub period: Duration,
+    /// Maximum absolute per-node clock skew (local clocks stay within
+    /// this bound of global time — the paper's synchrony assumption).
+    pub max_clock_skew: Duration,
+    /// Collect a full event trace (adds memory; metrics are always on).
+    pub trace: bool,
+    /// Message-loss probability in parts per million (per message, or
+    /// per shard when FEC is enabled).
+    ///
+    /// Section 2.1 assumes "losses are rare enough to be ignored" because
+    /// link-level FEC masks transmission errors; without `fec` this is
+    /// the *residual* post-FEC rate. Deterministic per seed.
+    pub loss_ppm: u32,
+    /// Link-level forward error correction: `(k, m)` sends every message
+    /// as k data + m parity shards (cf. `btr_net::fec::FecCodec`); the
+    /// message survives any ≤ m shard losses, at a wire-byte overhead of
+    /// (k+m)/k. With this on, `loss_ppm` applies per *shard*.
+    pub fec: Option<(u8, u8)>,
+}
+
+impl SimConfig {
+    /// A config with sensible defaults for a 10 ms period system.
+    pub fn new(seed: u64) -> SimConfig {
+        SimConfig {
+            seed,
+            period: Duration::from_millis(10),
+            max_clock_skew: Duration(20),
+            trace: false,
+            loss_ppm: 0,
+            fec: None,
+        }
+    }
+}
+
+/// How a node treats traffic it is asked to relay.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum ForwardPolicy {
+    /// Relay everything (correct behaviour).
+    #[default]
+    Forward,
+    /// Relay nothing (crashed or maliciously silent).
+    DropAll,
+    /// Drop traffic destined to specific nodes (targeted omission).
+    DropTo(BTreeSet<NodeId>),
+}
+
+impl ForwardPolicy {
+    fn refuses(&self, dst: NodeId) -> bool {
+        match self {
+            ForwardPolicy::Forward => false,
+            ForwardPolicy::DropAll => true,
+            ForwardPolicy::DropTo(set) => set.contains(&dst),
+        }
+    }
+}
+
+/// Scheduled control-plane interventions (the fault injector's lever).
+pub enum ControlAction {
+    /// Fail-stop the node.
+    Crash(NodeId),
+    /// Change how the node relays traffic.
+    SetForwardPolicy(NodeId, ForwardPolicy),
+    /// Shift the node's local clock by a signed offset (timing faults).
+    ShiftClock(NodeId, i64),
+    /// Swap in a new behaviour (e.g. turn a correct node Byzantine).
+    ReplaceBehavior(NodeId, Box<dyn NodeBehavior>),
+}
+
+impl std::fmt::Debug for ControlAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ControlAction::Crash(n) => write!(f, "Crash({n})"),
+            ControlAction::SetForwardPolicy(n, p) => write!(f, "SetForwardPolicy({n}, {p:?})"),
+            ControlAction::ShiftClock(n, d) => write!(f, "ShiftClock({n}, {d})"),
+            ControlAction::ReplaceBehavior(n, _) => write!(f, "ReplaceBehavior({n}, ..)"),
+        }
+    }
+}
+
+/// One recorded sink actuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Actuation {
+    /// When the actuator fired.
+    pub at: Time,
+    /// The actuating node.
+    pub node: NodeId,
+    /// The sink task.
+    pub task: TaskId,
+    /// The release period the value belongs to.
+    pub period: PeriodIdx,
+    /// The emitted value.
+    pub value: Value,
+}
+
+enum Event {
+    Deliver { dst: NodeId, env: Envelope },
+    Timer { node: NodeId, timer: TimerId },
+    Control(ControlAction),
+}
+
+struct Scheduled {
+    at: Time,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct NodeSlot {
+    behavior: Option<Box<dyn NodeBehavior>>,
+    signer: Signer,
+    crashed: bool,
+    /// Local clock = global + offset (µs, may be negative).
+    clock_offset: i64,
+    forward: ForwardPolicy,
+    rng_counter: u64,
+}
+
+/// The simulated world: platform, network, node behaviours, event queue.
+pub struct World {
+    topo: Topology,
+    cfg: SimConfig,
+    nics: Vec<Nic>,
+    routing: RoutingTable,
+    slots: Vec<NodeSlot>,
+    queue: BinaryHeap<Reverse<Scheduled>>,
+    now: Time,
+    seq: u64,
+    loss_counter: u64,
+    keystore: KeyStore,
+    actuations: Vec<Actuation>,
+    trace: Vec<TraceEvent>,
+    metrics: SimMetrics,
+    started: bool,
+}
+
+impl World {
+    /// Build a world over a topology. All nodes start with the idle
+    /// behaviour; install real ones with [`World::set_behavior`].
+    pub fn new(topo: Topology, cfg: SimConfig) -> World {
+        let n = topo.node_count();
+        let keystore = KeyStore::derive(cfg.seed, n);
+        let nics = topo
+            .links()
+            .iter()
+            .map(|l| Nic::new(l.clone(), cfg.period, &BTreeMap::new()))
+            .collect();
+        let routing = RoutingTable::new(&topo);
+        let slots = (0..n)
+            .map(|i| {
+                let id = i as u32;
+                let span = 2 * cfg.max_clock_skew.as_micros() + 1;
+                let skew = (digest64(&[
+                    b"btr-skew",
+                    &cfg.seed.to_be_bytes(),
+                    &id.to_be_bytes(),
+                ]) % span) as i64
+                    - cfg.max_clock_skew.as_micros() as i64;
+                NodeSlot {
+                    behavior: Some(Box::new(crate::IdleBehavior)),
+                    signer: Signer::new(NodeKey::derive(cfg.seed, id)),
+                    crashed: false,
+                    clock_offset: skew,
+                    forward: ForwardPolicy::Forward,
+                    rng_counter: 0,
+                }
+            })
+            .collect();
+        World {
+            topo,
+            cfg,
+            nics,
+            routing,
+            slots,
+            queue: BinaryHeap::new(),
+            now: Time::ZERO,
+            seq: 0,
+            loss_counter: 0,
+            keystore,
+            actuations: Vec::new(),
+            trace: Vec::new(),
+            metrics: SimMetrics::default(),
+            started: false,
+        }
+    }
+
+    /// Install a node's behaviour (before or after start).
+    pub fn set_behavior(&mut self, node: NodeId, behavior: Box<dyn NodeBehavior>) {
+        self.slots[node.index()].behavior = Some(behavior);
+    }
+
+    /// The platform topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The shared verification keystore.
+    pub fn keystore(&self) -> &KeyStore {
+        &self.keystore
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The system period.
+    pub fn period(&self) -> Duration {
+        self.cfg.period
+    }
+
+    /// Recorded actuations so far.
+    pub fn actuations(&self) -> &[Actuation] {
+        &self.actuations
+    }
+
+    /// Aggregate metrics.
+    pub fn metrics(&self) -> &SimMetrics {
+        &self.metrics
+    }
+
+    /// The trace (empty unless `cfg.trace`).
+    pub fn trace(&self) -> &[TraceEvent] {
+        &self.trace
+    }
+
+    /// True if the node has crashed.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.slots[node.index()].crashed
+    }
+
+    /// Borrow a node's behaviour for inspection (None while dispatching).
+    pub fn behavior(&self, node: NodeId) -> Option<&dyn crate::NodeBehavior> {
+        self.slots[node.index()].behavior.as_deref()
+    }
+
+    /// Total guardian-denied bytes for a node across all links.
+    pub fn guardian_drops(&self, node: NodeId) -> u64 {
+        self.nics.iter().map(|n| n.guardian_drops(node)).sum()
+    }
+
+    /// Schedule a control action at an absolute time.
+    pub fn schedule_control(&mut self, at: Time, action: ControlAction) {
+        self.push(at, Event::Control(action));
+    }
+
+    /// Call `on_start` on every behaviour (in node-id order) and mark the
+    /// world runnable.
+    pub fn start(&mut self) {
+        assert!(!self.started, "world already started");
+        self.started = true;
+        for i in 0..self.slots.len() {
+            self.dispatch_start(NodeId(i as u32));
+        }
+    }
+
+    /// Run until the queue is empty or `t` is reached; time advances to `t`.
+    pub fn run_until(&mut self, t: Time) {
+        assert!(self.started, "call start() first");
+        loop {
+            let due = match self.queue.peek() {
+                Some(Reverse(s)) if s.at <= t => true,
+                _ => false,
+            };
+            if !due {
+                break;
+            }
+            let Reverse(s) = self.queue.pop().expect("peeked");
+            self.now = s.at;
+            self.metrics.events += 1;
+            match s.event {
+                Event::Deliver { dst, env } => self.dispatch_message(dst, env),
+                Event::Timer { node, timer } => self.dispatch_timer(node, timer),
+                Event::Control(action) => self.apply_control(action),
+            }
+        }
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Run for a span from the current time.
+    pub fn run_for(&mut self, d: Duration) {
+        let t = self.now + d;
+        self.run_until(t);
+    }
+
+    fn push(&mut self, at: Time, event: Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled { at, seq, event }));
+    }
+
+    fn apply_control(&mut self, action: ControlAction) {
+        match action {
+            ControlAction::Crash(n) => {
+                let slot = &mut self.slots[n.index()];
+                if !slot.crashed {
+                    slot.crashed = true;
+                    slot.forward = ForwardPolicy::DropAll;
+                    if self.cfg.trace {
+                        self.trace.push(TraceEvent::Crashed { at: self.now, node: n });
+                    }
+                }
+            }
+            ControlAction::SetForwardPolicy(n, p) => {
+                self.slots[n.index()].forward = p;
+            }
+            ControlAction::ShiftClock(n, d) => {
+                self.slots[n.index()].clock_offset += d;
+            }
+            ControlAction::ReplaceBehavior(n, b) => {
+                self.slots[n.index()].behavior = Some(b);
+                // A fresh behaviour gets a start callback so it can set
+                // up timers.
+                self.dispatch_start(n);
+            }
+        }
+    }
+
+    fn dispatch_start(&mut self, node: NodeId) {
+        if self.slots[node.index()].crashed {
+            return;
+        }
+        let mut behavior = match self.slots[node.index()].behavior.take() {
+            Some(b) => b,
+            None => return,
+        };
+        let mut ctx = NodeCtx { world: self, node };
+        behavior.on_start(&mut ctx);
+        self.slots[node.index()].behavior.get_or_insert(behavior);
+    }
+
+    fn dispatch_message(&mut self, dst: NodeId, env: Envelope) {
+        if self.slots[dst.index()].crashed {
+            self.metrics.drops_other += 1;
+            if self.cfg.trace {
+                self.trace.push(TraceEvent::Dropped {
+                    at: self.now,
+                    src: env.src,
+                    dst,
+                    reason: DropReason::ReceiverCrashed,
+                });
+            }
+            return;
+        }
+        self.metrics.msgs_delivered += 1;
+        if self.cfg.trace {
+            self.trace.push(TraceEvent::Delivered {
+                at: self.now,
+                src: env.src,
+                dst,
+                label: env.payload.label(),
+            });
+        }
+        let mut behavior = match self.slots[dst.index()].behavior.take() {
+            Some(b) => b,
+            None => return,
+        };
+        let mut ctx = NodeCtx { world: self, node: dst };
+        behavior.on_message(&mut ctx, env);
+        self.slots[dst.index()].behavior.get_or_insert(behavior);
+    }
+
+    fn dispatch_timer(&mut self, node: NodeId, timer: TimerId) {
+        if self.slots[node.index()].crashed {
+            return;
+        }
+        self.metrics.timers += 1;
+        let mut behavior = match self.slots[node.index()].behavior.take() {
+            Some(b) => b,
+            None => return,
+        };
+        let mut ctx = NodeCtx { world: self, node };
+        behavior.on_timer(&mut ctx, timer);
+        self.slots[node.index()].behavior.get_or_insert(behavior);
+    }
+
+    /// Route and transmit an envelope from `src`. Returns the delivery
+    /// time on success (mainly for tests; behaviours ignore it).
+    fn transmit(&mut self, src: NodeId, env: Envelope) -> Option<Time> {
+        let bytes = env.wire_size();
+        let dst = env.dst;
+        if self.slots[src.index()].crashed {
+            self.record_drop(src, dst, DropReason::SenderCrashed);
+            return None;
+        }
+        if self.cfg.trace {
+            self.trace.push(TraceEvent::Sent {
+                at: self.now,
+                src,
+                dst,
+                label: env.payload.label(),
+                bytes,
+            });
+        }
+        if src == dst {
+            // Loopback: deliver immediately (no network traversal).
+            self.metrics.msgs_sent += 1;
+            let at = self.now;
+            self.push(at, Event::Deliver { dst, env });
+            return Some(at);
+        }
+        let path = match self.routing.path(src, dst) {
+            Some(p) => p,
+            None => {
+                self.record_drop(src, dst, DropReason::NoRoute);
+                return None;
+            }
+        };
+        // Transmission loss, deterministic per seed. With FEC enabled the
+        // message is sharded: it survives up to m shard losses and pays a
+        // (k+m)/k wire overhead; without FEC a single roll decides.
+        let mut bytes = bytes;
+        if self.cfg.loss_ppm > 0 {
+            match self.cfg.fec {
+                None => {
+                    self.loss_counter += 1;
+                    let roll = digest64(&[
+                        b"btr-loss",
+                        &self.cfg.seed.to_be_bytes(),
+                        &self.loss_counter.to_be_bytes(),
+                    ]) % 1_000_000;
+                    if (roll as u32) < self.cfg.loss_ppm {
+                        self.record_drop(src, dst, DropReason::TransmissionLoss);
+                        return None;
+                    }
+                }
+                Some((k, m)) => {
+                    let k = k.max(1);
+                    let mut lost = 0u8;
+                    for _ in 0..(k + m) {
+                        self.loss_counter += 1;
+                        let roll = digest64(&[
+                            b"btr-loss",
+                            &self.cfg.seed.to_be_bytes(),
+                            &self.loss_counter.to_be_bytes(),
+                        ]) % 1_000_000;
+                        if (roll as u32) < self.cfg.loss_ppm {
+                            lost += 1;
+                        }
+                    }
+                    if lost > m {
+                        self.record_drop(src, dst, DropReason::TransmissionLoss);
+                        return None;
+                    }
+                    bytes = bytes.saturating_mul((k + m) as u32) / k as u32;
+                }
+            }
+        }
+        let mut t = self.now;
+        for pair in path.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            // Relay policy applies to intermediate hops only.
+            if a != src {
+                let slot = &self.slots[a.index()];
+                if slot.crashed || slot.forward.refuses(dst) {
+                    self.metrics.drops_forward += 1;
+                    if self.cfg.trace {
+                        self.trace.push(TraceEvent::Dropped {
+                            at: t,
+                            src,
+                            dst,
+                            reason: DropReason::ForwardRefused(a),
+                        });
+                    }
+                    return None;
+                }
+            }
+            let link = self
+                .topo
+                .link_between(a, b)
+                .expect("routing path uses existing links");
+            match self.nics[link.index()].send(t, a, bytes) {
+                Ok(arrival) => t = arrival,
+                Err(SendError::AllocationExhausted) => {
+                    self.metrics.drops_guardian += 1;
+                    if self.cfg.trace {
+                        self.trace.push(TraceEvent::Dropped {
+                            at: t,
+                            src,
+                            dst,
+                            reason: DropReason::GuardianDenied,
+                        });
+                    }
+                    return None;
+                }
+                Err(SendError::NotAttached) => {
+                    unreachable!("path hop not attached to its link")
+                }
+            }
+            self.metrics.bytes_sent += bytes as u64;
+        }
+        self.metrics.msgs_sent += 1;
+        self.push(t, Event::Deliver { dst, env });
+        Some(t)
+    }
+
+    fn record_drop(&mut self, src: NodeId, dst: NodeId, reason: DropReason) {
+        match reason {
+            DropReason::GuardianDenied => self.metrics.drops_guardian += 1,
+            DropReason::ForwardRefused(_) => self.metrics.drops_forward += 1,
+            _ => self.metrics.drops_other += 1,
+        }
+        if self.cfg.trace {
+            self.trace.push(TraceEvent::Dropped {
+                at: self.now,
+                src,
+                dst,
+                reason,
+            });
+        }
+    }
+}
+
+/// The API a node behaviour uses to act on the world.
+pub struct NodeCtx<'w> {
+    world: &'w mut World,
+    node: NodeId,
+}
+
+impl NodeCtx<'_> {
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Global simulation time. (The paper assumes synchronised clocks;
+    /// use [`NodeCtx::local_now`] for the node's skewed local view.)
+    pub fn now(&self) -> Time {
+        self.world.now
+    }
+
+    /// The node's local clock reading (global time + bounded skew).
+    pub fn local_now(&self) -> Time {
+        let t = self.world.now.as_micros() as i64
+            + self.world.slots[self.node.index()].clock_offset;
+        Time(t.max(0) as u64)
+    }
+
+    /// The system period.
+    pub fn period(&self) -> Duration {
+        self.world.cfg.period
+    }
+
+    /// This node's signer. Only the owning node can reach its signer —
+    /// the simulator-enforced key secrecy that makes evidence sound.
+    pub fn signer(&self) -> &Signer {
+        &self.world.slots[self.node.index()].signer
+    }
+
+    /// The shared verification keystore.
+    pub fn keystore(&self) -> &KeyStore {
+        &self.world.keystore
+    }
+
+    /// Sign and send a payload to `dst`.
+    pub fn send(&mut self, dst: NodeId, payload: Payload) {
+        let env = Envelope::new(self.node, dst, self.local_now(), payload)
+            .signed(&self.world.slots[self.node.index()].signer);
+        self.world.transmit(self.node, env);
+    }
+
+    /// Send an arbitrary envelope (Byzantine behaviours use this to spoof
+    /// headers or send unsigned traffic). The network still charges the
+    /// *actual* sender's bandwidth allocation.
+    pub fn send_env(&mut self, env: Envelope) {
+        self.world.transmit(self.node, env);
+    }
+
+    /// Set a timer to fire after `delay` (global time base).
+    pub fn set_timer(&mut self, delay: Duration, timer: TimerId) {
+        let at = self.world.now + delay;
+        self.world.push(at, Event::Timer { node: self.node, timer });
+    }
+
+    /// Set a timer to fire at an absolute global time (clamped to now).
+    pub fn set_timer_at(&mut self, at: Time, timer: TimerId) {
+        let at = at.max(self.world.now);
+        self.world.push(at, Event::Timer { node: self.node, timer });
+    }
+
+    /// Record a sink actuation (an output to the physical world).
+    pub fn actuate(&mut self, task: TaskId, period: PeriodIdx, value: Value) {
+        self.world.metrics.actuations += 1;
+        let a = Actuation {
+            at: self.world.now,
+            node: self.node,
+            task,
+            period,
+            value,
+        };
+        self.world.actuations.push(a);
+        if self.world.cfg.trace {
+            self.world.trace.push(TraceEvent::Actuated {
+                at: a.at,
+                node: a.node,
+                task: a.task,
+                period: a.period,
+                value: a.value,
+            });
+        }
+    }
+
+    /// Fail-stop this node immediately.
+    pub fn crash_self(&mut self) {
+        let slot = &mut self.world.slots[self.node.index()];
+        slot.crashed = true;
+        slot.forward = ForwardPolicy::DropAll;
+        if self.world.cfg.trace {
+            self.world.trace.push(TraceEvent::Crashed {
+                at: self.world.now,
+                node: self.node,
+            });
+        }
+    }
+
+    /// A deterministic per-node pseudo-random stream.
+    pub fn rng_u64(&mut self) -> u64 {
+        let slot = &mut self.world.slots[self.node.index()];
+        slot.rng_counter += 1;
+        digest64(&[
+            b"btr-node-rng",
+            &self.world.cfg.seed.to_be_bytes(),
+            &self.node.0.to_be_bytes(),
+            &slot.rng_counter.to_be_bytes(),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btr_model::Payload;
+
+    /// Echoes every control message back to its (claimed) source.
+    struct Echo;
+    impl NodeBehavior for Echo {
+        fn on_start(&mut self, _ctx: &mut NodeCtx<'_>) {}
+        fn on_message(&mut self, ctx: &mut NodeCtx<'_>, env: Envelope) {
+            if let Payload::Control(tag) = env.payload {
+                if tag < 10 {
+                    ctx.send(env.src, Payload::Control(tag + 1));
+                }
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut NodeCtx<'_>, _t: TimerId) {}
+    }
+
+    /// Sends one message to node 1 at start, records deliveries.
+    struct Starter {
+        sent: bool,
+    }
+    impl NodeBehavior for Starter {
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+            if !self.sent {
+                ctx.send(NodeId(1), Payload::Control(0));
+                self.sent = true;
+            }
+        }
+        fn on_message(&mut self, ctx: &mut NodeCtx<'_>, env: Envelope) {
+            if let Payload::Control(tag) = env.payload {
+                if tag < 10 {
+                    ctx.send(env.src, Payload::Control(tag + 1));
+                }
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut NodeCtx<'_>, _t: TimerId) {}
+    }
+
+    fn world(n: usize) -> World {
+        let topo = Topology::bus(n, 10_000, Duration(10));
+        let mut cfg = SimConfig::new(1);
+        cfg.trace = true;
+        World::new(topo, cfg)
+    }
+
+    #[test]
+    fn ping_pong_until_ttl() {
+        let mut w = world(2);
+        w.set_behavior(NodeId(0), Box::new(Starter { sent: false }));
+        w.set_behavior(NodeId(1), Box::new(Echo));
+        w.start();
+        w.run_until(Time::from_millis(100));
+        // Tags 0..=10 = 11 messages.
+        assert_eq!(w.metrics().msgs_sent, 11);
+        assert_eq!(w.metrics().msgs_delivered, 11);
+    }
+
+    #[test]
+    fn determinism_same_seed() {
+        let run = || {
+            let mut w = world(4);
+            w.set_behavior(NodeId(0), Box::new(Starter { sent: false }));
+            w.set_behavior(NodeId(1), Box::new(Echo));
+            w.start();
+            w.run_until(Time::from_millis(50));
+            (w.metrics().clone(), w.trace().to_vec())
+        };
+        let (m1, t1) = run();
+        let (m2, t2) = run();
+        assert_eq!(m1, m2);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn crash_stops_node() {
+        let mut w = world(2);
+        w.set_behavior(NodeId(0), Box::new(Starter { sent: false }));
+        w.set_behavior(NodeId(1), Box::new(Echo));
+        w.schedule_control(Time(0), ControlAction::Crash(NodeId(1)));
+        w.start();
+        w.run_until(Time::from_millis(10));
+        // The starter's message is dropped at the crashed receiver.
+        assert_eq!(w.metrics().msgs_delivered, 0);
+        assert!(w.is_crashed(NodeId(1)));
+        assert!(w
+            .trace()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Dropped { reason: DropReason::ReceiverCrashed, .. })));
+    }
+
+    #[test]
+    fn relay_refusal_drops_multihop() {
+        // Line topology 0-1-2: node 1 refuses to forward.
+        let mut b = btr_model::TopologyBuilder::new();
+        let n0 = b.full_node();
+        let n1 = b.full_node();
+        let n2 = b.full_node();
+        b.link(&[n0, n1], 10_000, Duration(5));
+        b.link(&[n1, n2], 10_000, Duration(5));
+        let mut cfg = SimConfig::new(2);
+        cfg.trace = true;
+        let mut w = World::new(b.build().unwrap(), cfg);
+
+        struct SendTo2;
+        impl NodeBehavior for SendTo2 {
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+                ctx.send(NodeId(2), Payload::Control(0));
+            }
+            fn on_message(&mut self, _c: &mut NodeCtx<'_>, _e: Envelope) {}
+            fn on_timer(&mut self, _c: &mut NodeCtx<'_>, _t: TimerId) {}
+        }
+        w.set_behavior(NodeId(0), Box::new(SendTo2));
+        w.schedule_control(
+            Time(0),
+            ControlAction::SetForwardPolicy(NodeId(1), ForwardPolicy::DropAll),
+        );
+        w.start();
+        // Control action at t=0 runs before... actually start() dispatches
+        // on_start synchronously first, so the first message may pass.
+        w.run_until(Time::from_millis(20));
+        // Send again after the policy change.
+        struct Again;
+        impl NodeBehavior for Again {
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+                ctx.send(NodeId(2), Payload::Control(1));
+            }
+            fn on_message(&mut self, _c: &mut NodeCtx<'_>, _e: Envelope) {}
+            fn on_timer(&mut self, _c: &mut NodeCtx<'_>, _t: TimerId) {}
+        }
+        w.schedule_control(
+            Time::from_millis(21),
+            ControlAction::ReplaceBehavior(NodeId(0), Box::new(Again)),
+        );
+        w.run_until(Time::from_millis(40));
+        assert!(w.metrics().drops_forward >= 1);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct TimerChain {
+            fired: Vec<TimerId>,
+        }
+        impl NodeBehavior for TimerChain {
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+                ctx.set_timer(Duration(300), 3);
+                ctx.set_timer(Duration(100), 1);
+                ctx.set_timer(Duration(200), 2);
+            }
+            fn on_message(&mut self, _c: &mut NodeCtx<'_>, _e: Envelope) {}
+            fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, t: TimerId) {
+                self.fired.push(t);
+                if t == 1 {
+                    ctx.actuate(TaskId(0), 0, t);
+                }
+            }
+        }
+        let mut w = world(1);
+        w.set_behavior(NodeId(0), Box::new(TimerChain { fired: vec![] }));
+        w.start();
+        w.run_until(Time::from_millis(1));
+        assert_eq!(w.metrics().timers, 3);
+        assert_eq!(w.actuations().len(), 1);
+        assert_eq!(w.actuations()[0].value, 1);
+    }
+
+    #[test]
+    fn local_clock_skew_is_bounded() {
+        let topo = Topology::bus(8, 10_000, Duration(10));
+        let mut cfg = SimConfig::new(3);
+        cfg.max_clock_skew = Duration(50);
+        let w = World::new(topo, cfg);
+        for i in 0..8 {
+            let off = w.slots[i].clock_offset;
+            assert!(off.abs() <= 50, "node {i} skew {off}");
+        }
+    }
+
+    #[test]
+    fn signed_send_verifies_at_receiver() {
+        struct Verify {
+            ok: bool,
+        }
+        impl NodeBehavior for Verify {
+            fn on_start(&mut self, _c: &mut NodeCtx<'_>) {}
+            fn on_message(&mut self, ctx: &mut NodeCtx<'_>, env: Envelope) {
+                self.ok = env.verify(ctx.keystore()).is_ok();
+                ctx.actuate(TaskId(9), 0, self.ok as u64);
+            }
+            fn on_timer(&mut self, _c: &mut NodeCtx<'_>, _t: TimerId) {}
+        }
+        let mut w = world(2);
+        w.set_behavior(NodeId(0), Box::new(Starter { sent: false }));
+        w.set_behavior(NodeId(1), Box::new(Verify { ok: false }));
+        w.start();
+        w.run_until(Time::from_millis(10));
+        assert_eq!(w.actuations()[0].value, 1, "signature must verify");
+    }
+
+    #[test]
+    fn spoofed_envelope_fails_verification() {
+        struct Spoof;
+        impl NodeBehavior for Spoof {
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+                // Claim to be node 2 without node 2's key.
+                let env = Envelope::new(NodeId(2), NodeId(1), ctx.now(), Payload::Control(9));
+                ctx.send_env(env);
+            }
+            fn on_message(&mut self, _c: &mut NodeCtx<'_>, _e: Envelope) {}
+            fn on_timer(&mut self, _c: &mut NodeCtx<'_>, _t: TimerId) {}
+        }
+        struct Check;
+        impl NodeBehavior for Check {
+            fn on_start(&mut self, _c: &mut NodeCtx<'_>) {}
+            fn on_message(&mut self, ctx: &mut NodeCtx<'_>, env: Envelope) {
+                let ok = env.verify(ctx.keystore()).is_ok();
+                ctx.actuate(TaskId(0), 0, ok as u64);
+            }
+            fn on_timer(&mut self, _c: &mut NodeCtx<'_>, _t: TimerId) {}
+        }
+        let mut w = world(3);
+        w.set_behavior(NodeId(0), Box::new(Spoof));
+        w.set_behavior(NodeId(1), Box::new(Check));
+        w.start();
+        w.run_until(Time::from_millis(10));
+        assert_eq!(w.actuations()[0].value, 0, "spoof must fail verification");
+    }
+
+    #[test]
+    fn run_until_advances_time_even_when_idle() {
+        let mut w = world(1);
+        w.start();
+        w.run_until(Time::from_millis(123));
+        assert_eq!(w.now(), Time::from_millis(123));
+        w.run_for(Duration::from_millis(7));
+        assert_eq!(w.now(), Time::from_millis(130));
+    }
+
+    #[test]
+    fn clock_shift_control_action() {
+        struct ReadClock;
+        impl NodeBehavior for ReadClock {
+            fn on_start(&mut self, _c: &mut NodeCtx<'_>) {}
+            fn on_message(&mut self, _c: &mut NodeCtx<'_>, _e: Envelope) {}
+            fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _t: TimerId) {
+                let local = ctx.local_now();
+                ctx.actuate(TaskId(0), 0, local.as_micros());
+            }
+        }
+        let mut w = world(1);
+        w.set_behavior(NodeId(0), Box::new(ReadClock));
+        let base_off = w.slots[0].clock_offset;
+        w.schedule_control(Time(0), ControlAction::ShiftClock(NodeId(0), 5_000));
+        w.start();
+        // Fire a timer at 10 ms to read the clock.
+        struct Arm;
+        impl NodeBehavior for Arm {
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+                ctx.set_timer(Duration::from_millis(10), 0);
+            }
+            fn on_message(&mut self, _c: &mut NodeCtx<'_>, _e: Envelope) {}
+            fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _t: TimerId) {
+                ctx.actuate(TaskId(0), 0, ctx.local_now().as_micros());
+            }
+        }
+        w.schedule_control(Time(0), ControlAction::ReplaceBehavior(NodeId(0), Box::new(Arm)));
+        w.run_until(Time::from_millis(20));
+        let v = w.actuations()[0].value as i64;
+        assert_eq!(v, 10_000 + base_off + 5_000);
+    }
+
+    #[test]
+    fn fec_masks_heavy_shard_loss() {
+        // 5% per-shard loss: unprotected messages drop ~5%; FEC(4,2)
+        // messages survive unless 3+ of 6 shards die (~0.2%).
+        struct Blaster;
+        impl NodeBehavior for Blaster {
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+                for i in 0..500u64 {
+                    ctx.set_timer(Duration(i * 10), i);
+                }
+            }
+            fn on_message(&mut self, _c: &mut NodeCtx<'_>, _e: Envelope) {}
+            fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _t: TimerId) {
+                ctx.send(NodeId(1), Payload::Control(1));
+            }
+        }
+        let run = |fec: Option<(u8, u8)>| -> (u64, u64) {
+            let topo = Topology::bus(2, 1_000_000, Duration(1));
+            let mut cfg = SimConfig::new(5);
+            cfg.loss_ppm = 50_000;
+            cfg.fec = fec;
+            let mut w = World::new(topo, cfg);
+            w.set_behavior(NodeId(0), Box::new(Blaster));
+            w.start();
+            w.run_until(Time::from_millis(50));
+            (w.metrics().msgs_delivered, w.metrics().drops_other)
+        };
+        let (plain_ok, plain_drop) = run(None);
+        let (fec_ok, fec_drop) = run(Some((4, 2)));
+        assert!(plain_drop >= 10, "expected visible loss, got {plain_drop}");
+        assert!(
+            fec_drop * 5 < plain_drop,
+            "FEC should mask most losses: {fec_drop} vs {plain_drop}"
+        );
+        assert!(fec_ok > plain_ok);
+    }
+
+    #[test]
+    fn fec_charges_wire_overhead() {
+        struct One;
+        impl NodeBehavior for One {
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+                ctx.send(NodeId(1), Payload::Control(1));
+            }
+            fn on_message(&mut self, _c: &mut NodeCtx<'_>, _e: Envelope) {}
+            fn on_timer(&mut self, _c: &mut NodeCtx<'_>, _t: TimerId) {}
+        }
+        let bytes_with = |fec: Option<(u8, u8)>| -> u64 {
+            let topo = Topology::bus(2, 1_000_000, Duration(1));
+            let mut cfg = SimConfig::new(6);
+            cfg.loss_ppm = 1; // Enable the loss path without real losses.
+            cfg.fec = fec;
+            let mut w = World::new(topo, cfg);
+            w.set_behavior(NodeId(0), Box::new(One));
+            w.start();
+            w.run_until(Time::from_millis(5));
+            w.metrics().bytes_sent
+        };
+        let plain = bytes_with(None);
+        let fec = bytes_with(Some((4, 2)));
+        // (4+2)/4 = 1.5x overhead.
+        assert_eq!(fec, plain * 6 / 4);
+    }
+
+    #[test]
+    fn rng_streams_are_deterministic_and_distinct() {
+        let mut w = world(2);
+        w.start();
+        let mut ctx0 = NodeCtx { world: &mut w, node: NodeId(0) };
+        let a1 = ctx0.rng_u64();
+        let a2 = ctx0.rng_u64();
+        assert_ne!(a1, a2);
+        let mut ctx1 = NodeCtx { world: &mut w, node: NodeId(1) };
+        let b1 = ctx1.rng_u64();
+        assert_ne!(a1, b1);
+    }
+}

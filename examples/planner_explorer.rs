@@ -1,0 +1,60 @@
+//! Explore the offline planner: strategy sizes, transition costs, and a
+//! JSON export of the full strategy (what a deployment would install on
+//! every node).
+//!
+//! ```text
+//! cargo run --example planner_explorer [nodes] [f]
+//! ```
+
+use btr::model::{Duration, Topology};
+use btr::planner::{build_strategy, PlannerConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(9)
+        .clamp(4, 24);
+    let f: u8 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1).min(3);
+
+    let workload = btr::workload::generators::avionics(n);
+    let topo = Topology::bus(n, 150_000, Duration(5));
+    let mut cfg = PlannerConfig::new(f, Duration::from_millis(300));
+    cfg.admit_best_effort = true;
+    cfg.threads = 4;
+
+    let t0 = std::time::Instant::now();
+    let (strategy, stats) = build_strategy(&workload, &topo, &cfg).expect("plannable");
+    let dt = t0.elapsed();
+
+    println!("platform: {n} nodes, fault budget f = {f}");
+    println!("built in {dt:?}");
+    println!("plans:               {}", stats.plans);
+    println!("transitions:         {}", stats.transitions);
+    println!("worst transition:    {}", stats.worst_transition);
+    println!("worst plan distance: {}", stats.worst_distance);
+    println!("degraded plans:      {}", stats.degraded_plans);
+
+    // Per-level shedding summary.
+    for k in 0..=f as usize {
+        let (count, degraded): (usize, usize) = strategy
+            .plans
+            .iter()
+            .filter(|p| p.fault_set.len() == k)
+            .fold((0, 0), |(c, d), p| {
+                (c + 1, d + usize::from(!p.shed.is_empty()))
+            });
+        println!("level {k}: {count} plans, {degraded} degraded");
+    }
+
+    // Export: the artifact a deployment installs on every node.
+    let json = serde_json::to_string(&strategy).expect("serializable");
+    let path = std::env::temp_dir().join("btr-strategy.json");
+    std::fs::write(&path, &json).expect("writable");
+    println!(
+        "\nstrategy exported to {} ({} KB)",
+        path.display(),
+        json.len() / 1024
+    );
+}

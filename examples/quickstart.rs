@@ -1,0 +1,55 @@
+//! Quickstart: plan a BTR strategy for an avionics workload, crash a
+//! node mid-flight, and watch the system recover within its bound R.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use btr::core::{BtrSystem, FaultScenario};
+use btr::model::{Duration, FaultKind, NodeId, Time, Topology};
+use btr::planner::PlannerConfig;
+
+fn main() {
+    // 1. The platform: nine ECUs on a shared avionics bus.
+    let topo = Topology::bus(9, 100_000, Duration(5));
+
+    // 2. The workload: flight control (Safety) sharing the platform with
+    //    navigation, telemetry, and in-flight entertainment.
+    let workload = btr::workload::generators::avionics(9);
+    println!(
+        "workload: {} tasks, {} sinks, utilisation {:.2}",
+        workload.len(),
+        workload.sinks().count(),
+        workload.utilization()
+    );
+
+    // 3. Plan offline: tolerate any f = 1 Byzantine node, recover within
+    //    R = 150 ms.
+    let mut cfg = PlannerConfig::new(1, Duration::from_millis(150));
+    cfg.admit_best_effort = true;
+    let system = BtrSystem::plan(workload, topo, cfg).expect("plannable");
+    println!(
+        "strategy: {} plans, worst transition bound {}",
+        system.strategy().plan_count(),
+        system.strategy().worst_transition_bound()
+    );
+
+    // 4. Crash node 6 at t = 42 ms and run for half a second.
+    let scenario = FaultScenario::single(NodeId(6), FaultKind::Crash, Time::from_millis(42));
+    let report = system.run(&scenario, Duration::from_millis(500), 7);
+
+    // 5. The verdict.
+    println!(
+        "outputs acceptable: {:.1}% ({} slots judged)",
+        report.acceptable_fraction() * 100.0,
+        report.recovery.total_outputs
+    );
+    println!(
+        "bad-output window: {} (R = {})",
+        report.recovery.bad_window(),
+        system.strategy().r_bound
+    );
+    println!("all correct nodes converged: {}", report.converged);
+    assert!(report.recovery.bad_window() <= system.strategy().r_bound);
+    println!("=> recovered within the bound. The five-second rule holds.");
+}

@@ -1,0 +1,38 @@
+//! # BTR — Bounded-Time Recovery for cyber-physical systems
+//!
+//! A reproduction of *"Fault Tolerance and the Five-Second Rule"*
+//! (Chen, Xiao, Haeberlen, Phan — HotOS XV, 2015).
+//!
+//! This facade crate re-exports the workspace crates so applications can
+//! depend on a single `btr` crate:
+//!
+//! * [`crypto`] — SHA-256/HMAC, keystores, hash chains.
+//! * [`model`] — time, ids, topology, messages, plans, strategies.
+//! * [`net`] — bandwidth-reserved links, guardians, routing, FEC.
+//! * [`sim`] — deterministic discrete-event simulator.
+//! * [`workload`] — periodic dataflow workloads and generators.
+//! * [`sched`] — schedule synthesis and schedulability analysis.
+//! * [`planner`] — the offline BTR planner (Section 4.1 of the paper).
+//! * [`detector`] — the online fault detector (Section 4.2).
+//! * [`evidence`] — evidence validation and distribution (Section 4.3).
+//! * [`modeswitch`] — the mode-change protocol (Section 4.4).
+//! * [`runtime`] — the per-node BTR software stack.
+//! * [`core`] — the end-to-end system, fault injection, and oracle.
+//! * [`baselines`] — BFT / PBFT-lite / ZZ / self-stabilisation / restart.
+//!
+//! See the `examples/` directory for runnable scenarios and EXPERIMENTS.md
+//! for the evaluation harness.
+
+pub use btr_baselines as baselines;
+pub use btr_core as core;
+pub use btr_crypto as crypto;
+pub use btr_detector as detector;
+pub use btr_evidence as evidence;
+pub use btr_model as model;
+pub use btr_modeswitch as modeswitch;
+pub use btr_net as net;
+pub use btr_planner as planner;
+pub use btr_runtime as runtime;
+pub use btr_sched as sched;
+pub use btr_sim as sim;
+pub use btr_workload as workload;

@@ -1,0 +1,126 @@
+//! Property-based integration tests over the planner's strategies and
+//! the protocol's core invariants.
+
+use btr::model::{Duration, FaultSet, NodeId, Strategy, Topology};
+use btr::planner::{build_strategy, PlannerConfig};
+use proptest::prelude::*;
+
+fn strategy_f2() -> Strategy {
+    let w = btr::workload::generators::avionics(9);
+    let topo = Topology::bus(9, 100_000, Duration(5));
+    let mut cfg = PlannerConfig::new(2, Duration::from_millis(300));
+    cfg.admit_best_effort = true;
+    let (s, _) = build_strategy(&w, &topo, &cfg).expect("plannable");
+    s
+}
+
+#[test]
+fn all_plans_validate_and_avoid_their_fault_sets() {
+    let w = btr::workload::generators::avionics(9);
+    let topo = Topology::bus(9, 100_000, Duration(5));
+    let s = strategy_f2();
+    for plan in &s.plans {
+        plan.validate(&topo, s.period).expect("plan valid");
+        for (_, node) in &plan.placement {
+            assert!(!plan.fault_set.contains(*node));
+        }
+        // Unshed sinks keep their pinned actuators.
+        for sink in w.sinks() {
+            if !plan.is_shed(sink.id) {
+                let host = plan
+                    .node_of(btr::model::ATask::Work {
+                        task: sink.id,
+                        replica: 0,
+                    })
+                    .expect("unshed sink placed");
+                assert_eq!(Some(host), sink.kind.pinned_node());
+            }
+        }
+    }
+}
+
+#[test]
+fn strategy_serde_round_trips() {
+    let s = strategy_f2();
+    let json = serde_json::to_string(&s).expect("serialize");
+    let back: Strategy = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(s, back);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Plan lookup is a deterministic pure function of the fault set,
+    /// regardless of insertion order — the convergence precondition of
+    /// Section 4.4.
+    #[test]
+    fn prop_plan_choice_order_independent(mut ids in proptest::collection::vec(0u32..9, 0..5)) {
+        // Build the strategy once per case would be too slow; share it.
+        use std::sync::OnceLock;
+        static STRATEGY: OnceLock<Strategy> = OnceLock::new();
+        let s = STRATEGY.get_or_init(strategy_f2);
+
+        let fs1: FaultSet = ids.iter().map(|&i| NodeId(i)).collect();
+        ids.reverse();
+        let fs2: FaultSet = ids.iter().map(|&i| NodeId(i)).collect();
+        prop_assert_eq!(s.best_plan_for(&fs1), s.best_plan_for(&fs2));
+    }
+
+    /// For fault sets within budget, the chosen plan hosts nothing on
+    /// faulty nodes.
+    #[test]
+    fn prop_chosen_plan_avoids_faults(ids in proptest::collection::vec(0u32..9, 0..2)) {
+        use std::sync::OnceLock;
+        static STRATEGY: OnceLock<Strategy> = OnceLock::new();
+        let s = STRATEGY.get_or_init(strategy_f2);
+
+        let fs: FaultSet = ids.iter().map(|&i| NodeId(i)).collect();
+        let plan = s.plan(s.best_plan_for(&fs));
+        for (_, node) in &plan.placement {
+            prop_assert!(!fs.contains(*node));
+        }
+    }
+
+    /// Growing the fault set never resurrects a shed task of the smaller
+    /// exact-match plan... is NOT guaranteed in general (replanning may
+    /// find capacity); what IS guaranteed: the chosen plan's fault set is
+    /// always a subset of the query.
+    #[test]
+    fn prop_chosen_plan_subset_of_query(ids in proptest::collection::vec(0u32..9, 0..6)) {
+        use std::sync::OnceLock;
+        static STRATEGY: OnceLock<Strategy> = OnceLock::new();
+        let s = STRATEGY.get_or_init(strategy_f2);
+
+        let fs: FaultSet = ids.iter().map(|&i| NodeId(i)).collect();
+        let plan = s.plan(s.best_plan_for(&fs));
+        prop_assert!(plan.fault_set.is_subset(&fs));
+    }
+}
+
+/// Recovery-bound property over randomized single-fault scenarios.
+#[test]
+fn randomized_single_faults_recover_within_r() {
+    use btr::core::{BtrSystem, FaultScenario};
+    use btr::model::{FaultKind, Time};
+
+    let w = btr::workload::generators::avionics(9);
+    let topo = Topology::bus(9, 100_000, Duration(5));
+    let mut cfg = PlannerConfig::new(1, Duration::from_millis(150));
+    cfg.admit_best_effort = true;
+    let sys = BtrSystem::plan(w, topo, cfg).expect("plannable");
+    let r = sys.strategy().r_bound;
+
+    let kinds = [FaultKind::Crash, FaultKind::Commission, FaultKind::Omission];
+    for (i, &kind) in kinds.iter().enumerate() {
+        for victim in [0u32, 3, 8] {
+            let at = Time::from_millis(35 + 7 * victim as u64);
+            let scenario = FaultScenario::single(NodeId(victim), kind, at);
+            let report = sys.run(&scenario, Duration::from_millis(450), i as u64 + 1);
+            assert!(
+                report.recovery.bad_window() <= r,
+                "{kind} on n{victim}: window {} > R",
+                report.recovery.bad_window()
+            );
+        }
+    }
+}
