@@ -11,12 +11,12 @@
 //! does, so gating would change timing feasibility without changing
 //! outputs. See DESIGN.md ("PBFT-lite").
 
+use btr_model::message::PbftPhase;
+use btr_model::Plan;
 use btr_model::{
     inputs_digest, sensor_value, task_value, ATask, Envelope, NodeId, Payload, PeriodIdx,
     ReplicaIdx, SignedOutput, TaskId, Time, Value,
 };
-use btr_model::message::PbftPhase;
-use btr_model::Plan;
 use btr_runtime::timers::{self, Timer};
 use btr_runtime::Attack;
 use btr_sim::{NodeBehavior, NodeCtx, TimerId};
@@ -77,11 +77,7 @@ impl BftNode {
     }
 
     fn lanes_of(&self, t: TaskId) -> u8 {
-        self.plan
-            .replicas_of(t)
-            .len()
-            .max(1)
-            .min(u8::MAX as usize) as u8
+        self.plan.replicas_of(t).len().max(1).min(u8::MAX as usize) as u8
     }
 
     fn my_entries(&self) -> Vec<btr_model::ScheduleEntry> {
@@ -122,7 +118,14 @@ impl BftNode {
         out
     }
 
-    fn release(&mut self, p: PeriodIdx, t: TaskId, r: ReplicaIdx, value: Value, ctx: &mut NodeCtx<'_>) {
+    fn release(
+        &mut self,
+        p: PeriodIdx,
+        t: TaskId,
+        r: ReplicaIdx,
+        value: Value,
+        ctx: &mut NodeCtx<'_>,
+    ) {
         if !self.released.insert((p, t, r)) {
             return;
         }
@@ -179,7 +182,8 @@ impl BftNode {
                 value ^= 0xDEAD_BEEF;
             }
         }
-        self.pending.insert((p, idx), (task, replica, value, is_sink));
+        self.pending
+            .insert((p, idx), (task, replica, value, is_sink));
         let mut delay = entry.wcet;
         if let Some(Attack::Timing { from, delay: d }) = &self.attack {
             if ctx.now() >= *from {
@@ -281,16 +285,14 @@ impl NodeBehavior for BftNode {
     }
 
     fn on_message(&mut self, ctx: &mut NodeCtx<'_>, env: Envelope) {
-        if env.verify(ctx.keystore()).is_err() {
+        if ctx.verify_env(&env).is_err() {
             return;
         }
         match env.payload {
-            Payload::Output { output, .. } => {
-                if output.verify(ctx.keystore()).is_ok() {
-                    self.inputs
-                        .entry((output.period, output.task, output.replica))
-                        .or_insert(output.value);
-                }
+            Payload::Output { output, .. } if ctx.verify_output(&output).is_ok() => {
+                self.inputs
+                    .entry((output.period, output.task, output.replica))
+                    .or_insert(output.value);
             }
             Payload::Pbft {
                 task,

@@ -37,9 +37,7 @@ pub use selfstab::{SelfStabConfig, SelfStabNode};
 pub use zz::{ZzConfig, ZzNode};
 
 use btr_core::{oracle, FaultScenario, RunReport};
-use btr_model::{
-    Criticality, Duration, FaultKind, FaultSet, NodeId, Plan, PlanId, Time, Topology,
-};
+use btr_model::{Criticality, Duration, FaultKind, FaultSet, NodeId, Plan, PlanId, Time, Topology};
 use btr_net::RoutingTable;
 use btr_planner::PlannerConfig;
 use btr_sched::{round_robin_placement, synthesize, SchedParams};
@@ -349,10 +347,7 @@ mod tests {
         // Brief disruption allowed (wake latency), then masked.
         let tl = report.timeline();
         let tail = &tl[tl.len().saturating_sub(3)..];
-        assert!(
-            tail.iter().all(|(_, frac)| *frac >= 0.99),
-            "tail: {tail:?}"
-        );
+        assert!(tail.iter().all(|(_, frac)| *frac >= 0.99), "tail: {tail:?}");
     }
 
     #[test]
@@ -365,10 +360,7 @@ mod tests {
         // window far larger than BTR's.
         let tl = report.timeline();
         let tail = &tl[tl.len().saturating_sub(2)..];
-        assert!(
-            tail.iter().all(|(_, frac)| *frac >= 0.99),
-            "tail: {tail:?}"
-        );
+        assert!(tail.iter().all(|(_, frac)| *frac >= 0.99), "tail: {tail:?}");
         assert!(report.recovery.bad_outputs > 0, "fault had no effect?");
     }
 

@@ -14,11 +14,11 @@
 //! which is exactly the gap BTR fills.
 
 use btr_core::oracle::reference_value;
+use btr_model::Plan;
 use btr_model::{
     inputs_digest, sensor_value, task_value, ATask, Envelope, NodeId, Payload, PeriodIdx,
     SignedOutput, TaskId, Time, Value,
 };
-use btr_model::Plan;
 use btr_runtime::timers::{self, Timer};
 use btr_runtime::Attack;
 use btr_sim::{NodeBehavior, NodeCtx, TimerId};
@@ -167,7 +167,8 @@ impl SelfStabNode {
         targets.dedup();
         targets.retain(|&n| n != self.id);
         for dst in targets {
-            let out = SignedOutput::sign(ctx.signer(), task, 0, p, value, inputs_digest(&[]), self.id);
+            let out =
+                SignedOutput::sign(ctx.signer(), task, 0, p, value, inputs_digest(&[]), self.id);
             ctx.send(
                 dst,
                 Payload::Output {
@@ -242,26 +243,24 @@ impl NodeBehavior for SelfStabNode {
     }
 
     fn on_message(&mut self, ctx: &mut NodeCtx<'_>, env: Envelope) {
-        if env.verify(ctx.keystore()).is_err() {
+        if ctx.verify_env(&env).is_err() {
             return;
         }
         match env.payload {
-            Payload::Output { output, .. } => {
-                if output.verify(ctx.keystore()).is_ok() {
+            Payload::Output { output, .. }
+                if ctx.verify_output(&output).is_ok() => {
                     self.inputs
                         .entry((output.period, output.task))
                         .or_insert(output.value);
                 }
-            }
-            Payload::Audit { .. } => {
+            Payload::Audit { .. }
                 // A benign fault accepts the audit and reboots (clearing
                 // its corruption); a Byzantine node ignores it.
-                if self.cfg.repairable && self.attack.is_some() {
+                if self.cfg.repairable && self.attack.is_some() => {
                     self.attack = None;
                     let p = ctx.now().period_index(self.workload.period);
                     self.rebooting_until = Some(p + self.cfg.reboot_periods);
                 }
-            }
             _ => {}
         }
     }

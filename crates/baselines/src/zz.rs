@@ -10,11 +10,11 @@
 //! fault from then on. Wakes cascade up the dataflow so dormant lanes
 //! have inputs to consume.
 
+use btr_model::Plan;
 use btr_model::{
     inputs_digest, sensor_value, task_value, ATask, Envelope, NodeId, Payload, PeriodIdx,
     ReplicaIdx, SignedOutput, TaskId, Time, Value,
 };
-use btr_model::Plan;
 use btr_runtime::timers::{self, Timer};
 use btr_runtime::Attack;
 use btr_sim::{NodeBehavior, NodeCtx, TimerId};
@@ -80,11 +80,7 @@ impl ZzNode {
     /// Vote over arrived lanes; `Err(true)` signals disagreement that
     /// warrants waking dormant lanes.
     fn vote(&self, p: PeriodIdx, u: TaskId) -> Result<Value, bool> {
-        let lanes = self
-            .plan
-            .replicas_of(u)
-            .len()
-            .min(self.cfg.total as usize) as u8;
+        let lanes = self.plan.replicas_of(u).len().min(self.cfg.total as usize) as u8;
         let mut counts: BTreeMap<Value, usize> = BTreeMap::new();
         let mut arrived = 0usize;
         for lane in 0..lanes {
@@ -178,7 +174,8 @@ impl ZzNode {
                 value ^= 0xDEAD_BEEF;
             }
         }
-        self.pending.insert((p, idx), (task, replica, value, is_sink));
+        self.pending
+            .insert((p, idx), (task, replica, value, is_sink));
         ctx.set_timer(
             entry.wcet,
             timers::encode(Timer::SlotEmit {
@@ -209,8 +206,15 @@ impl ZzNode {
         }
         self.inputs.entry((p, task, replica)).or_insert(value);
         for dst in self.targets(task) {
-            let out =
-                SignedOutput::sign(ctx.signer(), task, replica, p, value, inputs_digest(&[]), self.id);
+            let out = SignedOutput::sign(
+                ctx.signer(),
+                task,
+                replica,
+                p,
+                value,
+                inputs_digest(&[]),
+                self.id,
+            );
             ctx.send(
                 dst,
                 Payload::Output {
@@ -256,16 +260,14 @@ impl NodeBehavior for ZzNode {
     }
 
     fn on_message(&mut self, ctx: &mut NodeCtx<'_>, env: Envelope) {
-        if env.verify(ctx.keystore()).is_err() {
+        if ctx.verify_env(&env).is_err() {
             return;
         }
         match env.payload {
-            Payload::Output { output, .. } => {
-                if output.verify(ctx.keystore()).is_ok() {
-                    self.inputs
-                        .entry((output.period, output.task, output.replica))
-                        .or_insert(output.value);
-                }
+            Payload::Output { output, .. } if ctx.verify_output(&output).is_ok() => {
+                self.inputs
+                    .entry((output.period, output.task, output.replica))
+                    .or_insert(output.value);
             }
             Payload::Wake { task, period } => {
                 // Boot delay before the dormant lane produces.

@@ -1,20 +1,167 @@
 //! The experiment harness: regenerates every table/figure in
-//! EXPERIMENTS.md.
+//! EXPERIMENTS.md, plus the hot-path perf benchmark.
 //!
 //! Usage:
 //!
 //! ```text
-//! harness all          # run the full suite
+//! harness all          # run the full experiment suite
 //! harness e1 e7 a2     # run selected experiments
+//! harness bench        # A/B the simulator hot path, emit BENCH_sim.json
 //! harness --list       # list experiment ids
 //! ```
 
 use btr_bench::experiments as exp;
+use btr_bench::hotpath::{
+    self, HotPathMeasurement, HOTPATH_FEC, HOTPATH_LOSS_PPM, HOTPATH_NODES, HOTPATH_PERIODS,
+};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts heap allocations so `harness bench` can report allocations per
+/// delivered message (the headline "allocation-free hot path" metric).
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to the system allocator unchanged;
+// the only addition is a relaxed counter increment.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Minimal JSON writer (serialization crates are stubbed offline; the
+/// format here is flat and fully controlled).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.1}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn measurement_json(label: &str, m: &HotPathMeasurement) -> String {
+    format!(
+        concat!(
+            "    \"{}\": {{\n",
+            "      \"msgs_sent\": {},\n",
+            "      \"msgs_delivered\": {},\n",
+            "      \"events\": {},\n",
+            "      \"wall_ns\": {},\n",
+            "      \"msgs_per_sec\": {},\n",
+            "      \"ns_per_delivery\": {},\n",
+            "      \"allocations\": {},\n",
+            "      \"allocs_per_delivery\": {}\n",
+            "    }}"
+        ),
+        label,
+        m.msgs_sent,
+        m.msgs_delivered,
+        m.events,
+        m.wall_ns,
+        json_f64(m.msgs_per_sec()),
+        json_f64(m.ns_per_delivery()),
+        m.allocations,
+        json_f64(m.allocs_per_delivery()),
+    )
+}
+
+fn run_bench(periods: u64, out_path: &str) {
+    println!(
+        "hot-path A/B: {HOTPATH_NODES}-node mesh, {periods} periods, \
+         loss {HOTPATH_LOSS_PPM} ppm/shard, FEC {HOTPATH_FEC:?}"
+    );
+    let seed = 7;
+
+    // Warm up both modes once (page-in, branch predictors, route caches).
+    let _ = hotpath::measure_hotpath(seed, false, periods / 10 + 1, &alloc_count);
+    let _ = hotpath::measure_hotpath(seed, true, periods / 10 + 1, &alloc_count);
+
+    let optimized = hotpath::measure_hotpath(seed, false, periods, &alloc_count);
+    let legacy = hotpath::measure_hotpath(seed, true, periods, &alloc_count);
+
+    let speedup = if optimized.wall_ns > 0 {
+        legacy.wall_ns as f64 / optimized.wall_ns as f64
+    } else {
+        f64::NAN
+    };
+
+    let report = |label: &str, m: &HotPathMeasurement| {
+        println!(
+            "  {label:<9} {:>12.0} msgs/s  {:>8.0} ns/delivery  {:>7.2} allocs/delivery  \
+             ({} delivered)",
+            m.msgs_per_sec(),
+            m.ns_per_delivery(),
+            m.allocs_per_delivery(),
+            m.msgs_delivered,
+        );
+    };
+    report("legacy", &legacy);
+    report("optimized", &optimized);
+    println!("  speedup   {speedup:.2}x (wall-clock, same scenario, same seed)");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"sim_hot_path\",\n",
+            "  \"scenario\": {{\n",
+            "    \"nodes\": {},\n",
+            "    \"topology\": \"mesh-4x5\",\n",
+            "    \"periods\": {},\n",
+            "    \"loss_ppm_per_shard\": {},\n",
+            "    \"fec\": [{}, {}],\n",
+            "    \"seed\": {}\n",
+            "  }},\n",
+            "  \"modes\": {{\n",
+            "{},\n",
+            "{}\n",
+            "  }},\n",
+            "  \"speedup\": {}\n",
+            "}}\n"
+        ),
+        HOTPATH_NODES,
+        periods,
+        HOTPATH_LOSS_PPM,
+        HOTPATH_FEC.0,
+        HOTPATH_FEC.1,
+        seed,
+        measurement_json("legacy", &legacy),
+        measurement_json("optimized", &optimized),
+        if speedup.is_finite() {
+            format!("{speedup:.2}")
+        } else {
+            "null".to_string()
+        },
+    );
+    match std::fs::write(out_path, &json) {
+        Ok(()) => println!("  wrote {out_path}"),
+        Err(e) => {
+            eprintln!("  failed to write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: harness [--list] <all | e1 .. e10 a1 a2 r1>...");
+        eprintln!("usage: harness [--list] <all | bench | e1 .. e10 a1 a2 r1>...");
         return;
     }
     if args.iter().any(|a| a == "--list") {
@@ -31,6 +178,19 @@ fn main() {
         println!("a1  plan-distance minimisation ablation");
         println!("a2  checker placement ablation");
         println!("r1  robustness to residual link loss");
+        println!("bench  simulator hot-path A/B (emits BENCH_sim.json)");
+        return;
+    }
+    if args.iter().any(|a| a == "bench") {
+        // `bench [periods]`: an optional positional period count lets CI
+        // run a quick smoke pass.
+        let periods = args
+            .iter()
+            .skip_while(|a| *a != "bench")
+            .nth(1)
+            .and_then(|a| a.parse().ok())
+            .unwrap_or(HOTPATH_PERIODS);
+        run_bench(periods, "BENCH_sim.json");
         return;
     }
     let run = |id: &str| match id {

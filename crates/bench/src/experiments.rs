@@ -7,9 +7,7 @@
 
 use btr_baselines::{Baseline, BaselineSystem};
 use btr_core::{BtrSystem, FaultScenario, Plant, PlantConfig};
-use btr_model::{
-    ATask, Criticality, Duration, FaultKind, FaultSet, NodeId, Time, Topology,
-};
+use btr_model::{ATask, Criticality, Duration, FaultKind, FaultSet, NodeId, Time, Topology};
 use btr_net::RoutingTable;
 use btr_planner::{
     build_strategy, lane_counts, plan_utility, strategy_quality, PlannerConfig, ReplicationMode,
@@ -91,8 +89,14 @@ pub fn e1_recovery_timeline() -> String {
 
     let w = generators::avionics(9);
     let topo = Topology::bus(9, 200_000, Duration(5));
-    let bft = BaselineSystem::plan(Baseline::BftMask, w.clone(), topo.clone(), 1, &SchedParams::default())
-        .expect("bft plannable");
+    let bft = BaselineSystem::plan(
+        Baseline::BftMask,
+        w.clone(),
+        topo.clone(),
+        1,
+        &SchedParams::default(),
+    )
+    .expect("bft plannable");
     let report = bft.run(
         &FaultScenario::single(victim, FaultKind::Commission, fault_at),
         horizon,
@@ -120,7 +124,10 @@ pub fn e1_recovery_timeline() -> String {
         "unbounded".into(),
         "eventual".into(),
     ]);
-    format!("## E1 — recovery timeline (fault at 52 ms)\n\n{}", t.render())
+    format!(
+        "## E1 — recovery timeline (fault at 52 ms)\n\n{}",
+        t.render()
+    )
 }
 
 /// E2 / Table 1 — replication cost: replicas, traffic, CPU.
@@ -152,7 +159,12 @@ pub fn e2_replica_cost(f: u8) -> String {
         format!("{:.2}", plan.max_utilization(w.period)),
     ]);
 
-    for b in [Baseline::BftMask, Baseline::PbftLite, Baseline::Zz, Baseline::SelfStab] {
+    for b in [
+        Baseline::BftMask,
+        Baseline::PbftLite,
+        Baseline::Zz,
+        Baseline::SelfStab,
+    ] {
         match BaselineSystem::plan(b, w.clone(), topo.clone(), f, &SchedParams::default()) {
             Ok(sys) => {
                 let report = sys.run(&FaultScenario::none(), horizon, 3);
@@ -199,7 +211,6 @@ pub fn e3_min_speed() -> String {
             utilization: util_pct as f64 / 100.0,
             period: ms(10),
             n_nodes: 6,
-            ..RandomParams::default()
         };
         let w = generators::random_layered(&p);
         let topo = Topology::bus(6, 200_000, Duration(5));
@@ -403,7 +414,7 @@ pub fn detection_latency(
     let mut t = Time::ZERO;
     let n = sys.topology().node_count();
     while t < Time::ZERO + horizon {
-        t = t + step;
+        t += step;
         world.run_until(t);
         let mut knowing = 0usize;
         let mut correct = 0usize;
@@ -453,7 +464,10 @@ pub fn e7_detection_latency() -> String {
         };
         t.row(vec![kind.label().into(), show(detect), show(converge)]);
     }
-    format!("## E7 — detection latency by fault type (f = 1)\n\n{}", t.render())
+    format!(
+        "## E7 — detection latency by fault type (f = 1)\n\n{}",
+        t.render()
+    )
 }
 
 /// E8 / Figure 6 — evidence distribution under bogus-evidence DoS.
@@ -492,7 +506,10 @@ pub fn e8_evidence_dissemination() -> String {
             (spam > 0).to_string(),
         ]);
     }
-    format!("## E8 — evidence distribution vs bogus-evidence DoS\n\n{}", t.render())
+    format!(
+        "## E8 — evidence distribution vs bogus-evidence DoS\n\n{}",
+        t.render()
+    )
 }
 
 /// E9 / Figure 7 — mode-change cost vs migrated state.
@@ -536,7 +553,10 @@ pub fn e9_mode_change() -> String {
             (window <= sys.strategy().r_bound).to_string(),
         ]);
     }
-    format!("## E9 — mode-change cost vs migrated state\n\n{}", t.render())
+    format!(
+        "## E9 — mode-change cost vs migrated state\n\n{}",
+        t.render()
+    )
 }
 
 fn scale_state(w: &Workload, state: u32) -> Workload {
@@ -628,7 +648,10 @@ pub fn r1_link_loss() -> String {
             report.converged.to_string(),
         ]);
     }
-    format!("## R1 — robustness to residual link loss (fault-free)\n\n{}", t.render())
+    format!(
+        "## R1 — robustness to residual link loss (fault-free)\n\n{}",
+        t.render()
+    )
 }
 
 /// A1 — plan-distance minimisation ablation.
@@ -659,7 +682,10 @@ pub fn a1_plan_distance() -> String {
             format!("{:.1}", report.recovery.bad_window().as_millis_f64()),
         ]);
     }
-    format!("## A1 — plan-distance minimisation ablation\n\n{}", t.render())
+    format!(
+        "## A1 — plan-distance minimisation ablation\n\n{}",
+        t.render()
+    )
 }
 
 /// A2 — checker placement ablation.
@@ -690,8 +716,7 @@ pub fn a2_checker_placement() -> String {
             })
             .unwrap_or(NodeId(0));
         let quiet = sys.run(&FaultScenario::none(), ms(200), 7);
-        let scenario =
-            FaultScenario::single(victim, FaultKind::Commission, Time::from_millis(52));
+        let scenario = FaultScenario::single(victim, FaultKind::Commission, Time::from_millis(52));
         let (detect, converge) = detection_latency(&sys, &scenario, victim, ms(400), 7);
         let show = |d: Option<Duration>| {
             d.map_or("> horizon".into(), |d| format!("{:.0}", d.as_millis_f64()))
@@ -774,18 +799,11 @@ pub mod kernels {
             utilization: 0.3,
             period: ms(10),
             n_nodes: 9,
-            ..RandomParams::default()
         };
         let w = generators::random_layered(&p);
         let topo = Topology::bus(9, 200_000, Duration(5));
         let routing = RoutingTable::new(&topo);
-        let lanes = lane_counts(
-            &w,
-            ReplicationMode::Detection,
-            1,
-            &Default::default(),
-            9,
-        );
+        let lanes = lane_counts(&w, ReplicationMode::Detection, 1, &Default::default(), 9);
         let placement = round_robin_placement(&w, &topo, &lanes, &[]);
         min_speed_pct(|pct| {
             let params = SchedParams {

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod hotpath;
 pub mod table;
 
 pub use experiments::*;

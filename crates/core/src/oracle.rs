@@ -16,9 +16,7 @@
 //! pattern are classified [`Verdict::Degraded`], and sinks that plan
 //! sheds are [`Verdict::Shed`] rather than missing.
 
-use btr_model::{
-    sensor_value, task_value, Criticality, Duration, PeriodIdx, TaskId, Time, Value,
-};
+use btr_model::{sensor_value, task_value, Criticality, Duration, PeriodIdx, TaskId, Time, Value};
 use btr_sim::Actuation;
 use btr_workload::{TaskKind, Workload};
 use serde::{Deserialize, Serialize};
@@ -207,10 +205,10 @@ impl RecoveryStats {
             if !v.verdict.acceptable() {
                 bad += 1;
                 let end = Time((v.period + 1) * period_us);
-                if first_bad.map_or(true, |t| end < t) {
+                if first_bad.is_none_or(|t| end < t) {
                     first_bad = Some(end);
                 }
-                if last_bad.map_or(true, |t| end > t) {
+                if last_bad.is_none_or(|t| end > t) {
                     last_bad = Some(end);
                 }
             }
@@ -272,7 +270,14 @@ mod tests {
         let mut b = WorkloadBuilder::new(ms(10), 3);
         let s = b.source("s", NodeId(0), Duration(100), Criticality::Safety, ms(10));
         let c = b.compute("c", &[s], Duration(100), Criticality::Safety, ms(10), 0);
-        b.sink("k", NodeId(1), &[c], Duration(50), Criticality::Safety, ms(9));
+        b.sink(
+            "k",
+            NodeId(1),
+            &[c],
+            Duration(50),
+            Criticality::Safety,
+            ms(9),
+        );
         b.build().unwrap()
     }
 
@@ -289,7 +294,10 @@ mod tests {
     #[test]
     fn reference_is_deterministic_and_plan_aware() {
         let w = wl();
-        assert_eq!(reference_value(&w, TaskId(2), 4), reference_value(&w, TaskId(2), 4));
+        assert_eq!(
+            reference_value(&w, TaskId(2), 4),
+            reference_value(&w, TaskId(2), 4)
+        );
         // Shedding the source kills the whole chain.
         let shed = BTreeSet::from([TaskId(0)]);
         assert_eq!(shed_aware_value(&w, &shed, TaskId(2), 0), None);
@@ -304,9 +312,9 @@ mod tests {
     fn judge_classifies_correct_wrong_missing_late() {
         let w = wl();
         let acts = vec![
-            act(&w, 0, 0, 5_000),       // Correct, on time.
-            act(&w, 1, 0xff, 15_000),   // Wrong value.
-            act(&w, 3, 0, 39_999),      // Right value but past 9 ms + slack.
+            act(&w, 0, 0, 5_000),     // Correct, on time.
+            act(&w, 1, 0xff, 15_000), // Wrong value.
+            act(&w, 3, 0, 39_999),    // Right value but past 9 ms + slack.
         ];
         let v = judge(&w, &acts, 4, &BTreeSet::new(), None, Duration(100));
         assert_eq!(v[0].verdict, Verdict::Correct);
@@ -336,7 +344,14 @@ mod tests {
             act(&w, 2, 1, 25_000), // Bad.
             act(&w, 3, 0, 35_000), // Recovered.
         ];
-        let v = judge(&w, &acts, 4, &BTreeSet::new(), Some(Time(12_000)), Duration(100));
+        let v = judge(
+            &w,
+            &acts,
+            4,
+            &BTreeSet::new(),
+            Some(Time(12_000)),
+            Duration(100),
+        );
         let r = RecoveryStats::from_verdicts(&w, &v, Some(Time(12_000)));
         assert_eq!(r.bad_outputs, 2);
         assert_eq!(r.first_bad, Some(Time(20_000)));
@@ -359,7 +374,14 @@ mod tests {
     fn masked_fault_recovers_in_zero() {
         let w = wl();
         let acts = vec![act(&w, 0, 0, 5_000)];
-        let v = judge(&w, &acts, 1, &BTreeSet::new(), Some(Time(1_000)), Duration(100));
+        let v = judge(
+            &w,
+            &acts,
+            1,
+            &BTreeSet::new(),
+            Some(Time(1_000)),
+            Duration(100),
+        );
         let r = RecoveryStats::from_verdicts(&w, &v, Some(Time(1_000)));
         assert_eq!(r.recovery_time, Some(Duration::ZERO));
     }

@@ -95,9 +95,7 @@ impl Plant {
         for p in 0..=max_period {
             let ok = verdicts
                 .iter()
-                .filter(|v| {
-                    v.period == p && v.criticality == btr_model::Criticality::Safety
-                })
+                .filter(|v| v.period == p && v.criticality == btr_model::Criticality::Safety)
                 .all(|v| v.verdict.acceptable());
             plant.step(ok);
         }
@@ -198,7 +196,10 @@ mod tests {
         for _ in 0..3 {
             safe.step(false);
         }
-        assert!(!safe.damaged(), "R = D/f provisioning survives k = f faults");
+        assert!(
+            !safe.damaged(),
+            "R = D/f provisioning survives k = f faults"
+        );
 
         // Back-to-back without recovery (the adversary's best case when
         // R = D is provisioned naively): damage.

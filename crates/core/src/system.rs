@@ -294,7 +294,10 @@ mod tests {
         // The tail of the run is acceptable again.
         let tl = report.timeline();
         let tail = &tl[tl.len().saturating_sub(3)..];
-        assert!(tail.iter().all(|(_, f)| *f == 1.0), "tail not clean: {tail:?}");
+        assert!(
+            tail.iter().all(|(_, f)| *f == 1.0),
+            "tail not clean: {tail:?}"
+        );
     }
 
     #[test]

@@ -93,7 +93,10 @@ mod tests {
         c.append(b"send m1");
         c.append(b"recv m2");
         let head = c.head();
-        assert_eq!(HashChain::replay(b"node-3", &[b"send m1", b"recv m2"]), head);
+        assert_eq!(
+            HashChain::replay(b"node-3", &[b"send m1", b"recv m2"]),
+            head
+        );
     }
 
     #[test]

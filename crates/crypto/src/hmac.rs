@@ -11,11 +11,16 @@ const OPAD: u8 = 0x5c;
 
 /// A secret HMAC key.
 ///
-/// Holds the preprocessed (padded or hashed) key material so repeated MAC
-/// computations avoid re-deriving it.
+/// Holds the *midstates* of SHA-256 after absorbing the inner and outer
+/// padded key blocks, so every MAC computation (the simulator signs and
+/// verifies one per message) skips the two key-block compressions and the
+/// pad XORs that a from-scratch HMAC pays.
 #[derive(Clone)]
 pub struct HmacKey {
-    padded: [u8; BLOCK],
+    /// SHA-256 state after absorbing `key ⊕ ipad`.
+    inner0: Sha256,
+    /// SHA-256 state after absorbing `key ⊕ opad`.
+    outer0: Sha256,
 }
 
 impl std::fmt::Debug for HmacKey {
@@ -35,35 +40,69 @@ impl HmacKey {
         } else {
             padded[..key.len()].copy_from_slice(key);
         }
-        HmacKey { padded }
+        let mut ipad = [0u8; BLOCK];
+        let mut opad = [0u8; BLOCK];
+        for (i, b) in padded.iter().enumerate() {
+            ipad[i] = b ^ IPAD;
+            opad[i] = b ^ OPAD;
+        }
+        let mut inner0 = Sha256::new();
+        inner0.update(&ipad);
+        let mut outer0 = Sha256::new();
+        outer0.update(&opad);
+        HmacKey { inner0, outer0 }
+    }
+
+    /// Begin a streaming MAC computation over message parts fed via
+    /// [`HmacState::update`]. Equivalent to [`HmacKey::mac`] over the
+    /// concatenation, with no intermediate buffer.
+    pub fn begin(&self) -> HmacState {
+        HmacState {
+            inner: self.inner0.clone(),
+            outer: self.outer0.clone(),
+        }
     }
 
     /// Compute `HMAC(key, msg)` over a list of message parts.
     pub fn mac_parts(&self, parts: &[&[u8]]) -> Digest {
-        let mut inner = Sha256::new();
-        let mut ipad = [0u8; BLOCK];
-        for (i, b) in self.padded.iter().enumerate() {
-            ipad[i] = b ^ IPAD;
-        }
-        inner.update(&ipad);
+        let mut st = self.begin();
         for p in parts {
-            inner.update(p);
+            st.update(p);
         }
-        let inner_digest = inner.finalize();
-
-        let mut outer = Sha256::new();
-        let mut opad = [0u8; BLOCK];
-        for (i, b) in self.padded.iter().enumerate() {
-            opad[i] = b ^ OPAD;
-        }
-        outer.update(&opad);
-        outer.update(&inner_digest.0);
-        outer.finalize()
+        st.finalize()
     }
 
     /// Compute `HMAC(key, msg)` over a single message slice.
     pub fn mac(&self, msg: &[u8]) -> Digest {
         self.mac_parts(&[msg])
+    }
+}
+
+/// An in-progress streaming HMAC computation (see [`HmacKey::begin`]).
+#[derive(Clone)]
+pub struct HmacState {
+    inner: Sha256,
+    outer: Sha256,
+}
+
+impl std::fmt::Debug for HmacState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("HmacState(..)")
+    }
+}
+
+impl HmacState {
+    /// Absorb more message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Finish and produce the MAC.
+    pub fn finalize(self) -> Digest {
+        let inner_digest = self.inner.finalize();
+        let mut outer = self.outer;
+        outer.update(&inner_digest.0);
+        outer.finalize()
     }
 }
 
@@ -113,6 +152,16 @@ mod tests {
     fn mac_parts_equals_concat() {
         let k = HmacKey::new(b"key");
         assert_eq!(k.mac_parts(&[b"ab", b"cd"]), k.mac(b"abcd"));
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let k = HmacKey::new(b"stream-key");
+        let mut st = k.begin();
+        st.update(b"what do ya want ");
+        st.update(b"");
+        st.update(b"for nothing?");
+        assert_eq!(st.finalize(), k.mac(b"what do ya want for nothing?"));
     }
 
     #[test]

@@ -23,11 +23,13 @@
 
 pub mod chain;
 pub mod hmac;
+pub mod rng;
 pub mod sha256;
 pub mod sign;
 
 pub use chain::{ChainEntry, HashChain};
-pub use hmac::{hmac_sha256, HmacKey};
+pub use hmac::{hmac_sha256, HmacKey, HmacState};
+pub use rng::{SplitMix64, Xoshiro256StarStar};
 pub use sha256::{sha256, Digest, Sha256};
 pub use sign::{KeyStore, NodeKey, SigError, Signature, Signer};
 

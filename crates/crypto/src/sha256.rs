@@ -29,9 +29,12 @@ impl Digest {
 
     /// Parse a 64-character hex string into a digest.
     ///
-    /// Returns `None` if the string is not exactly 64 hex characters.
+    /// Returns `None` if the string is not exactly 64 ASCII hex
+    /// characters. Non-ASCII input is rejected up front: a multi-byte
+    /// character can make the *byte* length 64 without the string being
+    /// 64 hex digits, and the nibble loop should never see such bytes.
     pub fn from_hex(s: &str) -> Option<Digest> {
-        if s.len() != 64 {
+        if s.len() != 64 || !s.is_ascii() {
             return None;
         }
         let mut out = [0u8; 32];
@@ -280,6 +283,38 @@ mod tests {
         assert_eq!(Digest::from_hex(&d.to_hex()), Some(d));
         assert_eq!(Digest::from_hex("zz"), None);
         assert_eq!(Digest::from_hex(&"g".repeat(64)), None);
+    }
+
+    #[test]
+    fn hex_round_trips_arbitrary_digests() {
+        for i in 0..32u8 {
+            let mut raw = [0u8; 32];
+            raw[i as usize] = 0x80 | i;
+            raw[31 - i as usize] ^= i.wrapping_mul(37);
+            let d = Digest(raw);
+            let hex = d.to_hex();
+            assert_eq!(hex.len(), 64);
+            assert_eq!(Digest::from_hex(&hex), Some(d));
+            assert_eq!(d.short(), hex[..8].to_string());
+        }
+        assert_eq!(Digest::ZERO.to_hex(), "0".repeat(64));
+        assert_eq!(Digest::from_hex(&"0".repeat(64)), Some(Digest::ZERO));
+    }
+
+    #[test]
+    fn from_hex_rejects_non_ascii() {
+        // 32 two-byte UTF-8 characters: byte length 64, but not 64 hex
+        // digits. Must be rejected before the nibble loop.
+        let tricky = "é".repeat(32);
+        assert_eq!(tricky.len(), 64);
+        assert_eq!(Digest::from_hex(&tricky), None);
+        // Mixed: 62 valid hex digits plus one two-byte char.
+        let mixed = format!("{}é", "a".repeat(62));
+        assert_eq!(mixed.len(), 64);
+        assert_eq!(Digest::from_hex(&mixed), None);
+        // Wrong lengths.
+        assert_eq!(Digest::from_hex(&"a".repeat(63)), None);
+        assert_eq!(Digest::from_hex(&"a".repeat(65)), None);
     }
 
     #[test]

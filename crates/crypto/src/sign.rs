@@ -204,10 +204,7 @@ mod tests {
     fn tampered_message_rejected() {
         let (signers, store) = setup(2);
         let sig = signers[0].sign(b"open valve");
-        assert_eq!(
-            store.verify(&sig, b"close valve"),
-            Err(SigError::BadTag(0))
-        );
+        assert_eq!(store.verify(&sig, b"close valve"), Err(SigError::BadTag(0)));
     }
 
     #[test]

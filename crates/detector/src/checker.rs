@@ -198,7 +198,7 @@ impl ReplicaChecker {
     pub fn missing_lanes(&self, period: PeriodIdx) -> Vec<(ReplicaIdx, NodeId)> {
         let seen = self.arrived.get(&period);
         (0..self.cfg.lanes)
-            .filter(|r| seen.map_or(true, |v| !v.contains(r)))
+            .filter(|r| seen.is_none_or(|v| !v.contains(r)))
             .filter_map(|r| self.cfg.lane_nodes.get(r as usize).map(|&n| (r, n)))
             .collect()
     }
@@ -251,7 +251,15 @@ mod tests {
 
     fn input(p: PeriodIdx) -> SignedOutput {
         let v = sensor_value(TaskId(0), p, 3);
-        SignedOutput::sign(&signer(0), TaskId(0), 0, p, v, inputs_digest(&[]), NodeId(0))
+        SignedOutput::sign(
+            &signer(0),
+            TaskId(0),
+            0,
+            p,
+            v,
+            inputs_digest(&[]),
+            NodeId(0),
+        )
     }
 
     #[test]
@@ -309,10 +317,7 @@ mod tests {
     #[test]
     fn missing_lanes_reported_until_arrival() {
         let mut chk = ReplicaChecker::new(cfg());
-        assert_eq!(
-            chk.missing_lanes(7),
-            vec![(0, NodeId(1)), (1, NodeId(2))]
-        );
+        assert_eq!(chk.missing_lanes(7), vec![(0, NodeId(1)), (1, NodeId(2))]);
         let w = input(7);
         let vals = [(TaskId(0), w.value)];
         let o = SignedOutput::sign(

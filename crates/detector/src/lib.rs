@@ -34,9 +34,7 @@ pub use timing::{HeartbeatMonitor, TimingWatch};
 
 use btr_crypto::{KeyStore, Signature, Signer};
 use btr_model::evidence::WorkloadView;
-use btr_model::{
-    EvidenceId, EvidenceRecord, NodeId, PeriodIdx, SignedOutput, TaskId, Time,
-};
+use btr_model::{EvidenceId, EvidenceRecord, NodeId, PeriodIdx, SignedOutput, TaskId, Time};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Per-node detector facade combining all detection mechanisms.
@@ -133,9 +131,9 @@ impl Detector {
         }
         // Timing declaration for late arrivals.
         if let Some(deadline) = expected_by {
-            if let Some(ev) =
-                self.timing
-                    .observe(signer, self.node, &output, deadline, arrived_at)
+            if let Some(ev) = self
+                .timing
+                .observe(signer, self.node, &output, deadline, arrived_at)
             {
                 out.push(ev);
             }
@@ -295,10 +293,23 @@ mod tests {
 
     fn src_out(p: PeriodIdx) -> SignedOutput {
         let v = sensor_value(TaskId(0), p, 9);
-        SignedOutput::sign(&signer(0), TaskId(0), 0, p, v, inputs_digest(&[]), NodeId(0))
+        SignedOutput::sign(
+            &signer(0),
+            TaskId(0),
+            0,
+            p,
+            v,
+            inputs_digest(&[]),
+            NodeId(0),
+        )
     }
 
-    fn lane_out(p: PeriodIdx, lane: u8, node: u32, value_xor: Value) -> (SignedOutput, Vec<SignedOutput>) {
+    fn lane_out(
+        p: PeriodIdx,
+        lane: u8,
+        node: u32,
+        value_xor: Value,
+    ) -> (SignedOutput, Vec<SignedOutput>) {
         let input = src_out(p);
         let vals = [(TaskId(0), input.value)];
         let v = task_value(TaskId(1), p, &vals) ^ value_xor;
@@ -364,12 +375,18 @@ mod tests {
         let mut d = Detector::new(NodeId(3), 3, 3);
         let s = signer(3);
         let (o, w) = lane_out(1, 0, 1, 0);
-        let evs = d.observe_output(&ks(), &s, &View, o, &w, Time(9_000), Some(Time(5_000)), None);
+        let evs = d.observe_output(
+            &ks(),
+            &s,
+            &View,
+            o,
+            &w,
+            Time(9_000),
+            Some(Time(5_000)),
+            None,
+        );
         assert_eq!(evs.len(), 1);
-        assert!(matches!(
-            evs[0],
-            EvidenceRecord::TimingDeclaration { .. }
-        ));
+        assert!(matches!(evs[0], EvidenceRecord::TimingDeclaration { .. }));
         assert_eq!(evs[0].verify(&ks(), &View), Ok(()));
     }
 
@@ -425,8 +442,10 @@ mod tests {
     #[test]
     fn attribution_via_declarations() {
         let mut d = Detector::new(NodeId(3), 3, 2);
-        let decl1 = EvidenceRecord::declare_path(&signer(5), NodeId(5), NodeId(4), NodeId(5), TaskId(1), 1);
-        let decl2 = EvidenceRecord::declare_path(&signer(6), NodeId(6), NodeId(4), NodeId(6), TaskId(1), 2);
+        let decl1 =
+            EvidenceRecord::declare_path(&signer(5), NodeId(5), NodeId(4), NodeId(5), TaskId(1), 1);
+        let decl2 =
+            EvidenceRecord::declare_path(&signer(6), NodeId(6), NodeId(4), NodeId(6), TaskId(1), 2);
         assert!(d.record_declaration(&decl1).is_empty());
         let newly = d.record_declaration(&decl2);
         assert_eq!(newly, vec![NodeId(4)]);

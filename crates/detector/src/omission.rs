@@ -48,9 +48,7 @@ impl OmissionTracker {
         set.insert(peer);
         let periods = self.periods.entry(suspect).or_default();
         periods.insert(period);
-        set.len() >= self.threshold
-            && periods.len() >= 2
-            && self.attributed.insert(suspect)
+        set.len() >= self.threshold && periods.len() >= 2 && self.attributed.insert(suspect)
     }
 
     /// Record a problematic-path declaration observed in `period`;
@@ -159,10 +157,7 @@ mod tests {
     fn crash_suspicions_accumulate() {
         let mut t = OmissionTracker::new(2);
         assert!(t.record_suspicion(NodeId(1), NodeId(9), 0).is_empty());
-        assert_eq!(
-            t.record_suspicion(NodeId(2), NodeId(9), 1),
-            vec![NodeId(9)]
-        );
+        assert_eq!(t.record_suspicion(NodeId(2), NodeId(9), 1), vec![NodeId(9)]);
         // Already attributed: no re-report.
         assert!(t.record_suspicion(NodeId(3), NodeId(9), 2).is_empty());
     }

@@ -102,7 +102,15 @@ mod tests {
     }
 
     fn out(p: PeriodIdx) -> SignedOutput {
-        SignedOutput::sign(&signer(1), TaskId(2), 0, p, 42, inputs_digest(&[]), NodeId(1))
+        SignedOutput::sign(
+            &signer(1),
+            TaskId(2),
+            0,
+            p,
+            42,
+            inputs_digest(&[]),
+            NodeId(1),
+        )
     }
 
     #[test]

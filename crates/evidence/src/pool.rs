@@ -234,7 +234,10 @@ mod tests {
                 ..
             } if n == NodeId(2)
         ));
-        assert_eq!(pool.admit(&ks(), &View, NodeId(3), &r, 0), AdmitOutcome::Duplicate);
+        assert_eq!(
+            pool.admit(&ks(), &View, NodeId(3), &r, 0),
+            AdmitOutcome::Duplicate
+        );
         assert!(pool.convicted().contains(&NodeId(2)));
         assert_eq!(pool.len(), 1);
     }
@@ -298,7 +301,10 @@ mod tests {
             AdmitOutcome::Rejected(_)
         ));
         // Same bogus record again (any sender): constant-time duplicate.
-        assert_eq!(pool.admit(&ks(), &View, NodeId(2), &b, 0), AdmitOutcome::Duplicate);
+        assert_eq!(
+            pool.admit(&ks(), &View, NodeId(2), &b, 0),
+            AdmitOutcome::Duplicate
+        );
         assert!(pool.is_empty());
     }
 

@@ -6,54 +6,140 @@
 //! encoding used for everything that is ever signed. (We deliberately do
 //! not sign `serde_json` output — field order and float formatting would
 //! make canonicalisation fragile.)
+//!
+//! An [`Enc`] can write to three kinds of output, so the same encoding
+//! routine serves the cold path (owned buffer), the simulator's hot path
+//! (a caller-owned scratch buffer, no allocation), and size queries
+//! (counting only, no bytes materialised at all):
+//!
+//! * [`Enc::new`] — owned `Vec<u8>`, retrieved with [`Enc::finish`].
+//! * [`Enc::over`] — borrowed scratch buffer, cleared and refilled.
+//! * [`Enc::count`] — byte counting via [`Enc::len`].
 
-/// Incrementally builds a canonical byte string.
-#[derive(Debug, Default, Clone)]
-pub struct Enc {
-    buf: Vec<u8>,
+enum Out<'a> {
+    Owned(Vec<u8>),
+    Borrowed(&'a mut Vec<u8>),
+    Count(usize),
 }
 
-impl Enc {
-    /// Start an encoding with a domain-separation tag.
-    pub fn new(domain: &str) -> Self {
-        let mut e = Enc { buf: Vec::new() };
+/// Incrementally builds (or sizes) a canonical byte string.
+pub struct Enc<'a> {
+    out: Out<'a>,
+}
+
+impl std::fmt::Debug for Enc<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Enc({} bytes)", self.len())
+    }
+}
+
+impl Enc<'static> {
+    /// Start an owned encoding with a domain-separation tag.
+    pub fn new(domain: &str) -> Enc<'static> {
+        let mut e = Enc {
+            out: Out::Owned(Vec::new()),
+        };
         e.bytes(domain.as_bytes());
         e
     }
 
+    /// Start a counting encoding: no bytes are written, but [`Enc::len`]
+    /// reports exactly what [`Enc::new`] would have produced.
+    pub fn count(domain: &str) -> Enc<'static> {
+        let mut e = Enc { out: Out::Count(0) };
+        e.bytes(domain.as_bytes());
+        e
+    }
+}
+
+impl<'a> Enc<'a> {
+    /// Start an encoding into a caller-owned scratch buffer (cleared
+    /// first). The buffer keeps its capacity across uses, so a reused
+    /// scratch makes encoding allocation-free in steady state.
+    pub fn over(buf: &'a mut Vec<u8>, domain: &str) -> Enc<'a> {
+        buf.clear();
+        let mut e = Enc {
+            out: Out::Borrowed(buf),
+        };
+        e.bytes(domain.as_bytes());
+        e
+    }
+
+    #[inline]
+    fn raw(&mut self, v: &[u8]) {
+        match &mut self.out {
+            Out::Owned(b) => b.extend_from_slice(v),
+            Out::Borrowed(b) => b.extend_from_slice(v),
+            Out::Count(n) => *n += v.len(),
+        }
+    }
+
     /// Append a `u8`.
+    #[inline]
     pub fn u8(&mut self, v: u8) -> &mut Self {
-        self.buf.push(v);
+        self.raw(&[v]);
         self
     }
 
     /// Append a `u32` (big-endian).
+    #[inline]
     pub fn u32(&mut self, v: u32) -> &mut Self {
-        self.buf.extend_from_slice(&v.to_be_bytes());
+        self.raw(&v.to_be_bytes());
         self
     }
 
     /// Append a `u64` (big-endian).
+    #[inline]
     pub fn u64(&mut self, v: u64) -> &mut Self {
-        self.buf.extend_from_slice(&v.to_be_bytes());
+        self.raw(&v.to_be_bytes());
         self
     }
 
     /// Append a length-prefixed byte string.
+    #[inline]
     pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
         self.u64(v.len() as u64);
-        self.buf.extend_from_slice(v);
+        self.raw(v);
         self
     }
 
+    /// Bytes written (or counted) so far.
+    pub fn len(&self) -> usize {
+        match &self.out {
+            Out::Owned(b) => b.len(),
+            Out::Borrowed(b) => b.len(),
+            Out::Count(n) => *n,
+        }
+    }
+
+    /// True if nothing has been written (never, once a domain is in).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Finish and return the canonical bytes.
+    ///
+    /// # Panics
+    /// Panics for counting or borrowed encoders — those callers read the
+    /// scratch buffer or [`Enc::len`] instead.
     pub fn finish(self) -> Vec<u8> {
-        self.buf
+        match self.out {
+            Out::Owned(b) => b,
+            Out::Borrowed(_) => panic!("finish() on a borrowed Enc; read the scratch buffer"),
+            Out::Count(_) => panic!("finish() on a counting Enc; use len()"),
+        }
     }
 
     /// View the bytes so far.
+    ///
+    /// # Panics
+    /// Panics for counting encoders, which materialise no bytes.
     pub fn as_slice(&self) -> &[u8] {
-        &self.buf
+        match &self.out {
+            Out::Owned(b) => b,
+            Out::Borrowed(b) => b,
+            Out::Count(_) => panic!("as_slice() on a counting Enc"),
+        }
     }
 }
 
@@ -85,5 +171,39 @@ mod tests {
         let a = Enc::new("domain-a").finish();
         let b = Enc::new("domain-b").finish();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn borrowed_matches_owned() {
+        let mut owned = Enc::new("t");
+        owned.u8(7).u32(8).u64(9).bytes(b"abc");
+        let expected = owned.finish();
+
+        let mut scratch = Vec::new();
+        {
+            let mut e = Enc::over(&mut scratch, "t");
+            e.u8(7).u32(8).u64(9).bytes(b"abc");
+            assert_eq!(e.len(), expected.len());
+        }
+        assert_eq!(scratch, expected);
+
+        // Reuse keeps capacity and clears content.
+        let cap = scratch.capacity();
+        {
+            let mut e = Enc::over(&mut scratch, "t");
+            e.u8(1);
+        }
+        assert!(scratch.capacity() >= cap.min(scratch.len()));
+        assert_ne!(scratch, expected);
+    }
+
+    #[test]
+    fn count_matches_owned() {
+        let mut owned = Enc::new("count-me");
+        owned.u8(1).u32(2).u64(3).bytes(&[0u8; 17]);
+        let mut counter = Enc::count("count-me");
+        counter.u8(1).u32(2).u64(3).bytes(&[0u8; 17]);
+        assert_eq!(counter.len(), owned.finish().len());
+        assert!(!counter.is_empty());
     }
 }

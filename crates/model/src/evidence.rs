@@ -73,14 +73,38 @@ impl SignedOutput {
         inputs_digest: u64,
         producer: NodeId,
     ) -> Vec<u8> {
-        let mut e = Enc::new("btr-output");
+        let mut buf = Vec::new();
+        Self::write_signing_bytes(
+            task,
+            replica,
+            period,
+            value,
+            inputs_digest,
+            producer,
+            &mut buf,
+        );
+        buf
+    }
+
+    /// Write the signing bytes into a caller-owned scratch buffer
+    /// (cleared first); allocation-free once the scratch has warmed up.
+    #[allow(clippy::too_many_arguments)]
+    pub fn write_signing_bytes(
+        task: TaskId,
+        replica: ReplicaIdx,
+        period: PeriodIdx,
+        value: Value,
+        inputs_digest: u64,
+        producer: NodeId,
+        buf: &mut Vec<u8>,
+    ) {
+        let mut e = Enc::over(buf, "btr-output");
         e.u32(task.0)
             .u8(replica)
             .u64(period)
             .u64(value)
             .u64(inputs_digest)
             .u32(producer.0);
-        e.finish()
     }
 
     /// Produce a signed output (called by the producing node).
@@ -108,22 +132,30 @@ impl SignedOutput {
 
     /// Verify the producer's signature.
     pub fn verify(&self, ks: &KeyStore) -> Result<(), EvidenceFlaw> {
+        let mut scratch = Vec::new();
+        self.verify_with(ks, &mut scratch)
+    }
+
+    /// Like [`SignedOutput::verify`], writing the signing bytes into a
+    /// reusable scratch buffer instead of allocating.
+    pub fn verify_with(&self, ks: &KeyStore, scratch: &mut Vec<u8>) -> Result<(), EvidenceFlaw> {
         if self.sig.key != self.producer.0 {
             return Err(EvidenceFlaw::BadSignature);
         }
-        let bytes = Self::signing_bytes(
+        Self::write_signing_bytes(
             self.task,
             self.replica,
             self.period,
             self.value,
             self.inputs_digest,
             self.producer,
+            scratch,
         );
-        ks.verify(&self.sig, &bytes)
+        ks.verify(&self.sig, scratch)
             .map_err(|_| EvidenceFlaw::BadSignature)
     }
 
-    fn encode(&self, e: &mut Enc) {
+    fn encode(&self, e: &mut Enc<'_>) {
         e.u32(self.task.0)
             .u8(self.replica)
             .u64(self.period)
@@ -655,12 +687,31 @@ impl EvidenceRecord {
 }
 
 impl SignedOutput {
+    /// Length of [`SignedOutput::canonical_id_bytes`]; every field is
+    /// fixed-size, so callers embedding an id can write the length prefix
+    /// first and stream the encoding without building it. Checked against
+    /// the actual encoding by a test.
+    pub const CANONICAL_ID_LEN: usize = {
+        let domain = 8 + "btr-output-id".len();
+        let fields = 4 + 1 + 8 + 8 + 8 + 4; // task, replica, period, value, digest, producer
+        let sig = 4 + (8 + 32); // key id + length-prefixed tag
+        domain + fields + sig
+    };
+
     /// Bytes that uniquely identify this output (including its signature),
     /// used when a declaration references an output.
     pub fn canonical_id_bytes(&self) -> Vec<u8> {
         let mut e = Enc::new("btr-output-id");
         self.encode(&mut e);
         e.finish()
+    }
+
+    /// Stream the id encoding (exactly [`SignedOutput::CANONICAL_ID_LEN`]
+    /// bytes) into an in-progress encoder, avoiding the intermediate
+    /// vector of [`SignedOutput::canonical_id_bytes`].
+    pub fn encode_id(&self, e: &mut Enc<'_>) {
+        e.bytes(b"btr-output-id");
+        self.encode(e);
     }
 }
 
@@ -673,8 +724,8 @@ mod tests {
     impl WorkloadView for TestView {
         fn inputs_of_task(&self, task: TaskId) -> Option<Vec<TaskId>> {
             match task.0 {
-                0 | 1 => Some(vec![]),                  // Sources.
-                2 => Some(vec![TaskId(0), TaskId(1)]),  // Fusion.
+                0 | 1 => Some(vec![]),                 // Sources.
+                2 => Some(vec![TaskId(0), TaskId(1)]), // Fusion.
                 _ => None,
             }
         }
@@ -702,6 +753,37 @@ mod tests {
         let mut forged = out.clone();
         forged.value = 0xbeef;
         assert_eq!(forged.verify(&keystore()), Err(EvidenceFlaw::BadSignature));
+    }
+
+    #[test]
+    fn canonical_id_len_is_exact() {
+        let s = signer(3);
+        let out = SignedOutput::sign(&s, TaskId(2), 1, 5, u64::MAX, 0, NodeId(3));
+        assert_eq!(
+            out.canonical_id_bytes().len(),
+            SignedOutput::CANONICAL_ID_LEN
+        );
+        // Streaming must reproduce the owned encoding byte for byte.
+        let mut e = Enc::new("outer");
+        e.u64(SignedOutput::CANONICAL_ID_LEN as u64);
+        out.encode_id(&mut e);
+        let mut reference = Enc::new("outer");
+        reference.bytes(&out.canonical_id_bytes());
+        assert_eq!(e.finish(), reference.finish());
+    }
+
+    #[test]
+    fn scratch_verify_matches_allocating_verify() {
+        let s = signer(3);
+        let out = SignedOutput::sign(&s, TaskId(2), 0, 5, 0xdead, 0, NodeId(3));
+        let mut scratch = vec![1, 2, 3];
+        assert_eq!(out.verify_with(&keystore(), &mut scratch), Ok(()));
+        let mut forged = out.clone();
+        forged.period = 6;
+        assert_eq!(
+            forged.verify_with(&keystore(), &mut scratch),
+            Err(EvidenceFlaw::BadSignature)
+        );
     }
 
     #[test]
@@ -773,7 +855,13 @@ mod tests {
         let correct = task_value(TaskId(2), 5, &vals);
         // Node 3 outputs something wrong (committing to the real inputs).
         let wrong = SignedOutput::sign(
-            &signer(3), TaskId(2), 0, 5, correct ^ 1, digest_of(&inputs), NodeId(3),
+            &signer(3),
+            TaskId(2),
+            0,
+            5,
+            correct ^ 1,
+            digest_of(&inputs),
+            NodeId(3),
         );
         let ev = EvidenceRecord::BadComputation {
             accused: NodeId(3),
@@ -789,7 +877,13 @@ mod tests {
         let vals: Vec<(TaskId, Value)> = inputs.iter().map(|i| (i.task, i.value)).collect();
         let correct = task_value(TaskId(2), 5, &vals);
         let out = SignedOutput::sign(
-            &signer(3), TaskId(2), 0, 5, correct, digest_of(&inputs), NodeId(3),
+            &signer(3),
+            TaskId(2),
+            0,
+            5,
+            correct,
+            digest_of(&inputs),
+            NodeId(3),
         );
         let ev = EvidenceRecord::BadComputation {
             accused: NodeId(3),
@@ -808,7 +902,13 @@ mod tests {
         let vals: Vec<(TaskId, Value)> = inputs.iter().map(|i| (i.task, i.value)).collect();
         let correct = task_value(TaskId(2), 5, &vals);
         let out = SignedOutput::sign(
-            &signer(3), TaskId(2), 0, 5, correct, digest_of(&inputs), NodeId(3),
+            &signer(3),
+            TaskId(2),
+            0,
+            5,
+            correct,
+            digest_of(&inputs),
+            NodeId(3),
         );
         // Accuser drops one input so re-execution would differ.
         let ev = EvidenceRecord::BadComputation {
@@ -826,9 +926,7 @@ mod tests {
     fn bad_source_reading_convicted() {
         // Source 0 reports a reading that differs from its sensor value.
         let honest = sensor_value(TaskId(0), 9, 7);
-        let out = SignedOutput::sign(
-            &signer(0), TaskId(0), 0, 9, honest ^ 0xff, 0, NodeId(0),
-        );
+        let out = SignedOutput::sign(&signer(0), TaskId(0), 0, 9, honest ^ 0xff, 0, NodeId(0));
         let ev = EvidenceRecord::BadComputation {
             accused: NodeId(0),
             output: out,
@@ -888,7 +986,8 @@ mod tests {
     #[test]
     fn forged_declaration_signature_rejected() {
         // Node 5 forges a declaration in node 2's name.
-        let d = EvidenceRecord::declare_path(&signer(5), NodeId(2), NodeId(2), NodeId(4), TaskId(2), 7);
+        let d =
+            EvidenceRecord::declare_path(&signer(5), NodeId(2), NodeId(2), NodeId(4), TaskId(2), 7);
         assert_eq!(
             d.verify(&keystore(), &TestView),
             Err(EvidenceFlaw::BadSignature)
@@ -911,7 +1010,7 @@ mod tests {
         let input_1 = SignedOutput::sign(&signer(1), TaskId(1), 0, p, v1, empty, NodeId(1));
 
         // Honest replica consumed A (and input 1).
-        let consumed = vec![input_a, input_1.clone()];
+        let consumed = [input_a, input_1.clone()];
         let vals: Vec<(TaskId, Value)> = consumed.iter().map(|i| (i.task, i.value)).collect();
         let honest_out = SignedOutput::sign(
             &signer(3),

@@ -28,13 +28,12 @@ pub mod topology;
 
 pub use compute::{inputs_digest, sensor_value, task_value, Value};
 pub use criticality::Criticality;
-pub use evidence::{EvidenceClass, EvidenceId, EvidenceRecord, SignedOutput};
+pub use evidence::{EvidenceClass, EvidenceFlaw, EvidenceId, EvidenceRecord, SignedOutput};
 pub use fault::{FaultKind, FaultSet};
 pub use ids::{LinkId, NodeId, PeriodIdx, PlanId, ReplicaIdx, TaskId};
 pub use message::{Envelope, Payload};
 pub use plan::{
-    ATask, LinkAlloc, Migration, NodeSchedule, Plan, PlanError, ScheduleEntry, Strategy,
-    Transition,
+    ATask, LinkAlloc, Migration, NodeSchedule, Plan, PlanError, ScheduleEntry, Strategy, Transition,
 };
 pub use time::{Duration, Time};
 pub use topology::{LinkSpec, NodeSpec, Topology, TopologyBuilder, TopologyError};

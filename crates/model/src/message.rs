@@ -99,12 +99,30 @@ impl Payload {
     /// Canonical bytes for envelope signing.
     pub fn canonical_bytes(&self) -> Vec<u8> {
         let mut e = Enc::new("btr-payload");
+        self.encode_into(&mut e);
+        e.finish()
+    }
+
+    /// Exact length of [`Payload::canonical_bytes`] without materialising
+    /// it. Allocation-free for every variant except `Evidence`, whose
+    /// nested record is variable-length (evidence is control-plane
+    /// traffic, deliberately rare).
+    pub fn canonical_len(&self) -> usize {
+        let mut e = Enc::count("btr-payload");
+        self.encode_into(&mut e);
+        e.len()
+    }
+
+    /// Write the canonical encoding (sans domain prefix) into `e`.
+    pub(crate) fn encode_into(&self, e: &mut Enc<'_>) {
         match self {
             Payload::Output { output, witnesses } => {
-                e.u8(0).bytes(&output.canonical_id_bytes());
+                e.u8(0).u64(SignedOutput::CANONICAL_ID_LEN as u64);
+                output.encode_id(e);
                 e.u32(witnesses.len() as u32);
                 for w in witnesses {
-                    e.bytes(&w.canonical_id_bytes());
+                    e.u64(SignedOutput::CANONICAL_ID_LEN as u64);
+                    w.encode_id(e);
                 }
             }
             Payload::Heartbeat { period } => {
@@ -142,7 +160,12 @@ impl Payload {
                     PbftPhase::Prepare => 1,
                     PbftPhase::Commit => 2,
                 };
-                e.u8(5).u32(task.0).u64(*period).u64(*value).u8(ph).u32(*view);
+                e.u8(5)
+                    .u32(task.0)
+                    .u64(*period)
+                    .u64(*value)
+                    .u8(ph)
+                    .u32(*view);
             }
             Payload::Wake { task, period } => {
                 e.u8(6).u32(task.0).u64(*period);
@@ -158,17 +181,17 @@ impl Payload {
                 e.u8(8).u8(*tag);
             }
         }
-        e.finish()
     }
 
     /// Bytes this payload occupies on the wire (approximate but stable).
     ///
     /// `StateTransfer` counts the carried state bytes; everything else is
-    /// sized by its canonical encoding.
+    /// sized by its canonical encoding. Computed by counting, not by
+    /// building the encoding — this runs once per transmitted message.
     pub fn wire_size(&self) -> u32 {
         match self {
             Payload::StateTransfer { bytes, .. } => 24 + *bytes,
-            other => other.canonical_bytes().len() as u32,
+            other => other.canonical_len() as u32,
         }
     }
 
@@ -220,36 +243,61 @@ impl Envelope {
         }
     }
 
-    fn signing_bytes(&self) -> Vec<u8> {
-        Self::signing_bytes_for(self.src, self.sent_at, &self.payload)
-    }
-
     /// The canonical bytes an envelope signature covers. Public so that
     /// evidence records can re-verify a sender's envelope signature from
     /// its reconstructed parts (see `EvidenceRecord::BadWitness`).
     pub fn signing_bytes_for(src: NodeId, sent_at: Time, payload: &Payload) -> Vec<u8> {
-        let mut e = Enc::new("btr-envelope");
-        e.u32(src.0)
-            .u64(sent_at.0)
-            .bytes(&payload.canonical_bytes());
-        e.finish()
+        let mut buf = Vec::new();
+        Self::write_signing_bytes(src, sent_at, payload, &mut buf);
+        buf
+    }
+
+    /// Write the canonical signing bytes into a caller-owned scratch
+    /// buffer (cleared first). Byte-identical to
+    /// [`Envelope::signing_bytes_for`], but allocation-free once the
+    /// scratch has warmed up — this is the simulator's per-message path.
+    pub fn write_signing_bytes(src: NodeId, sent_at: Time, payload: &Payload, buf: &mut Vec<u8>) {
+        let mut e = Enc::over(buf, "btr-envelope");
+        e.u32(src.0).u64(sent_at.0);
+        // Stream the payload encoding in place of
+        // `e.bytes(&payload.canonical_bytes())`: length prefix, then the
+        // payload's own domain tag and body.
+        e.u64(payload.canonical_len() as u64);
+        e.bytes(b"btr-payload");
+        payload.encode_into(&mut e);
     }
 
     /// Sign the envelope as `signer` (must match `src` to verify).
-    pub fn signed(mut self, signer: &Signer) -> Envelope {
-        self.sig = Some(signer.sign(&self.signing_bytes()));
+    pub fn signed(self, signer: &Signer) -> Envelope {
+        let mut scratch = Vec::new();
+        self.signed_with(signer, &mut scratch)
+    }
+
+    /// Like [`Envelope::signed`], writing the signing bytes into a
+    /// reusable scratch buffer instead of allocating.
+    pub fn signed_with(mut self, signer: &Signer, scratch: &mut Vec<u8>) -> Envelope {
+        Self::write_signing_bytes(self.src, self.sent_at, &self.payload, scratch);
+        self.sig = Some(signer.sign(scratch));
         self
     }
 
     /// Verify the envelope signature against the claimed source.
     pub fn verify(&self, ks: &KeyStore) -> Result<(), SigError> {
+        let mut scratch = Vec::new();
+        self.verify_with(ks, &mut scratch)
+    }
+
+    /// Like [`Envelope::verify`], writing the signing bytes into a
+    /// reusable scratch buffer instead of allocating.
+    pub fn verify_with(&self, ks: &KeyStore, scratch: &mut Vec<u8>) -> Result<(), SigError> {
         match &self.sig {
             None => Err(SigError::BadTag(self.src.0)),
             Some(sig) => {
                 if sig.key != self.src.0 {
                     return Err(SigError::BadTag(self.src.0));
                 }
-                ks.verify(sig, &self.signing_bytes())
+                Self::write_signing_bytes(self.src, self.sent_at, &self.payload, scratch);
+                ks.verify(sig, scratch)
             }
         }
     }
@@ -258,7 +306,11 @@ impl Envelope {
     pub fn wire_size(&self) -> u32 {
         ENVELOPE_HEADER_BYTES
             + self.payload.wire_size()
-            + if self.sig.is_some() { SIGNATURE_BYTES } else { 0 }
+            + if self.sig.is_some() {
+                SIGNATURE_BYTES
+            } else {
+                0
+            }
     }
 }
 
@@ -296,23 +348,23 @@ mod tests {
     #[test]
     fn spoofed_source_rejected() {
         // Node 3 signs but claims to be node 1.
-        let env = Envelope::new(NodeId(1), NodeId(2), Time(0), Payload::Control(1))
-            .signed(&signer(3));
+        let env =
+            Envelope::new(NodeId(1), NodeId(2), Time(0), Payload::Control(1)).signed(&signer(3));
         assert!(env.verify(&ks()).is_err());
     }
 
     #[test]
     fn tampered_payload_rejected() {
-        let mut env = Envelope::new(NodeId(1), NodeId(2), Time(0), Payload::Control(1))
-            .signed(&signer(1));
+        let mut env =
+            Envelope::new(NodeId(1), NodeId(2), Time(0), Payload::Control(1)).signed(&signer(1));
         env.payload = Payload::Control(2);
         assert!(env.verify(&ks()).is_err());
     }
 
     #[test]
     fn tampered_send_time_rejected() {
-        let mut env = Envelope::new(NodeId(1), NodeId(2), Time(0), Payload::Control(1))
-            .signed(&signer(1));
+        let mut env =
+            Envelope::new(NodeId(1), NodeId(2), Time(0), Payload::Control(1)).signed(&signer(1));
         env.sent_at = Time(99);
         assert!(env.verify(&ks()).is_err());
     }
@@ -342,6 +394,81 @@ mod tests {
     fn payload_labels() {
         assert_eq!(Payload::Control(0).label(), "control");
         assert_eq!(Payload::Heartbeat { period: 1 }.label(), "heartbeat");
+    }
+
+    fn sample_payloads() -> Vec<Payload> {
+        let so = |t: u32, v: u64| {
+            crate::evidence::SignedOutput::sign(&signer(1), TaskId(t), 0, 3, v, 9, NodeId(1))
+        };
+        vec![
+            Payload::Output {
+                output: so(1, 10),
+                witnesses: vec![so(2, 20), so(3, 30)],
+            },
+            Payload::Heartbeat { period: 42 },
+            Payload::StateTransfer {
+                task: TaskId(1),
+                to_plan: PlanId(2),
+                seq: 0,
+                total: 4,
+                bytes: 512,
+            },
+            Payload::ModeAck {
+                plan: PlanId(1),
+                activate_at: Time(77),
+            },
+            Payload::Pbft {
+                task: TaskId(3),
+                period: 5,
+                value: 6,
+                phase: PbftPhase::Prepare,
+                view: 1,
+            },
+            Payload::Wake {
+                task: TaskId(4),
+                period: 8,
+            },
+            Payload::Audit {
+                about: TaskId(5),
+                period: 9,
+                value: 10,
+            },
+            Payload::Control(7),
+        ]
+    }
+
+    #[test]
+    fn canonical_len_matches_canonical_bytes() {
+        for p in sample_payloads() {
+            assert_eq!(
+                p.canonical_len(),
+                p.canonical_bytes().len(),
+                "length mismatch for {:?}",
+                p.label()
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_signing_bytes_match_allocating_path() {
+        let mut scratch = vec![0xffu8; 3]; // Dirty scratch must be cleared.
+        for p in sample_payloads() {
+            let owned = Envelope::signing_bytes_for(NodeId(3), Time(99), &p);
+            Envelope::write_signing_bytes(NodeId(3), Time(99), &p, &mut scratch);
+            assert_eq!(scratch, owned, "scratch mismatch for {:?}", p.label());
+        }
+    }
+
+    #[test]
+    fn signed_with_equals_signed() {
+        let mut scratch = Vec::new();
+        for p in sample_payloads() {
+            let a = Envelope::new(NodeId(1), NodeId(2), Time(5), p.clone()).signed(&signer(1));
+            let b = Envelope::new(NodeId(1), NodeId(2), Time(5), p)
+                .signed_with(&signer(1), &mut scratch);
+            assert_eq!(a, b);
+            assert_eq!(a.verify_with(&ks(), &mut scratch), Ok(()));
+        }
     }
 
     #[test]

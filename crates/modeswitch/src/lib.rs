@@ -288,7 +288,10 @@ mod tests {
             m.add_fault(&s, Time(0), Time(0), NodeId(1)),
             SwitchAction::Begin { .. }
         ));
-        assert_eq!(m.add_fault(&s, Time(100), Time(100), NodeId(1)), SwitchAction::None);
+        assert_eq!(
+            m.add_fault(&s, Time(100), Time(100), NodeId(1)),
+            SwitchAction::None
+        );
     }
 
     #[test]
@@ -338,7 +341,12 @@ mod tests {
         assert_eq!(m.current_plan(), PlanId(4));
         // Third fault: {n0,n1,n2} not indexed; falls back to the largest
         // indexed subset {n0,n1}.
-        let action = m.add_fault(&s, Time::from_millis(1_000), Time::from_millis(1_000), NodeId(2));
+        let action = m.add_fault(
+            &s,
+            Time::from_millis(1_000),
+            Time::from_millis(1_000),
+            NodeId(2),
+        );
         assert_eq!(action, SwitchAction::None);
         assert_eq!(m.current_plan(), PlanId(4));
         assert_eq!(m.fault_set().len(), 3);

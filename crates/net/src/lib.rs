@@ -77,11 +77,19 @@ struct SenderLane {
 /// timing by construction. A guardian additionally caps each sender's
 /// bytes per period so a babbling node cannot even saturate its own
 /// future slots indefinitely beyond its allocation.
+///
+/// Lanes are stored densely and found through a direct `NodeId`-indexed
+/// table — the simulator calls [`Nic::send`] once per hop per message,
+/// so the lookup must not walk an ordered map.
 #[derive(Debug, Clone)]
 pub struct Nic {
     spec: LinkSpec,
-    lanes: BTreeMap<NodeId, SenderLane>,
+    /// `lane_idx[node]` = index into `lanes`, or `NOT_ATTACHED`.
+    lane_idx: Vec<u16>,
+    lanes: Vec<SenderLane>,
 }
+
+const NOT_ATTACHED: u16 = u16::MAX;
 
 impl Nic {
     /// Build the link model with an equal static split between endpoints.
@@ -89,34 +97,39 @@ impl Nic {
     /// `period` is the system period (guardian refill interval);
     /// `alloc_override` can give specific senders a different bytes-per-
     /// period budget than the default full-slice budget.
-    pub fn new(
-        spec: LinkSpec,
-        period: Duration,
-        alloc_override: &BTreeMap<NodeId, u64>,
-    ) -> Nic {
+    pub fn new(spec: LinkSpec, period: Duration, alloc_override: &BTreeMap<NodeId, u64>) -> Nic {
         let n = spec.endpoints.len() as u64;
         let slice_rate = (spec.bytes_per_ms as u64 / n).max(1);
         let default_budget = slice_rate * period.as_micros() / 1_000;
-        let lanes = spec
+        let max_id = spec
             .endpoints
             .iter()
-            .map(|&node| {
-                let budget = alloc_override
-                    .get(&node)
-                    .copied()
-                    .unwrap_or(default_budget)
-                    .max(1);
-                (
-                    node,
-                    SenderLane {
-                        rate_bytes_per_ms: slice_rate,
-                        busy_until: Time::ZERO,
-                        guardian: Guardian::new(budget, period),
-                    },
-                )
-            })
-            .collect();
-        Nic { spec, lanes }
+            .map(|e| e.index())
+            .max()
+            .map_or(0, |m| m + 1);
+        let mut lane_idx = vec![NOT_ATTACHED; max_id];
+        let mut lanes = Vec::with_capacity(spec.endpoints.len());
+        for &node in &spec.endpoints {
+            if lane_idx[node.index()] != NOT_ATTACHED {
+                continue; // Duplicate endpoint declarations share a lane.
+            }
+            let budget = alloc_override
+                .get(&node)
+                .copied()
+                .unwrap_or(default_budget)
+                .max(1);
+            lane_idx[node.index()] = lanes.len() as u16;
+            lanes.push(SenderLane {
+                rate_bytes_per_ms: slice_rate,
+                busy_until: Time::ZERO,
+                guardian: Guardian::new(budget, period),
+            });
+        }
+        Nic {
+            spec,
+            lane_idx,
+            lanes,
+        }
     }
 
     /// The static link description.
@@ -124,11 +137,28 @@ impl Nic {
         &self.spec
     }
 
+    #[inline]
+    fn lane_of(&self, src: NodeId) -> Option<usize> {
+        match self.lane_idx.get(src.index()) {
+            Some(&i) if i != NOT_ATTACHED => Some(i as usize),
+            _ => None,
+        }
+    }
+
+    /// Serialisation time of `bytes` at `rate` bytes/ms (min 1 µs). The
+    /// single timing rule shared by [`Nic::slice_tx_time`] and
+    /// [`Nic::send`], so the scheduler's comm bounds and the simulator's
+    /// charged times cannot diverge.
+    #[inline]
+    fn tx_time(rate_bytes_per_ms: u64, bytes: u32) -> Duration {
+        let us = (bytes as u64 * 1_000).div_ceil(rate_bytes_per_ms);
+        Duration(us.max(1))
+    }
+
     /// Serialisation time of `bytes` on a sender's reserved slice.
     pub fn slice_tx_time(&self, src: NodeId, bytes: u32) -> Option<Duration> {
-        let lane = self.lanes.get(&src)?;
-        let us = (bytes as u64 * 1_000).div_ceil(lane.rate_bytes_per_ms);
-        Some(Duration(us.max(1)))
+        let lane = &self.lanes[self.lane_of(src)?];
+        Some(Self::tx_time(lane.rate_bytes_per_ms, bytes))
     }
 
     /// Attempt to transmit `bytes` from `src` at time `now`.
@@ -136,13 +166,9 @@ impl Nic {
     /// On success returns the *delivery time* at the receiving ends
     /// (serialisation on the sender's slice + propagation latency).
     pub fn send(&mut self, now: Time, src: NodeId, bytes: u32) -> Result<Time, SendError> {
-        if !self.spec.attaches(src) {
-            return Err(SendError::NotAttached);
-        }
-        let tx = self
-            .slice_tx_time(src, bytes)
-            .ok_or(SendError::NotAttached)?;
-        let lane = self.lanes.get_mut(&src).ok_or(SendError::NotAttached)?;
+        let lane_i = self.lane_of(src).ok_or(SendError::NotAttached)?;
+        let lane = &mut self.lanes[lane_i];
+        let tx = Self::tx_time(lane.rate_bytes_per_ms, bytes);
         match lane.guardian.check(now, bytes as u64) {
             GuardianVerdict::Permit => {}
             GuardianVerdict::Deny => return Err(SendError::AllocationExhausted),
@@ -155,14 +181,14 @@ impl Nic {
 
     /// Bytes dropped by the guardian for a sender so far.
     pub fn guardian_drops(&self, src: NodeId) -> u64 {
-        self.lanes.get(&src).map_or(0, |l| l.guardian.denied_bytes())
+        self.lane_of(src)
+            .map_or(0, |i| self.lanes[i].guardian.denied_bytes())
     }
 
     /// Remaining budget for a sender in the period containing `now`.
     pub fn remaining_budget(&self, src: NodeId, now: Time) -> u64 {
-        self.lanes
-            .get(&src)
-            .map_or(0, |l| l.guardian.remaining_at(now))
+        self.lane_of(src)
+            .map_or(0, |i| self.lanes[i].guardian.remaining_at(now))
     }
 }
 

@@ -6,17 +6,40 @@
 //! about which faults cut which flows. Routes are computed offline (BFS,
 //! deterministic lowest-id tie-breaking) and recomputed per plan to avoid
 //! nodes in the plan's fault set.
+//!
+//! Because the simulator asks for a path on *every* transmitted message,
+//! the table materialises every (src, dst) path — node sequence plus the
+//! link carrying each hop — into flat pools at construction.
+//! [`RoutingTable::path`] and [`RoutingTable::path_and_links`] are then
+//! O(1) slice borrows with no per-call allocation or link lookup.
 
-use btr_model::{NodeId, Topology};
+use btr_model::{LinkId, NodeId, Topology};
 use std::collections::{BTreeSet, VecDeque};
 
-/// All-pairs next-hop routing for one fault pattern.
+/// Pool offsets for one (src, dst) pair's cached path.
+#[derive(Debug, Clone, Copy, Default)]
+struct PathSpan {
+    /// Offset into the node pool.
+    node_off: u32,
+    /// Offset into the link pool.
+    link_off: u32,
+    /// Number of nodes on the path (0 = unreachable; 1 = src == dst).
+    len: u16,
+}
+
+/// All-pairs routing for one fault pattern, with fully cached paths.
 #[derive(Debug, Clone)]
 pub struct RoutingTable {
     n: usize,
-    /// `next_hop[src][dst]` = the neighbour of `src` on the chosen
+    /// `next_hop[src * n + dst]` = the neighbour of `src` on the chosen
     /// shortest path to `dst`, or `None` if unreachable.
-    next_hop: Vec<Vec<Option<NodeId>>>,
+    next_hop: Vec<Option<NodeId>>,
+    /// Per-pair spans into the path pools, indexed `src * n + dst`.
+    spans: Vec<PathSpan>,
+    /// Concatenated path node sequences (inclusive of both endpoints).
+    node_pool: Vec<NodeId>,
+    /// Concatenated per-hop link ids (one fewer than nodes per path).
+    link_pool: Vec<LinkId>,
 }
 
 impl RoutingTable {
@@ -32,7 +55,7 @@ impl RoutingTable {
     /// from identical inputs.
     pub fn avoiding(topo: &Topology, avoid: &BTreeSet<NodeId>) -> RoutingTable {
         let n = topo.node_count();
-        let mut next_hop = vec![vec![None; n]; n];
+        let mut next_hop: Vec<Option<NodeId>> = vec![None; n * n];
         // BFS backwards from each destination: parent pointers give the
         // next hop toward that destination.
         for dst in 0..n {
@@ -50,12 +73,69 @@ impl RoutingTable {
                     }
                     visited[nb.index()] = true;
                     // From nb, the next hop toward dst is cur.
-                    next_hop[nb.index()][dst] = Some(cur);
+                    next_hop[nb.index() * n + dst] = Some(cur);
                     queue.push_back(nb);
                 }
             }
         }
-        RoutingTable { n, next_hop }
+
+        // Materialise every path once so per-message routing is a slice
+        // borrow. Pool size is bounded by n^2 * diameter.
+        let mut spans = vec![PathSpan::default(); n * n];
+        let mut node_pool = Vec::new();
+        let mut link_pool = Vec::new();
+        for src in 0..n {
+            for dst in 0..n {
+                let span = &mut spans[src * n + dst];
+                if src == dst {
+                    // Self-paths always exist (loopback), matching the
+                    // pre-cache behaviour even for avoided nodes.
+                    span.node_off = node_pool.len() as u32;
+                    span.link_off = link_pool.len() as u32;
+                    span.len = 1;
+                    node_pool.push(NodeId(src as u32));
+                    continue;
+                }
+                let node_off = node_pool.len();
+                let link_off = link_pool.len();
+                let mut cur = NodeId(src as u32);
+                node_pool.push(cur);
+                let mut ok = false;
+                for _ in 0..=n {
+                    match next_hop[cur.index() * n + dst] {
+                        None => break,
+                        Some(hop) => {
+                            link_pool.push(
+                                topo.link_between(cur, hop)
+                                    .expect("next-hop pairs share a link"),
+                            );
+                            node_pool.push(hop);
+                            cur = hop;
+                            if hop.index() == dst {
+                                ok = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                if ok {
+                    span.node_off = node_off as u32;
+                    span.link_off = link_off as u32;
+                    span.len = (node_pool.len() - node_off) as u16;
+                } else {
+                    node_pool.truncate(node_off);
+                    link_pool.truncate(link_off);
+                }
+            }
+        }
+
+        RoutingTable {
+            n,
+            next_hop,
+            spans,
+            node_pool,
+            link_pool,
+        }
     }
 
     /// The next hop from `src` toward `dst` (None if unreachable or equal).
@@ -63,15 +143,45 @@ impl RoutingTable {
         if src == dst {
             return None;
         }
-        self.next_hop[src.index()][dst.index()]
+        self.next_hop[src.index() * self.n + dst.index()]
     }
 
-    /// The full path from `src` to `dst`, inclusive of both endpoints.
+    /// The full path from `src` to `dst`, inclusive of both endpoints —
+    /// a borrow of the precomputed pool, O(1) and allocation-free.
     ///
     /// Returns `None` if no route exists.
-    pub fn path(&self, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+    pub fn path(&self, src: NodeId, dst: NodeId) -> Option<&[NodeId]> {
+        let span = self.spans[src.index() * self.n + dst.index()];
+        if span.len == 0 {
+            return None;
+        }
+        let off = span.node_off as usize;
+        Some(&self.node_pool[off..off + span.len as usize])
+    }
+
+    /// The path plus the link carrying each hop (`links.len() + 1 ==
+    /// nodes.len()`). The simulator's per-message route lookup.
+    pub fn path_and_links(&self, src: NodeId, dst: NodeId) -> Option<(&[NodeId], &[LinkId])> {
+        let span = self.spans[src.index() * self.n + dst.index()];
+        if span.len == 0 {
+            return None;
+        }
+        let noff = span.node_off as usize;
+        let loff = span.link_off as usize;
+        Some((
+            &self.node_pool[noff..noff + span.len as usize],
+            &self.link_pool[loff..loff + span.len as usize - 1],
+        ))
+    }
+
+    /// The path as an owned vector, rebuilt from the next-hop table on
+    /// every call. This is the pre-cache reference implementation, kept
+    /// for the perf harness's legacy mode and as a differential oracle
+    /// for the cache (see the `cache_matches_walk` test).
+    pub fn path_vec(&self, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
         if src == dst {
-            return Some(vec![src]);
+            // Mirror the cached behaviour for avoided nodes: no self-path.
+            return self.path(src, dst).map(|p| p.to_vec());
         }
         let mut path = vec![src];
         let mut cur = src;
@@ -99,7 +209,7 @@ impl RoutingTable {
                 if s == d || avoid.contains(&s_id) || avoid.contains(&d_id) {
                     continue;
                 }
-                if self.next_hop[s][d].is_none() {
+                if self.next_hop[s * self.n + d].is_none() {
                     return false;
                 }
             }
@@ -117,7 +227,10 @@ mod tests {
     fn bus_routes_are_single_hop() {
         let t = Topology::bus(4, 100, Duration(1));
         let r = RoutingTable::new(&t);
-        assert_eq!(r.path(NodeId(0), NodeId(3)), Some(vec![NodeId(0), NodeId(3)]));
+        assert_eq!(
+            r.path(NodeId(0), NodeId(3)),
+            Some(&[NodeId(0), NodeId(3)][..])
+        );
         assert_eq!(r.hops(NodeId(0), NodeId(3)), Some(1));
         assert_eq!(r.hops(NodeId(2), NodeId(2)), Some(0));
     }
@@ -129,7 +242,7 @@ mod tests {
         assert_eq!(r.hops(NodeId(0), NodeId(2)), Some(2));
         assert_eq!(r.hops(NodeId(0), NodeId(3)), Some(3));
         let p = r.path(NodeId(0), NodeId(2)).unwrap();
-        assert_eq!(p, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(p, &[NodeId(0), NodeId(1), NodeId(2)][..]);
     }
 
     #[test]
@@ -140,7 +253,7 @@ mod tests {
         // 0 -> 2 must go the long way: 0 -> 3 -> 2.
         assert_eq!(
             r.path(NodeId(0), NodeId(2)),
-            Some(vec![NodeId(0), NodeId(3), NodeId(2)])
+            Some(&[NodeId(0), NodeId(3), NodeId(2)][..])
         );
         // Routes to the avoided node do not exist.
         assert_eq!(r.path(NodeId(0), NodeId(1)), None);
@@ -191,5 +304,57 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn cache_matches_walk() {
+        // The O(1) cached paths must agree with the next-hop walk (the
+        // pre-cache implementation) on every pair, with and without
+        // avoided nodes.
+        let t = Topology::mesh(3, 4, 100, Duration(1));
+        for avoid in [
+            BTreeSet::new(),
+            BTreeSet::from([NodeId(5)]),
+            BTreeSet::from([NodeId(1), NodeId(6)]),
+        ] {
+            let r = RoutingTable::avoiding(&t, &avoid);
+            for s in 0..12u32 {
+                for d in 0..12u32 {
+                    let cached = r.path(NodeId(s), NodeId(d)).map(|p| p.to_vec());
+                    let walked = r.path_vec(NodeId(s), NodeId(d));
+                    assert_eq!(cached, walked, "pair {s}->{d} avoid {avoid:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cached_links_connect_their_hops() {
+        let t = Topology::mesh(3, 4, 100, Duration(1));
+        let r = RoutingTable::new(&t);
+        for s in 0..12u32 {
+            for d in 0..12u32 {
+                let Some((nodes, links)) = r.path_and_links(NodeId(s), NodeId(d)) else {
+                    continue;
+                };
+                assert_eq!(links.len() + 1, nodes.len());
+                for (i, link) in links.iter().enumerate() {
+                    assert_eq!(t.link_between(nodes[i], nodes[i + 1]), Some(*link));
+                    let spec = t.link(*link);
+                    assert!(spec.attaches(nodes[i]) && spec.attaches(nodes[i + 1]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_paths_always_exist() {
+        // Loopback does not traverse the network, so a self-path exists
+        // even for avoided nodes (pre-cache behaviour, preserved).
+        let t = Topology::ring(4, 100, Duration(1));
+        let avoid = BTreeSet::from([NodeId(1)]);
+        let r = RoutingTable::avoiding(&t, &avoid);
+        assert_eq!(r.path(NodeId(1), NodeId(1)), Some(&[NodeId(1)][..]));
+        assert_eq!(r.path(NodeId(0), NodeId(0)), Some(&[NodeId(0)][..]));
     }
 }

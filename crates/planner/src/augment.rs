@@ -88,7 +88,14 @@ mod tests {
         let mut b = WorkloadBuilder::new(ms(10), 0);
         let s = b.source("s", NodeId(0), Duration(100), Criticality::High, ms(10));
         let c = b.compute("c", &[s], Duration(100), Criticality::High, ms(10), 0);
-        b.sink("k", NodeId(1), &[c], Duration(50), Criticality::High, ms(10));
+        b.sink(
+            "k",
+            NodeId(1),
+            &[c],
+            Duration(50),
+            Criticality::High,
+            ms(10),
+        );
         b.build().unwrap()
     }
 
@@ -125,7 +132,14 @@ mod tests {
         let s1 = b.source("s1", NodeId(0), Duration(100), Criticality::High, ms(10));
         let s2 = b.source("s2", NodeId(1), Duration(100), Criticality::Low, ms(10));
         let c = b.compute("c", &[s1, s2], Duration(100), Criticality::High, ms(10), 0);
-        b.sink("k", NodeId(2), &[c], Duration(50), Criticality::High, ms(10));
+        b.sink(
+            "k",
+            NodeId(2),
+            &[c],
+            Duration(50),
+            Criticality::High,
+            ms(10),
+        );
         let w = b.build().unwrap();
         let shed = BTreeSet::from([s2]);
         let lanes = lane_counts(&w, ReplicationMode::Detection, 1, &shed, 8);

@@ -198,7 +198,9 @@ pub fn place(
             }
             let node = best.expect("candidates nonempty").1;
             used.insert(node);
-            load.entry(node).and_modify(|l| *l += spec.wcet.0).or_insert(spec.wcet.0);
+            load.entry(node)
+                .and_modify(|l| *l += spec.wcet.0)
+                .or_insert(spec.wcet.0);
             placement.insert(atask, node);
         }
 
@@ -260,10 +262,7 @@ pub fn place(
 
 /// Count how many augmented tasks moved between two placements
 /// (the plan-distance metric of Section 4.1).
-pub fn placement_distance(
-    a: &BTreeMap<ATask, NodeId>,
-    b: &BTreeMap<ATask, NodeId>,
-) -> usize {
+pub fn placement_distance(a: &BTreeMap<ATask, NodeId>, b: &BTreeMap<ATask, NodeId>) -> usize {
     let mut moved = 0;
     for (atask, node) in b {
         if matches!(atask, ATask::Verify { .. }) {
@@ -283,8 +282,7 @@ pub fn worst_comm(topo: &Topology, routing: &RoutingTable, bytes: u32) -> Durati
     let n = topo.node_count();
     for a in 0..n {
         for b in 0..n {
-            if let Some(d) = comm_bound(topo, routing, NodeId(a as u32), NodeId(b as u32), bytes)
-            {
+            if let Some(d) = comm_bound(topo, routing, NodeId(a as u32), NodeId(b as u32), bytes) {
                 worst = worst.max(d);
             }
         }
@@ -307,7 +305,14 @@ mod tests {
         let mut b = WorkloadBuilder::new(ms(10), 0);
         let s = b.source("s", NodeId(0), Duration(100), Criticality::Safety, ms(10));
         let c = b.compute("c", &[s], Duration(300), Criticality::Safety, ms(10), 256);
-        b.sink("k", NodeId(1), &[c], Duration(50), Criticality::Safety, ms(10));
+        b.sink(
+            "k",
+            NodeId(1),
+            &[c],
+            Duration(50),
+            Criticality::Safety,
+            ms(10),
+        );
         b.build().unwrap()
     }
 
@@ -356,8 +361,17 @@ mod tests {
         let routing = RoutingTable::new(&topo);
         let lanes = lane_counts(&w, ReplicationMode::Detection, 1, &BTreeSet::new(), 8);
         let faulty = BTreeSet::from([NodeId(2), NodeId(3)]);
-        let p = place(&w, &topo, &routing, &lanes, &faulty, None, &PlaceOpts::default()).unwrap();
-        for (_, node) in &p {
+        let p = place(
+            &w,
+            &topo,
+            &routing,
+            &lanes,
+            &faulty,
+            None,
+            &PlaceOpts::default(),
+        )
+        .unwrap();
+        for node in p.values() {
             assert!(!faulty.contains(node));
         }
     }
@@ -369,8 +383,16 @@ mod tests {
         let routing = RoutingTable::new(&topo);
         let lanes = lane_counts(&w, ReplicationMode::Detection, 1, &BTreeSet::new(), 8);
         let faulty = BTreeSet::from([NodeId(1)]); // The sink's actuator.
-        let err =
-            place(&w, &topo, &routing, &lanes, &faulty, None, &PlaceOpts::default()).unwrap_err();
+        let err = place(
+            &w,
+            &topo,
+            &routing,
+            &lanes,
+            &faulty,
+            None,
+            &PlaceOpts::default(),
+        )
+        .unwrap_err();
         assert_eq!(err, PlacementError::ActuatorLost(TaskId(2)));
     }
 
@@ -413,9 +435,7 @@ mod tests {
         // Fail a node hosting nothing: the child plan should be identical
         // on all work/check tasks.
         let hosting: BTreeSet<NodeId> = base.values().copied().collect();
-        let idle = (0..6)
-            .map(|i| NodeId(i))
-            .find(|n| !hosting.contains(n));
+        let idle = (0..6).map(NodeId).find(|n| !hosting.contains(n));
         if let Some(idle) = idle {
             let faulty = BTreeSet::from([idle]);
             let routing2 = RoutingTable::avoiding(&topo, &faulty);
@@ -485,7 +505,13 @@ mod tests {
         let faulty = BTreeSet::from([victim]);
         let routing2 = RoutingTable::avoiding(&topo, &faulty);
         let with = place(
-            &w, &topo, &routing2, &lanes, &faulty, Some(&base), &PlaceOpts::default(),
+            &w,
+            &topo,
+            &routing2,
+            &lanes,
+            &faulty,
+            Some(&base),
+            &PlaceOpts::default(),
         )
         .unwrap();
         let without_opts = PlaceOpts {
@@ -493,7 +519,13 @@ mod tests {
             ..PlaceOpts::default()
         };
         let without = place(
-            &w, &topo, &routing2, &lanes, &faulty, Some(&base), &without_opts,
+            &w,
+            &topo,
+            &routing2,
+            &lanes,
+            &faulty,
+            Some(&base),
+            &without_opts,
         )
         .unwrap();
         assert!(

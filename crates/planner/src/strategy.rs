@@ -97,12 +97,16 @@ pub struct StrategyStats {
 
 fn shed_order_key(workload: &Workload, t: TaskId) -> (u8, std::cmp::Reverse<u64>, u32) {
     let spec = workload.task(t);
-    (
-        spec.criticality.rank(),
-        std::cmp::Reverse(spec.wcet.0),
-        t.0,
-    )
+    (spec.criticality.rank(), std::cmp::Reverse(spec.wcet.0), t.0)
 }
+
+/// What planning one mode produces: the placement, the synthesized
+/// schedules, and the tasks shed to make the mode feasible.
+type ModePlan = (
+    BTreeMap<ATask, NodeId>,
+    btr_sched::Synthesis,
+    BTreeSet<TaskId>,
+);
 
 /// Plan a single mode: place, schedule, shed-and-retry.
 fn plan_mode(
@@ -111,7 +115,7 @@ fn plan_mode(
     cfg: &PlannerConfig,
     fs: &FaultSet,
     parent: Option<&BTreeMap<ATask, NodeId>>,
-) -> Result<(BTreeMap<ATask, NodeId>, btr_sched::Synthesis, BTreeSet<TaskId>), StrategyError> {
+) -> Result<ModePlan, StrategyError> {
     let routing = RoutingTable::avoiding(topo, fs.as_set());
     let healthy_sensors = topo
         .nodes()
@@ -129,15 +133,21 @@ fn plan_mode(
         let lanes = lane_counts(workload, cfg.replication, cfg.f, &shed, healthy_sensors);
         if lanes.is_empty() {
             // Everything shed: the empty plan (always feasible).
-            let synth = synthesize(workload, topo, &routing, &BTreeMap::new(), &lanes, &cfg.sched)
-                .map_err(|e| StrategyError::Infeasible {
-                    fault_set: fs.clone(),
-                    reason: format!("even the empty plan failed: {e}"),
-                })?;
+            let synth = synthesize(
+                workload,
+                topo,
+                &routing,
+                &BTreeMap::new(),
+                &lanes,
+                &cfg.sched,
+            )
+            .map_err(|e| StrategyError::Infeasible {
+                fault_set: fs.clone(),
+                reason: format!("even the empty plan failed: {e}"),
+            })?;
             return Ok((BTreeMap::new(), synth, shed));
         }
-        let placement = match place(workload, topo, &routing, &lanes, fs.as_set(), parent, &opts)
-        {
+        let placement = match place(workload, topo, &routing, &lanes, fs.as_set(), parent, &opts) {
             Ok(p) => p,
             Err(e) => {
                 let victim = match e {
@@ -209,11 +219,7 @@ fn enumerate_fault_sets(n: usize, k: usize) -> Vec<FaultSet> {
         return out;
     }
     loop {
-        out.push(
-            idx.iter()
-                .map(|&i| NodeId(i as u32))
-                .collect::<FaultSet>(),
-        );
+        out.push(idx.iter().map(|&i| NodeId(i as u32)).collect::<FaultSet>());
         // Advance combination.
         let mut i = k;
         loop {
@@ -265,14 +271,13 @@ pub fn build_strategy(
         };
 
         let results: Vec<(FaultSet, _)> = if cfg.threads > 1 && sets.len() > 8 {
-            let chunks: Vec<&[FaultSet]> =
-                sets.chunks(sets.len().div_ceil(cfg.threads)).collect();
+            let chunks: Vec<&[FaultSet]> = sets.chunks(sets.len().div_ceil(cfg.threads)).collect();
             let mut collected: Vec<Result<Vec<(FaultSet, _)>, StrategyError>> = Vec::new();
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let handles: Vec<_> = chunks
                     .into_iter()
                     .map(|chunk| {
-                        scope.spawn(move |_| {
+                        scope.spawn(move || {
                             chunk
                                 .iter()
                                 .map(&compute)
@@ -283,8 +288,7 @@ pub fn build_strategy(
                 for h in handles {
                     collected.push(h.join().expect("planner worker panicked"));
                 }
-            })
-            .expect("crossbeam scope");
+            });
             let mut flat = Vec::new();
             for c in collected {
                 flat.extend(c?);
@@ -376,9 +380,7 @@ pub fn build_strategy(
             );
             let transfer_bound = sender_bytes
                 .iter()
-                .map(|(_, &bytes)| {
-                    worst_comm(topo, &routing_to, bytes.min(u32::MAX as u64) as u32)
-                })
+                .map(|(_, &bytes)| worst_comm(topo, &routing_to, bytes.min(u32::MAX as u64) as u32))
                 .max()
                 .unwrap_or(Duration::ZERO);
             let bound = dist_bound + transfer_bound + cfg.sched.period;
@@ -541,15 +543,13 @@ mod tests {
             // In any degraded plan, if a Safety task was shed for capacity
             // reasons, all Low tasks must be gone too (shed order).
             for plan in &strategy.plans {
-                let shed_caps: BTreeSet<_> = plan
-                    .shed
-                    .iter()
-                    .map(|t| w.task(*t).criticality)
-                    .collect();
+                let shed_caps: BTreeSet<_> =
+                    plan.shed.iter().map(|t| w.task(*t).criticality).collect();
                 if shed_caps.contains(&Criticality::Safety) {
-                    let low_alive = w
-                        .tasks_at(Criticality::Low)
-                        .any(|t| !plan.is_shed(t.id) && !matches!(t.kind, btr_workload::TaskKind::Sink{..}));
+                    let low_alive = w.tasks_at(Criticality::Low).any(|t| {
+                        !plan.is_shed(t.id)
+                            && !matches!(t.kind, btr_workload::TaskKind::Sink { .. })
+                    });
                     // Safety shed only after Low exhausted, except pinned
                     // actuator losses which shed regardless of level.
                     let actuator_losses: BTreeSet<_> = w
@@ -561,13 +561,10 @@ mod tests {
                         })
                         .map(|s| s.id)
                         .collect();
-                    let capacity_safety_shed = plan
-                        .shed
-                        .iter()
-                        .any(|t| {
-                            w.task(*t).criticality == Criticality::Safety
-                                && !actuator_losses.contains(t)
-                        });
+                    let capacity_safety_shed = plan.shed.iter().any(|t| {
+                        w.task(*t).criticality == Criticality::Safety
+                            && !actuator_losses.contains(t)
+                    });
                     if capacity_safety_shed {
                         assert!(!low_alive, "Low tasks alive while Safety shed");
                     }

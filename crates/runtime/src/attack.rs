@@ -84,7 +84,7 @@ impl Attack {
     pub fn corrupts(&self, now: Time, task: TaskId) -> bool {
         match self {
             Attack::Commission { tasks, .. } if self.active(now) => {
-                tasks.as_ref().map_or(true, |set| set.contains(&task))
+                tasks.as_ref().is_none_or(|set| set.contains(&task))
             }
             _ => false,
         }

@@ -99,9 +99,7 @@ pub fn derive_view(node: NodeId, plan: &Plan, workload: &Workload) -> PlanView {
             ATask::Check { task } => {
                 let n_lanes = lanes.get(&task).copied().unwrap_or(0);
                 let lane_nodes: Vec<NodeId> = (0..n_lanes)
-                    .filter_map(|r| {
-                        plan.node_of(ATask::Work { task, replica: r })
-                    })
+                    .filter_map(|r| plan.node_of(ATask::Work { task, replica: r }))
                     .collect();
                 let spec = workload.task(task);
                 checkers.push(CheckerConfig {
@@ -160,11 +158,15 @@ mod tests {
 
         let mut schedules: BTreeMap<NodeId, NodeSchedule> = BTreeMap::new();
         let mut add = |node: NodeId, atask: ATask, start: u64, wcet: u64| {
-            schedules.entry(node).or_default().entries.push(ScheduleEntry {
-                atask,
-                start: Duration(start),
-                wcet: Duration(wcet),
-            });
+            schedules
+                .entry(node)
+                .or_default()
+                .entries
+                .push(ScheduleEntry {
+                    atask,
+                    start: Duration(start),
+                    wcet: Duration(wcet),
+                });
         };
         add(NodeId(0), work(0, 0), 0, 100);
         add(NodeId(0), work(1, 0), 200, 200);

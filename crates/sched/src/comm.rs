@@ -74,8 +74,8 @@ mod tests {
 
     #[test]
     fn matches_simulator_nic_timing() {
-        use btr_net::Nic;
         use btr_model::Time;
+        use btr_net::Nic;
         use std::collections::BTreeMap;
         let t = Topology::bus(4, 4_000, Duration(50));
         let r = RoutingTable::new(&t);

@@ -198,29 +198,28 @@ pub fn synthesize(
     };
 
     let place = |atask: ATask,
-                     node: NodeId,
-                     ready: Duration,
-                     wcet: Duration,
-                     node_avail: &mut BTreeMap<NodeId, Duration>,
-                     entries: &mut BTreeMap<NodeId, Vec<ScheduleEntry>>|
+                 node: NodeId,
+                 ready: Duration,
+                 wcet: Duration,
+                 node_avail: &mut BTreeMap<NodeId, Duration>,
+                 entries: &mut BTreeMap<NodeId, Vec<ScheduleEntry>>|
      -> Duration {
         let avail = node_avail.get(&node).copied().unwrap_or(Duration::ZERO);
         let start = ready.max(avail);
         let end = start + wcet;
         node_avail.insert(node, end);
-        entries.entry(node).or_default().push(ScheduleEntry {
-            atask,
-            start,
-            wcet,
-        });
+        entries
+            .entry(node)
+            .or_default()
+            .push(ScheduleEntry { atask, start, wcet });
         end
     };
 
     // Account one flow's bytes along its route.
     let charge_route = |from: NodeId,
-                            to: NodeId,
-                            bytes: u32,
-                            link_demand: &mut BTreeMap<(NodeId, u32), u64>|
+                        to: NodeId,
+                        bytes: u32,
+                        link_demand: &mut BTreeMap<(NodeId, u32), u64>|
      -> Result<(), SchedError> {
         if from == to {
             return Ok(());
@@ -286,12 +285,11 @@ pub fn synthesize(
                             to: node,
                         },
                     )?;
-                    let arrive = f
-                        + if in_node == node {
-                            Duration::ZERO
-                        } else {
-                            hop + params.comm_slack
-                        };
+                    let arrive = f + if in_node == node {
+                        Duration::ZERO
+                    } else {
+                        hop + params.comm_slack
+                    };
                     ready = ready.max(arrive);
                     charge_route(in_node, node, bytes, &mut link_demand)?;
                 }
@@ -318,18 +316,16 @@ pub fn synthesize(
                 };
                 let in_node = placement[&in_atask];
                 let f = finish[&in_atask];
-                let hop = comm_bound(topo, routing, in_node, node, bytes).ok_or(
-                    SchedError::NoRoute {
+                let hop =
+                    comm_bound(topo, routing, in_node, node, bytes).ok_or(SchedError::NoRoute {
                         from: in_node,
                         to: node,
-                    },
-                )?;
-                let arrive = f
-                    + if in_node == node {
-                        Duration::ZERO
-                    } else {
-                        hop + params.comm_slack
-                    };
+                    })?;
+                let arrive = f + if in_node == node {
+                    Duration::ZERO
+                } else {
+                    hop + params.comm_slack
+                };
                 ready = ready.max(arrive);
                 charge_route(in_node, node, bytes, &mut link_demand)?;
             }
@@ -387,10 +383,7 @@ pub fn synthesize(
         let capacity = share.saturating_sub(control);
         let mut shares = BTreeMap::new();
         for &node in &link.endpoints {
-            let demand = link_demand
-                .get(&(node, link.id.0))
-                .copied()
-                .unwrap_or(0);
+            let demand = link_demand.get(&(node, link.id.0)).copied().unwrap_or(0);
             if demand > capacity {
                 return Err(SchedError::BandwidthExceeded {
                     node,
@@ -427,9 +420,7 @@ pub fn synthesize(
 /// The minimum global CPU speed (percent of nominal) at which `try_synth`
 /// succeeds, found by binary search over 1..=1600. Returns `None` if even
 /// 1600% fails.
-pub fn min_speed_pct(
-    mut try_synth: impl FnMut(u32) -> bool,
-) -> Option<u32> {
+pub fn min_speed_pct(mut try_synth: impl FnMut(u32) -> bool) -> Option<u32> {
     if !try_synth(1600) {
         return None;
     }
@@ -474,10 +465,7 @@ pub fn round_robin_placement(
                     // callers exclude pinned-faulty tasks beforehand.
                     pinned
                 }
-                _ => {
-                    let node = healthy[(cursor + r as usize) % healthy.len()];
-                    node
-                }
+                _ => healthy[(cursor + r as usize) % healthy.len()],
             };
             placement.insert(
                 ATask::Work {
@@ -514,7 +502,14 @@ mod tests {
         let mut b = WorkloadBuilder::new(ms(10), 1);
         let s = b.source("s", NodeId(0), Duration(200), Criticality::Safety, ms(10));
         let c = b.compute("c", &[s], Duration(400), Criticality::Safety, ms(10), 0);
-        b.sink("k", NodeId(1), &[c], Duration(100), Criticality::Safety, ms(5));
+        b.sink(
+            "k",
+            NodeId(1),
+            &[c],
+            Duration(100),
+            Criticality::Safety,
+            ms(5),
+        );
         b.build().unwrap()
     }
 
@@ -529,8 +524,15 @@ mod tests {
         let routing = RoutingTable::new(&topo);
         let lanes = single_lanes(&w);
         let placement = round_robin_placement(&w, &topo, &lanes, &[]);
-        let synth = synthesize(&w, &topo, &routing, &placement, &lanes, &SchedParams::default())
-            .expect("chain is schedulable");
+        let synth = synthesize(
+            &w,
+            &topo,
+            &routing,
+            &placement,
+            &lanes,
+            &SchedParams::default(),
+        )
+        .expect("chain is schedulable");
         // Primary lane of the sink finished before its 5 ms deadline.
         assert!(synth.primary_finish[&TaskId(2)] <= ms(5));
         assert!(synth.makespan <= ms(10));
@@ -565,8 +567,15 @@ mod tests {
         lanes.insert(TaskId(1), 2u8);
         lanes.insert(TaskId(2), 1u8); // Sink single.
         let placement = round_robin_placement(&w, &topo, &lanes, &[]);
-        let synth = synthesize(&w, &topo, &routing, &placement, &lanes, &SchedParams::default())
-            .expect("replicated chain schedulable");
+        let synth = synthesize(
+            &w,
+            &topo,
+            &routing,
+            &placement,
+            &lanes,
+            &SchedParams::default(),
+        )
+        .expect("replicated chain schedulable");
         // Checkers are scheduled for both replicated tasks.
         let has_chk = |t: u32| {
             synth
@@ -590,8 +599,15 @@ mod tests {
         // Even one 150-byte output exceeds the 8-byte post-reserve share,
         // but with a tiny link the comm bound alone blows the deadline
         // first; accept either error.
-        let err = synthesize(&w, &topo, &routing, &placement, &lanes, &SchedParams::default())
-            .unwrap_err();
+        let err = synthesize(
+            &w,
+            &topo,
+            &routing,
+            &placement,
+            &lanes,
+            &SchedParams::default(),
+        )
+        .unwrap_err();
         assert!(
             matches!(
                 err,
@@ -611,8 +627,15 @@ mod tests {
         let mut lanes = BTreeMap::new();
         lanes.insert(TaskId(0), 1u8);
         let placement = round_robin_placement(&w, &topo, &lanes, &[]);
-        let synth =
-            synthesize(&w, &topo, &routing, &placement, &lanes, &SchedParams::default()).unwrap();
+        let synth = synthesize(
+            &w,
+            &topo,
+            &routing,
+            &placement,
+            &lanes,
+            &SchedParams::default(),
+        )
+        .unwrap();
         let slots: usize = synth.schedules.values().map(|s| s.entries.len()).sum();
         // Source + 2 verify slots.
         assert_eq!(slots, 3);
@@ -644,8 +667,15 @@ mod tests {
         let routing = RoutingTable::new(&topo);
         let lanes = single_lanes(&w);
         let placement = BTreeMap::new();
-        let err = synthesize(&w, &topo, &routing, &placement, &lanes, &SchedParams::default())
-            .unwrap_err();
+        let err = synthesize(
+            &w,
+            &topo,
+            &routing,
+            &placement,
+            &lanes,
+            &SchedParams::default(),
+        )
+        .unwrap_err();
         assert!(matches!(err, SchedError::MissingPlacement(_)));
     }
 
@@ -664,7 +694,14 @@ mod tests {
         let routing = RoutingTable::new(&topo);
         let lanes = single_lanes(&w);
         let placement = round_robin_placement(&w, &topo, &lanes, &[]);
-        let synth = synthesize(&w, &topo, &routing, &placement, &lanes, &SchedParams::default());
+        let synth = synthesize(
+            &w,
+            &topo,
+            &routing,
+            &placement,
+            &lanes,
+            &SchedParams::default(),
+        );
         assert!(synth.is_ok(), "{synth:?}");
     }
 }

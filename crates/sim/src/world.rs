@@ -2,10 +2,11 @@
 
 use crate::trace::{DropReason, SimMetrics, TraceEvent};
 use crate::{NodeBehavior, TimerId};
+use btr_crypto::{digest64, KeyStore, NodeKey, SigError, Signer, SplitMix64, Xoshiro256StarStar};
 use btr_model::{
-    Duration, Envelope, NodeId, Payload, PeriodIdx, TaskId, Time, Topology, Value,
+    Duration, Envelope, EvidenceFlaw, LinkId, NodeId, Payload, PeriodIdx, SignedOutput, TaskId,
+    Time, Topology, Value,
 };
-use btr_crypto::{digest64, KeyStore, NodeKey, Signer};
 use btr_net::{Nic, RoutingTable, SendError};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
@@ -34,6 +35,15 @@ pub struct SimConfig {
     /// message survives any ≤ m shard losses, at a wire-byte overhead of
     /// (k+m)/k. With this on, `loss_ppm` applies per *shard*.
     pub fec: Option<(u8, u8)>,
+    /// Run the pre-optimization per-message path: SHA-256 loss rolls,
+    /// per-message route vectors, and allocating signature encoding.
+    ///
+    /// Kept as the measured baseline for the perf harness (`harness
+    /// bench`) and as a differential oracle for the optimized path. Both
+    /// modes are deterministic per seed, but their *loss streams* differ
+    /// (different samplers); with `loss_ppm == 0` the two modes produce
+    /// bit-identical runs, which the determinism tests rely on.
+    pub legacy_hot_path: bool,
 }
 
 impl SimConfig {
@@ -46,6 +56,7 @@ impl SimConfig {
             trace: false,
             loss_ppm: 0,
             fec: None,
+            legacy_hot_path: false,
         }
     }
 }
@@ -146,7 +157,10 @@ struct NodeSlot {
     /// Local clock = global + offset (µs, may be negative).
     clock_offset: i64,
     forward: ForwardPolicy,
+    /// Legacy per-node RNG: a hash-chain counter (see `NodeCtx::rng_u64`).
     rng_counter: u64,
+    /// Optimized per-node RNG stream, seeded once from (seed, node).
+    rng: SplitMix64,
 }
 
 /// The simulated world: platform, network, node behaviours, event queue.
@@ -159,7 +173,15 @@ pub struct World {
     queue: BinaryHeap<Reverse<Scheduled>>,
     now: Time,
     seq: u64,
+    /// Legacy loss sampler state: rolls consumed so far (hash-chain input).
     loss_counter: u64,
+    /// Optimized loss sampler: one PRNG stream per world, seeded from the
+    /// seed digest.
+    loss_rng: Xoshiro256StarStar,
+    /// Reusable scratch for canonical signing bytes (send + verify paths).
+    scratch: Vec<u8>,
+    /// Reusable per-message hop staging buffer: (from, to, link).
+    hop_buf: Vec<(NodeId, NodeId, LinkId)>,
     keystore: KeyStore,
     actuations: Vec<Actuation>,
     trace: Vec<TraceEvent>,
@@ -183,11 +205,8 @@ impl World {
             .map(|i| {
                 let id = i as u32;
                 let span = 2 * cfg.max_clock_skew.as_micros() + 1;
-                let skew = (digest64(&[
-                    b"btr-skew",
-                    &cfg.seed.to_be_bytes(),
-                    &id.to_be_bytes(),
-                ]) % span) as i64
+                let skew = (digest64(&[b"btr-skew", &cfg.seed.to_be_bytes(), &id.to_be_bytes()])
+                    % span) as i64
                     - cfg.max_clock_skew.as_micros() as i64;
                 NodeSlot {
                     behavior: Some(Box::new(crate::IdleBehavior)),
@@ -196,9 +215,15 @@ impl World {
                     clock_offset: skew,
                     forward: ForwardPolicy::Forward,
                     rng_counter: 0,
+                    rng: SplitMix64::from_parts(&[
+                        b"btr-node-rng",
+                        &cfg.seed.to_be_bytes(),
+                        &id.to_be_bytes(),
+                    ]),
                 }
             })
             .collect();
+        let loss_rng = Xoshiro256StarStar::from_parts(&[b"btr-loss", &cfg.seed.to_be_bytes()]);
         World {
             topo,
             cfg,
@@ -209,6 +234,9 @@ impl World {
             now: Time::ZERO,
             seq: 0,
             loss_counter: 0,
+            loss_rng,
+            scratch: Vec::new(),
+            hop_buf: Vec::new(),
             keystore,
             actuations: Vec::new(),
             trace: Vec::new(),
@@ -291,10 +319,7 @@ impl World {
     pub fn run_until(&mut self, t: Time) {
         assert!(self.started, "call start() first");
         loop {
-            let due = match self.queue.peek() {
-                Some(Reverse(s)) if s.at <= t => true,
-                _ => false,
-            };
+            let due = matches!(self.queue.peek(), Some(Reverse(s)) if s.at <= t);
             if !due {
                 break;
             }
@@ -332,7 +357,10 @@ impl World {
                     slot.crashed = true;
                     slot.forward = ForwardPolicy::DropAll;
                     if self.cfg.trace {
-                        self.trace.push(TraceEvent::Crashed { at: self.now, node: n });
+                        self.trace.push(TraceEvent::Crashed {
+                            at: self.now,
+                            node: n,
+                        });
                     }
                 }
             }
@@ -390,7 +418,10 @@ impl World {
             Some(b) => b,
             None => return,
         };
-        let mut ctx = NodeCtx { world: self, node: dst };
+        let mut ctx = NodeCtx {
+            world: self,
+            node: dst,
+        };
         behavior.on_message(&mut ctx, env);
         self.slots[dst.index()].behavior.get_or_insert(behavior);
     }
@@ -409,8 +440,31 @@ impl World {
         self.slots[node.index()].behavior.get_or_insert(behavior);
     }
 
+    /// One transmission-loss roll in `0..1_000_000`, deterministic per
+    /// seed. Legacy mode reproduces the original hash-chain sampler (one
+    /// full SHA-256 compression per roll); the optimized sampler draws
+    /// from a xoshiro256** stream seeded once from the seed digest.
+    #[inline]
+    fn loss_roll(&mut self) -> u32 {
+        if self.cfg.legacy_hot_path {
+            self.loss_counter += 1;
+            (digest64(&[
+                b"btr-loss",
+                &self.cfg.seed.to_be_bytes(),
+                &self.loss_counter.to_be_bytes(),
+            ]) % 1_000_000) as u32
+        } else {
+            self.loss_rng.next_below(1_000_000) as u32
+        }
+    }
+
     /// Route and transmit an envelope from `src`. Returns the delivery
     /// time on success (mainly for tests; behaviours ignore it).
+    ///
+    /// This is the simulator's hottest function: one call per message. In
+    /// the default mode it performs no heap allocation — the route is a
+    /// borrow of the routing cache staged into a reusable hop buffer, and
+    /// loss sampling is a few arithmetic ops per roll.
     fn transmit(&mut self, src: NodeId, env: Envelope) -> Option<Time> {
         let bytes = env.wire_size();
         let dst = env.dst;
@@ -434,13 +488,62 @@ impl World {
             self.push(at, Event::Deliver { dst, env });
             return Some(at);
         }
-        let path = match self.routing.path(src, dst) {
-            Some(p) => p,
-            None => {
-                self.record_drop(src, dst, DropReason::NoRoute);
-                return None;
+
+        // Resolve the route into the reusable hop buffer. Legacy mode
+        // rebuilds the path vector per message and looks up each hop's
+        // link, exactly like the pre-cache implementation.
+        let mut hops = std::mem::take(&mut self.hop_buf);
+        hops.clear();
+        if self.cfg.legacy_hot_path {
+            match self.routing.path_vec(src, dst) {
+                None => {
+                    self.hop_buf = hops;
+                    self.record_drop(src, dst, DropReason::NoRoute);
+                    return None;
+                }
+                Some(path) => {
+                    for pair in path.windows(2) {
+                        let link = self
+                            .topo
+                            .link_between(pair[0], pair[1])
+                            .expect("routing path uses existing links");
+                        hops.push((pair[0], pair[1], link));
+                    }
+                }
             }
-        };
+        } else {
+            match self.routing.path_and_links(src, dst) {
+                None => {
+                    self.hop_buf = hops;
+                    self.record_drop(src, dst, DropReason::NoRoute);
+                    return None;
+                }
+                Some((nodes, links)) => {
+                    for (i, &link) in links.iter().enumerate() {
+                        hops.push((nodes[i], nodes[i + 1], link));
+                    }
+                }
+            }
+        }
+
+        let delivery = self.transmit_over(&hops, src, dst, bytes);
+        self.hop_buf = hops;
+        let t = delivery?;
+        self.metrics.msgs_sent += 1;
+        self.push(t, Event::Deliver { dst, env });
+        Some(t)
+    }
+
+    /// Loss-sample and drive a message across its staged hops. Returns
+    /// the delivery time, or `None` (with the drop recorded) if any stage
+    /// rejects it.
+    fn transmit_over(
+        &mut self,
+        hops: &[(NodeId, NodeId, LinkId)],
+        src: NodeId,
+        dst: NodeId,
+        bytes: u32,
+    ) -> Option<Time> {
         // Transmission loss, deterministic per seed. With FEC enabled the
         // message is sharded: it survives up to m shard losses and pays a
         // (k+m)/k wire overhead; without FEC a single roll decides.
@@ -448,13 +551,7 @@ impl World {
         if self.cfg.loss_ppm > 0 {
             match self.cfg.fec {
                 None => {
-                    self.loss_counter += 1;
-                    let roll = digest64(&[
-                        b"btr-loss",
-                        &self.cfg.seed.to_be_bytes(),
-                        &self.loss_counter.to_be_bytes(),
-                    ]) % 1_000_000;
-                    if (roll as u32) < self.cfg.loss_ppm {
+                    if self.loss_roll() < self.cfg.loss_ppm {
                         self.record_drop(src, dst, DropReason::TransmissionLoss);
                         return None;
                     }
@@ -463,13 +560,7 @@ impl World {
                     let k = k.max(1);
                     let mut lost = 0u8;
                     for _ in 0..(k + m) {
-                        self.loss_counter += 1;
-                        let roll = digest64(&[
-                            b"btr-loss",
-                            &self.cfg.seed.to_be_bytes(),
-                            &self.loss_counter.to_be_bytes(),
-                        ]) % 1_000_000;
-                        if (roll as u32) < self.cfg.loss_ppm {
+                        if self.loss_roll() < self.cfg.loss_ppm {
                             lost += 1;
                         }
                     }
@@ -482,8 +573,7 @@ impl World {
             }
         }
         let mut t = self.now;
-        for pair in path.windows(2) {
-            let (a, b) = (pair[0], pair[1]);
+        for &(a, _b, link) in hops {
             // Relay policy applies to intermediate hops only.
             if a != src {
                 let slot = &self.slots[a.index()];
@@ -500,10 +590,6 @@ impl World {
                     return None;
                 }
             }
-            let link = self
-                .topo
-                .link_between(a, b)
-                .expect("routing path uses existing links");
             match self.nics[link.index()].send(t, a, bytes) {
                 Ok(arrival) => t = arrival,
                 Err(SendError::AllocationExhausted) => {
@@ -524,8 +610,6 @@ impl World {
             }
             self.metrics.bytes_sent += bytes as u64;
         }
-        self.metrics.msgs_sent += 1;
-        self.push(t, Event::Deliver { dst, env });
         Some(t)
     }
 
@@ -566,8 +650,8 @@ impl NodeCtx<'_> {
 
     /// The node's local clock reading (global time + bounded skew).
     pub fn local_now(&self) -> Time {
-        let t = self.world.now.as_micros() as i64
-            + self.world.slots[self.node.index()].clock_offset;
+        let t =
+            self.world.now.as_micros() as i64 + self.world.slots[self.node.index()].clock_offset;
         Time(t.max(0) as u64)
     }
 
@@ -589,9 +673,38 @@ impl NodeCtx<'_> {
 
     /// Sign and send a payload to `dst`.
     pub fn send(&mut self, dst: NodeId, payload: Payload) {
-        let env = Envelope::new(self.node, dst, self.local_now(), payload)
-            .signed(&self.world.slots[self.node.index()].signer);
+        let env = Envelope::new(self.node, dst, self.local_now(), payload);
+        let env = if self.world.cfg.legacy_hot_path {
+            // Pre-optimization reference: allocate the signing bytes.
+            env.signed(&self.world.slots[self.node.index()].signer)
+        } else {
+            // Write the canonical signing bytes into the world's scratch
+            // buffer; steady-state sends perform no heap allocation.
+            let mut scratch = std::mem::take(&mut self.world.scratch);
+            let env = env.signed_with(&self.world.slots[self.node.index()].signer, &mut scratch);
+            self.world.scratch = scratch;
+            env
+        };
         self.world.transmit(self.node, env);
+    }
+
+    /// Verify an envelope signature using the world's reusable scratch
+    /// buffer (equivalent to `env.verify(ctx.keystore())`, without the
+    /// per-call allocation).
+    pub fn verify_env(&mut self, env: &Envelope) -> Result<(), SigError> {
+        let mut scratch = std::mem::take(&mut self.world.scratch);
+        let r = env.verify_with(&self.world.keystore, &mut scratch);
+        self.world.scratch = scratch;
+        r
+    }
+
+    /// Verify a signed task output using the world's reusable scratch
+    /// buffer (equivalent to `output.verify(ctx.keystore())`).
+    pub fn verify_output(&mut self, output: &SignedOutput) -> Result<(), EvidenceFlaw> {
+        let mut scratch = std::mem::take(&mut self.world.scratch);
+        let r = output.verify_with(&self.world.keystore, &mut scratch);
+        self.world.scratch = scratch;
+        r
     }
 
     /// Send an arbitrary envelope (Byzantine behaviours use this to spoof
@@ -604,13 +717,25 @@ impl NodeCtx<'_> {
     /// Set a timer to fire after `delay` (global time base).
     pub fn set_timer(&mut self, delay: Duration, timer: TimerId) {
         let at = self.world.now + delay;
-        self.world.push(at, Event::Timer { node: self.node, timer });
+        self.world.push(
+            at,
+            Event::Timer {
+                node: self.node,
+                timer,
+            },
+        );
     }
 
     /// Set a timer to fire at an absolute global time (clamped to now).
     pub fn set_timer_at(&mut self, at: Time, timer: TimerId) {
         let at = at.max(self.world.now);
-        self.world.push(at, Event::Timer { node: self.node, timer });
+        self.world.push(
+            at,
+            Event::Timer {
+                node: self.node,
+                timer,
+            },
+        );
     }
 
     /// Record a sink actuation (an output to the physical world).
@@ -649,15 +774,23 @@ impl NodeCtx<'_> {
     }
 
     /// A deterministic per-node pseudo-random stream.
+    ///
+    /// Distinct per node and per seed. The legacy mode reproduces the
+    /// original hash-chain stream (one SHA-256 per draw); the optimized
+    /// mode advances a SplitMix64 stream seeded once per node.
     pub fn rng_u64(&mut self) -> u64 {
         let slot = &mut self.world.slots[self.node.index()];
-        slot.rng_counter += 1;
-        digest64(&[
-            b"btr-node-rng",
-            &self.world.cfg.seed.to_be_bytes(),
-            &self.node.0.to_be_bytes(),
-            &slot.rng_counter.to_be_bytes(),
-        ])
+        if self.world.cfg.legacy_hot_path {
+            slot.rng_counter += 1;
+            digest64(&[
+                b"btr-node-rng",
+                &self.world.cfg.seed.to_be_bytes(),
+                &self.node.0.to_be_bytes(),
+                &slot.rng_counter.to_be_bytes(),
+            ])
+        } else {
+            slot.rng.next_u64()
+        }
     }
 }
 
@@ -728,7 +861,7 @@ mod tests {
             w.set_behavior(NodeId(1), Box::new(Echo));
             w.start();
             w.run_until(Time::from_millis(50));
-            (w.metrics().clone(), w.trace().to_vec())
+            (*w.metrics(), w.trace().to_vec())
         };
         let (m1, t1) = run();
         let (m2, t2) = run();
@@ -747,10 +880,13 @@ mod tests {
         // The starter's message is dropped at the crashed receiver.
         assert_eq!(w.metrics().msgs_delivered, 0);
         assert!(w.is_crashed(NodeId(1)));
-        assert!(w
-            .trace()
-            .iter()
-            .any(|e| matches!(e, TraceEvent::Dropped { reason: DropReason::ReceiverCrashed, .. })));
+        assert!(w.trace().iter().any(|e| matches!(
+            e,
+            TraceEvent::Dropped {
+                reason: DropReason::ReceiverCrashed,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -927,7 +1063,10 @@ mod tests {
                 ctx.actuate(TaskId(0), 0, ctx.local_now().as_micros());
             }
         }
-        w.schedule_control(Time(0), ControlAction::ReplaceBehavior(NodeId(0), Box::new(Arm)));
+        w.schedule_control(
+            Time(0),
+            ControlAction::ReplaceBehavior(NodeId(0), Box::new(Arm)),
+        );
         w.run_until(Time::from_millis(20));
         let v = w.actuations()[0].value as i64;
         assert_eq!(v, 10_000 + base_off + 5_000);
@@ -1001,11 +1140,17 @@ mod tests {
     fn rng_streams_are_deterministic_and_distinct() {
         let mut w = world(2);
         w.start();
-        let mut ctx0 = NodeCtx { world: &mut w, node: NodeId(0) };
+        let mut ctx0 = NodeCtx {
+            world: &mut w,
+            node: NodeId(0),
+        };
         let a1 = ctx0.rng_u64();
         let a2 = ctx0.rng_u64();
         assert_ne!(a1, a2);
-        let mut ctx1 = NodeCtx { world: &mut w, node: NodeId(1) };
+        let mut ctx1 = NodeCtx {
+            world: &mut w,
+            node: NodeId(1),
+        };
         let b1 = ctx1.rng_u64();
         assert_ne!(a1, b1);
     }

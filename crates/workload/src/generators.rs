@@ -359,9 +359,7 @@ pub fn random_layered(p: &RandomParams) -> Workload {
     let mut rng = SmallRng::seed_from_u64(p.seed);
     let total_tasks = p.layers * p.width;
     // Draw raw weights, then scale to the utilisation target.
-    let weights: Vec<f64> = (0..total_tasks)
-        .map(|_| rng.gen_range(0.5..1.5))
-        .collect();
+    let weights: Vec<f64> = (0..total_tasks).map(|_| rng.gen_range(0.5..1.5)).collect();
     let wsum: f64 = weights.iter().sum();
     let budget = p.utilization * p.period.0 as f64;
     let wcet_of = |i: usize| -> Duration {
@@ -493,7 +491,11 @@ mod tests {
             assert!(w.tasks_at(c).count() > 0, "missing criticality {c}");
         }
         // Flight control chain is Safety end to end.
-        let ctl = w.tasks().iter().find(|t| t.name == "flight-control").unwrap();
+        let ctl = w
+            .tasks()
+            .iter()
+            .find(|t| t.name == "flight-control")
+            .unwrap();
         assert_eq!(ctl.criticality, Criticality::Safety);
     }
 
@@ -504,7 +506,11 @@ mod tests {
         assert_eq!(w.sinks().count(), 6);
         assert!(w.utilization() > 0.0);
         // ABS consumes all four wheel sensors.
-        let abs = w.tasks().iter().find(|t| t.name == "abs-controller").unwrap();
+        let abs = w
+            .tasks()
+            .iter()
+            .find(|t| t.name == "abs-controller")
+            .unwrap();
         assert_eq!(abs.inputs.len(), 4);
     }
 
@@ -544,7 +550,10 @@ mod tests {
         let p = RandomParams::default();
         assert_eq!(random_layered(&p), random_layered(&p));
         let p2 = RandomParams { seed: 8, ..p };
-        assert_ne!(random_layered(&p2), random_layered(&RandomParams::default()));
+        assert_ne!(
+            random_layered(&p2),
+            random_layered(&RandomParams::default())
+        );
     }
 
     #[test]
@@ -582,7 +591,9 @@ mod tests {
             assert!(!w.is_empty());
             assert!(matches!(
                 w.tasks().last().map(|t| &t.kind),
-                Some(TaskKind::Sink { .. }) | Some(TaskKind::Compute) | Some(TaskKind::Source { .. })
+                Some(TaskKind::Sink { .. })
+                    | Some(TaskKind::Compute)
+                    | Some(TaskKind::Source { .. })
             ));
         }
     }

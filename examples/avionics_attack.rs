@@ -42,9 +42,7 @@ fn main() {
     // Correctness timeline, one row per period.
     println!("\nperiod | acceptable outputs");
     for (p, frac) in report.timeline() {
-        let bar: String = std::iter::repeat('#')
-            .take((frac * 30.0) as usize)
-            .collect();
+        let bar: String = std::iter::repeat_n('#', (frac * 30.0) as usize).collect();
         println!("{p:>6} | {bar:<30} {:.0}%", frac * 100.0);
     }
 

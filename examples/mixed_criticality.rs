@@ -29,10 +29,7 @@ fn main() {
         let plan = strategy.plan(strategy.best_plan_for(&fs));
         let mut cells = Vec::new();
         for c in Criticality::ALL.iter().rev() {
-            let total = workload
-                .sinks()
-                .filter(|s| s.criticality == *c)
-                .count();
+            let total = workload.sinks().filter(|s| s.criticality == *c).count();
             let alive = workload
                 .sinks()
                 .filter(|s| s.criticality == *c && !plan.is_shed(s.id))

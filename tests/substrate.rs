@@ -1,10 +1,10 @@
 //! Substrate integration tests: the network, simulator, and crypto
 //! layers working together underneath the protocol.
 
+use btr::core::{BtrSystem, FaultScenario};
 use btr::model::{Duration, FaultKind, NodeId, Time, Topology};
 use btr::net::{FecCodec, RoutingTable};
 use btr::planner::PlannerConfig;
-use btr::core::{BtrSystem, FaultScenario};
 use std::collections::BTreeSet;
 
 #[test]
@@ -17,8 +17,7 @@ fn fec_masks_bus_error_rates() {
     let shards = codec.encode(&frame);
     for a in 0..8 {
         for b in (a + 1)..8 {
-            let mut received: Vec<Option<Vec<u8>>> =
-                shards.iter().cloned().map(Some).collect();
+            let mut received: Vec<Option<Vec<u8>>> = shards.iter().cloned().map(Some).collect();
             received[a] = None;
             received[b] = None;
             let out = codec.decode(&received).unwrap();

@@ -1,0 +1,162 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses:
+//! benchmark groups, `bench_function`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros. Reports the median of a
+//! configurable number of samples; no statistical analysis or HTML
+//! output.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value (re-export of the std
+/// implementation, which real criterion also delegates to since 0.5).
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: 20,
+        }
+    }
+
+    /// Benchmark a function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench("", name, 20, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (min 5).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(5);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(&self.name, name, self.sample_size, f);
+        self
+    }
+
+    /// Finish the group (printing is incremental; this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmarked closure; call [`Bencher::iter`].
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measure `f`, collecting the configured number of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and estimate a batch size targeting ~2 ms per sample.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < Duration::from_millis(20) {
+            black_box(f());
+            warmup_iters += 1;
+            if warmup_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warmup_start.elapsed().as_nanos().max(1) / warmup_iters.max(1) as u128;
+        let batch = ((2_000_000 / per_iter.max(1)) as u64).clamp(1, 1_000_000);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(start.elapsed() / batch as u32);
+        }
+    }
+
+    fn median_ns(&mut self) -> u128 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        self.samples.sort();
+        self.samples[self.samples.len() / 2].as_nanos()
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(group: &str, name: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut b);
+    let median = b.median_ns();
+    let label = if group.is_empty() {
+        name.to_string()
+    } else {
+        format!("{group}/{name}")
+    };
+    if median >= 10_000_000 {
+        println!("bench {label:<40} {:>12.3} ms/iter", median as f64 / 1e6);
+    } else if median >= 10_000 {
+        println!("bench {label:<40} {:>12.3} µs/iter", median as f64 / 1e3);
+    } else {
+        println!("bench {label:<40} {median:>12} ns/iter");
+    }
+}
+
+/// Bundle benchmark functions into a runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5);
+        let mut ran = false;
+        g.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| black_box(1 + 1))
+        });
+        g.finish();
+        assert!(ran);
+    }
+}

@@ -1,0 +1,56 @@
+//! Offline stand-in for the `serde` trait surface.
+//!
+//! Every type is trivially `Serialize`/`Deserialize` via blanket impls,
+//! so `#[derive(Serialize, Deserialize)]` (a no-op here) and generic
+//! bounds like `K: Serialize + Ord` compile unchanged. No serializer
+//! backend exists in this environment, so calling `deserialize` through
+//! a real `Deserializer` is impossible by construction; hand-rolled
+//! writers (see the bench harness) handle actual data interchange.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Serializer surface used by custom `#[serde(with = ...)]` modules.
+pub trait Serializer: Sized {
+    /// Successful output type.
+    type Ok;
+    /// Error type.
+    type Error;
+    /// Serialize the items yielded by an iterator as a sequence.
+    fn collect_seq<I: IntoIterator>(self, iter: I) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Deserializer surface used by custom `#[serde(with = ...)]` modules.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error;
+    /// Fail deserialization (the only possible outcome in this stand-in).
+    fn unsupported<T>(self) -> Result<T, Self::Error>;
+}
+
+/// Blanket-implemented deserialization; always defers to the
+/// deserializer's `unsupported` (no backend exists offline).
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize a value.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+impl<'de, T> Deserialize<'de> for T {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.unsupported()
+    }
+}
+
+/// `serde::de` module alias for code importing from the canonical paths.
+pub mod de {
+    pub use crate::{Deserialize, Deserializer};
+}
+
+/// `serde::ser` module alias for code importing from the canonical paths.
+pub mod ser {
+    pub use crate::{Serialize, Serializer};
+}

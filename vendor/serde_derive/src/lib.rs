@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derive macros (offline stand-in).
+//!
+//! The real `serde_derive` generates trait implementations; here the
+//! traits have blanket implementations in the `serde` stand-in crate, so
+//! the derives only need to exist (and to register the `#[serde(...)]`
+//! helper attribute as inert). They expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; `serde::Serialize` is blanket-implemented.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; `serde::Deserialize` is blanket-implemented.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
