@@ -257,6 +257,7 @@ impl BaselineSystem {
             converged: true,
             periods,
             guardian_drops,
+            truncated: world.truncated(),
         }
     }
 }

@@ -1,13 +1,16 @@
 //! The experiment harness: regenerates every table/figure in
-//! EXPERIMENTS.md, plus the hot-path perf benchmark.
+//! EXPERIMENTS.md, the hot-path perf benchmark, and the fault-injection
+//! campaign engine.
 //!
 //! Usage:
 //!
 //! ```text
-//! harness all          # run the full experiment suite
-//! harness e1 e7 a2     # run selected experiments
-//! harness bench        # A/B the simulator hot path, emit BENCH_sim.json
-//! harness --list       # list experiment ids
+//! harness all               # run the full experiment suite
+//! harness e1 e7 a2          # run selected experiments
+//! harness bench [periods]   # A/B the simulator hot path, emit BENCH_sim.json
+//! harness campaign [...]    # fault-injection campaign, emit CAMPAIGN_btr.json
+//! harness --list            # list every subcommand and experiment id
+//! harness --threads N ...   # worker threads (campaign + e6 planner)
 //! ```
 
 use btr_bench::experiments as exp;
@@ -158,11 +161,209 @@ fn run_bench(periods: u64, out_path: &str) {
     }
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: harness [--list] <all | bench | e1 .. e10 a1 a2 r1>...");
+fn usage() {
+    eprintln!(
+        "usage: harness [--threads N] [--list] <command>...\n\
+         \n\
+         commands:\n\
+         \x20 all                run the full experiment suite (e1..e10 a1 a2 r1)\n\
+         \x20 e1 .. e10 a1 a2 r1 individual experiments (see --list)\n\
+         \x20 bench [periods]    simulator hot-path A/B (emits BENCH_sim.json)\n\
+         \x20 campaign [opts]    parallel fault-injection campaign (emits CAMPAIGN_btr.json)\n\
+         \n\
+         global options:\n\
+         \x20 --threads N        worker threads for campaign and the e6 planner\n\
+         \x20                    (default: available parallelism)\n\
+         \n\
+         campaign options:\n\
+         \x20 --runs N           target run count (default 256)\n\
+         \x20 --seed S           campaign seed (default 42)\n\
+         \x20 --sim-seeds K      simulator seeds per schedule (default 2)\n\
+         \x20 --combos           sequential multi-fault schedules up to budget f (hunting mode)\n\
+         \x20 --over-budget      add f+1-fault schedules (inadmissible; exercises the shrinker)\n\
+         \x20 --all-variants     every fault variant on every cell (known gaps will violate)\n\
+         \x20 --out PATH         report path (default CAMPAIGN_btr.json)\n\
+         \x20 --replay TOKEN     re-execute one reproducer token and print its verdicts"
+    );
+}
+
+/// Remove `--flag VALUE` from `args`, returning the parsed value.
+fn take_value<T: std::str::FromStr>(args: &mut Vec<String>, flag: &str) -> Option<T> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("error: {flag} needs a value");
+        std::process::exit(2);
+    }
+    let raw = args.remove(i + 1);
+    args.remove(i);
+    match raw.parse() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!("error: bad value '{raw}' for {flag}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Remove a bare `--flag`, returning whether it was present.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+fn run_campaign_cli(mut args: Vec<String>, threads: usize) {
+    use btr_campaign as campaign;
+
+    if let Some(token) = take_value::<String>(&mut args, "--replay") {
+        if let Some(stray) = args.iter().find(|a| *a != "campaign") {
+            eprintln!("error: --replay takes no other campaign arguments (got '{stray}')");
+            std::process::exit(2);
+        }
+        let spec = match campaign::replay::parse(&token) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        };
+        println!(
+            "replaying {} on {} (f={}, R={}, seed {})",
+            spec.scenario.faults.len(),
+            spec.cell.name(),
+            spec.cell.f,
+            spec.cell.r_bound,
+            spec.sim_seed
+        );
+        match campaign::replay::run(&spec) {
+            Ok(r) => {
+                println!(
+                    "  schedule {}: bad window {:.1} ms, {}/{} bad outputs, converged: {}",
+                    r.label,
+                    r.recovery_us as f64 / 1e3,
+                    r.bad_outputs,
+                    r.total_outputs,
+                    r.converged
+                );
+                if r.violations.is_empty() {
+                    println!("  no violations (the reproducer no longer fires)");
+                } else {
+                    for v in &r.violations {
+                        println!("  VIOLATION: {v}");
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
         return;
+    }
+
+    let runs = take_value(&mut args, "--runs").unwrap_or(256);
+    let seed = take_value(&mut args, "--seed").unwrap_or(42);
+    let sim_seeds = take_value(&mut args, "--sim-seeds").unwrap_or(2);
+    let combos = take_flag(&mut args, "--combos");
+    let over_budget = take_flag(&mut args, "--over-budget");
+    let all_variants = take_flag(&mut args, "--all-variants");
+    let out_path: String = take_value(&mut args, "--out").unwrap_or("CAMPAIGN_btr.json".into());
+    if let Some(stray) = args.iter().find(|a| *a != "campaign") {
+        eprintln!("error: unknown campaign argument '{stray}'");
+        std::process::exit(2);
+    }
+
+    let mut cfg = campaign::CampaignConfig::new(seed, runs, threads);
+    cfg.sim_seeds = sim_seeds;
+    cfg.combos = combos;
+    cfg.over_budget = over_budget;
+    if all_variants {
+        cfg.cells = campaign::all_variant_grid();
+    }
+
+    println!(
+        "campaign: {} cells, target {} runs, seed {}, {} threads{}{}{}",
+        cfg.cells.len(),
+        cfg.runs,
+        cfg.seed,
+        cfg.threads,
+        if combos { ", combos" } else { "" },
+        if over_budget { ", over-budget" } else { "" },
+        if all_variants { ", all-variants" } else { "" },
+    );
+    let outcome = match campaign::run_campaign(&cfg) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    for t in &outcome.scaling {
+        println!(
+            "  {} thread{}: {} runs in {:.2} s  ({:.1} runs/sec)",
+            t.threads,
+            if t.threads == 1 { " " } else { "s" },
+            t.runs,
+            t.wall_ns as f64 / 1e9,
+            t.runs_per_sec()
+        );
+    }
+    let admissible_viol = outcome.admissible_violations();
+    let total_viol = outcome
+        .records
+        .iter()
+        .filter(|r| !r.violations.is_empty())
+        .count();
+    println!(
+        "  {} violations ({} within the admitted budget f)",
+        total_viol, admissible_viol
+    );
+    for sh in &outcome.shrunk {
+        println!(
+            "  run {} shrunk {} -> {} fault(s) in {} probes; replay with:",
+            sh.run_idx, sh.faults_before, sh.faults_after, sh.probes
+        );
+        println!("    harness campaign --replay '{}'", sh.replay);
+    }
+
+    match std::fs::write(&out_path, outcome.to_json()) {
+        Ok(()) => println!("  wrote {out_path}"),
+        Err(e) => {
+            eprintln!("error: failed to write {out_path}: {e}");
+            std::process::exit(2);
+        }
+    }
+    // The default grid must be violation-free within budget; hunting
+    // modes (--all-variants, --combos) are expected to fire on the
+    // known gaps recorded in EXPERIMENTS.md.
+    if admissible_viol > 0 && !all_variants && !combos {
+        eprintln!("error: {admissible_viol} admissible runs violated the R-bound");
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+        return;
+    }
+    let threads = take_value(&mut args, "--threads")
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    if threads == 0 {
+        eprintln!("error: --threads must be at least 1");
+        std::process::exit(2);
+    }
+    if args.is_empty() {
+        // Only global flags were given; a missing command is an error,
+        // not a silent success.
+        usage();
+        std::process::exit(2);
     }
     if args.iter().any(|a| a == "--list") {
         println!("e1  recovery timeline per approach and fault type");
@@ -178,7 +379,14 @@ fn main() {
         println!("a1  plan-distance minimisation ablation");
         println!("a2  checker placement ablation");
         println!("r1  robustness to residual link loss");
-        println!("bench  simulator hot-path A/B (emits BENCH_sim.json)");
+        println!("bench [periods]  simulator hot-path A/B (emits BENCH_sim.json)");
+        println!("campaign [--runs N] [--seed S] [--sim-seeds K] [--combos] [--over-budget]");
+        println!("         [--all-variants] [--out PATH] [--replay TOKEN]");
+        println!("                 parallel fault-injection campaign (emits CAMPAIGN_btr.json)");
+        return;
+    }
+    if args.iter().any(|a| a == "campaign") {
+        run_campaign_cli(args, threads);
         return;
     }
     if args.iter().any(|a| a == "bench") {
@@ -193,6 +401,13 @@ fn main() {
         run_bench(periods, "BENCH_sim.json");
         return;
     }
+    let known = [
+        "all", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "a1", "a2", "r1",
+    ];
+    if let Some(bad) = args.iter().find(|a| !known.contains(&a.as_str())) {
+        eprintln!("error: unknown experiment '{bad}' (see harness --list)");
+        std::process::exit(2);
+    }
     let run = |id: &str| match id {
         "e1" => println!("{}", exp::e1_recovery_timeline()),
         "e2" => {
@@ -202,7 +417,7 @@ fn main() {
         "e3" => println!("{}", exp::e3_min_speed()),
         "e4" => println!("{}", exp::e4_sequential_faults()),
         "e5" => println!("{}", exp::e5_degradation()),
-        "e6" => println!("{}", exp::e6_planner_scale()),
+        "e6" => println!("{}", exp::e6_planner_scale(threads)),
         "e7" => println!("{}", exp::e7_detection_latency()),
         "e8" => println!("{}", exp::e8_evidence_dissemination()),
         "e9" => println!("{}", exp::e9_mode_change()),
@@ -210,10 +425,10 @@ fn main() {
         "a1" => println!("{}", exp::a1_plan_distance()),
         "a2" => println!("{}", exp::a2_checker_placement()),
         "r1" => println!("{}", exp::r1_link_loss()),
-        other => eprintln!("unknown experiment: {other}"),
+        other => unreachable!("unvalidated experiment id {other}"),
     };
     if args.iter().any(|a| a == "all") {
-        println!("{}", exp::run_all());
+        println!("{}", exp::run_all(threads));
     } else {
         for id in &args {
             run(id);

@@ -359,7 +359,10 @@ pub fn e5_degradation() -> String {
 }
 
 /// E6 / Table 2 — planner scalability and the strategy game tree.
-pub fn e6_planner_scale() -> String {
+///
+/// `threads` drives the multi-threaded build column (the harness passes
+/// its global `--threads`, defaulting to the machine's parallelism).
+pub fn e6_planner_scale(threads: usize) -> String {
     let mut t = Table::new(&[
         "nodes",
         "f",
@@ -378,7 +381,7 @@ pub fn e6_planner_scale() -> String {
         let t0 = Instant::now();
         let (strategy, stats) = build_strategy(&w, &topo, &cfg).expect("plannable");
         let dt = t0.elapsed().as_millis();
-        cfg.threads = 4;
+        cfg.threads = threads.max(1);
         let t1 = Instant::now();
         let _ = build_strategy(&w, &topo, &cfg).expect("plannable");
         let dt_mt = t1.elapsed().as_millis();
@@ -485,11 +488,11 @@ pub fn e8_evidence_dissemination() -> String {
         let mut scenario =
             FaultScenario::single(victim, FaultKind::Commission, Time::from_millis(52));
         if spam > 0 {
-            scenario.faults.push(btr_core::InjectedFault {
-                node: spammer,
-                kind: FaultKind::EvidenceSpam,
-                at: Time::from_millis(20),
-            });
+            scenario.faults.push(btr_core::InjectedFault::new(
+                spammer,
+                FaultKind::EvidenceSpam,
+                Time::from_millis(20),
+            ));
         }
         // Convergence on the *commission* victim despite the spam.
         let (_, converge) = detection_latency(&sys, &scenario, victim, ms(500), 7);
@@ -731,8 +734,9 @@ pub fn a2_checker_placement() -> String {
     format!("## A2 — checker placement ablation\n\n{}", t.render())
 }
 
-/// Run every experiment, returning the combined report.
-pub fn run_all() -> String {
+/// Run every experiment, returning the combined report. `threads`
+/// parameterizes the multi-threaded planner column of E6.
+pub fn run_all(threads: usize) -> String {
     let mut out = String::new();
     out.push_str(&e1_recovery_timeline());
     out.push('\n');
@@ -746,7 +750,7 @@ pub fn run_all() -> String {
     out.push('\n');
     out.push_str(&e5_degradation());
     out.push('\n');
-    out.push_str(&e6_planner_scale());
+    out.push_str(&e6_planner_scale(threads));
     out.push('\n');
     out.push_str(&e7_detection_latency());
     out.push('\n');

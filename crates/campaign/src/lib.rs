@@ -1,0 +1,236 @@
+//! # btr-campaign — parallel fault-injection campaigns
+//!
+//! The paper's whole claim is a *bound*: under any admissible fault
+//! pattern, recovery completes within R (Definition 3.1). The experiment
+//! suite checks a handful of hand-written scenarios; this crate turns
+//! the `Attack`/`FaultScenario` machinery into an adversarial *campaign*
+//! engine that sweeps the fault space systematically and triages what it
+//! finds:
+//!
+//! * [`schedule`] — deterministic schedule generation: boundary
+//!   enumeration straddling period/deadline instants plus seeded
+//!   sampling of sequential multi-fault scripts up to (and, on request,
+//!   beyond) the budget f. A pure function of the seed.
+//! * [`grid`] — the campaign grid: planned (workload × platform × f)
+//!   cells, each pinned to the fault-variant space it is known to cover.
+//! * [`runner`] — a work-stealing parallel runner on
+//!   `std::thread::scope`; results merge in run order, so reports are
+//!   bit-identical at any thread count.
+//! * [`verdict`] — the oracle: R-bound, pre-fault correctness, and
+//!   criticality-ordered shedding.
+//! * [`shrink`] — delta-debugs violating schedules to minimal
+//!   reproducers (fewest faults, latest activation).
+//! * [`replay`] — one-string replay tokens for shrunk reproducers.
+//! * [`report`] — aggregation and the `CAMPAIGN_btr.json` writer, with
+//!   a deterministic region and a separate timing region that records
+//!   the 1-thread vs N-thread scaling trajectory.
+//!
+//! Entry point: [`run_campaign`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod grid;
+pub mod replay;
+pub mod report;
+pub mod runner;
+pub mod schedule;
+pub mod shrink;
+pub mod verdict;
+
+pub use grid::{all_variant_grid, default_grid, CellError, CellSpec, TopoSpec};
+pub use runner::{CampaignConfig, RunRecord};
+pub use schedule::{FaultSchedule, FaultVariant, ScheduleParams};
+pub use shrink::ShrinkOutcome;
+pub use verdict::Violation;
+
+/// Wall-clock measurement of one execution pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timing {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall time of the execution phase (ns).
+    pub wall_ns: u64,
+    /// Runs executed.
+    pub runs: usize,
+}
+
+impl Timing {
+    /// Campaign throughput in runs per wall-clock second.
+    pub fn runs_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return f64::NAN;
+        }
+        self.runs as f64 / (self.wall_ns as f64 / 1e9)
+    }
+}
+
+/// Static summary of one planned cell (for the report header).
+#[derive(Debug, Clone)]
+pub struct CellSummary {
+    /// Display name.
+    pub name: String,
+    /// Workload family.
+    pub workload: String,
+    /// Topology token.
+    pub topology: String,
+    /// Node count.
+    pub nodes: usize,
+    /// Fault budget.
+    pub f: u8,
+    /// Recovery bound (µs).
+    pub r_bound_us: u64,
+    /// Judging horizon (µs).
+    pub horizon_us: u64,
+    /// Schedules generated for the cell.
+    pub schedules: usize,
+    /// Variant labels scheduled on the cell.
+    pub variants: Vec<&'static str>,
+}
+
+/// Everything a finished campaign produced.
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// The configuration the campaign ran with.
+    pub config: CampaignConfig,
+    /// Per-cell summaries, in grid order.
+    pub cells: Vec<CellSummary>,
+    /// Every scored run, in run order (deterministic).
+    pub records: Vec<RunRecord>,
+    /// Minimal reproducers for violating runs (capped).
+    pub shrunk: Vec<ShrinkOutcome>,
+    /// Execution timings: always the 1-thread pass, plus the N-thread
+    /// pass when more than one thread was requested.
+    pub scaling: Vec<Timing>,
+}
+
+impl CampaignOutcome {
+    /// Violating runs that were within the admitted fault budget — the
+    /// count CI gates on (zero on the default grid).
+    pub fn admissible_violations(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.admissible && !r.violations.is_empty())
+            .count()
+    }
+
+    /// Render the full `CAMPAIGN_btr.json` contents.
+    pub fn to_json(&self) -> String {
+        report::render(self)
+    }
+}
+
+/// Campaign-level failures.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// A grid cell failed to plan.
+    Cell(CellError),
+    /// The parallel pass disagreed with the sequential pass — a
+    /// determinism bug in the stack, reported rather than papered over.
+    Nondeterministic {
+        /// Index of the first diverging run.
+        first_divergence: u32,
+    },
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::Cell(e) => write!(f, "{e}"),
+            CampaignError::Nondeterministic { first_divergence } => write!(
+                f,
+                "parallel execution diverged from sequential at run {first_divergence}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// How many violating runs get shrunk per campaign (shrinking costs
+/// dozens of probe simulations each; the first few reproducers are the
+/// actionable ones).
+pub const MAX_SHRINKS: usize = 4;
+
+/// Simulation-probe budget per shrink.
+pub const SHRINK_PROBES: u32 = 96;
+
+/// Plan, execute, verify determinism, shrink, and summarize a campaign.
+///
+/// The grid always runs once at 1 thread, and again at `cfg.threads`
+/// when more are requested. The two record sets must be identical — the
+/// second pass doubles as a standing determinism check on the whole
+/// stack — and both wall times are reported as the scaling trajectory.
+pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignOutcome, CampaignError> {
+    let cells = runner::plan_cells(cfg).map_err(CampaignError::Cell)?;
+
+    let mut seq_cfg = cfg.clone();
+    seq_cfg.threads = 1;
+    let (records, seq_wall) = runner::execute(&seq_cfg, &cells);
+    let mut scaling = vec![Timing {
+        threads: 1,
+        wall_ns: seq_wall,
+        runs: records.len(),
+    }];
+
+    if cfg.threads > 1 {
+        let (par_records, par_wall) = runner::execute(cfg, &cells);
+        if let Some(first) = records
+            .iter()
+            .zip(&par_records)
+            .position(|(a, b)| a != b)
+            .or((records.len() != par_records.len())
+                .then_some(records.len().min(par_records.len())))
+        {
+            return Err(CampaignError::Nondeterministic {
+                first_divergence: first as u32,
+            });
+        }
+        scaling.push(Timing {
+            threads: cfg.threads,
+            wall_ns: par_wall,
+            runs: par_records.len(),
+        });
+    }
+
+    // Shrink the first few violating runs to minimal reproducers.
+    let mut shrunk = Vec::new();
+    for r in records.iter().filter(|r| !r.violations.is_empty()) {
+        if shrunk.len() >= MAX_SHRINKS {
+            break;
+        }
+        let cell = &cells[r.cell_idx as usize];
+        let schedule = &cell.schedules[r.schedule_id as usize];
+        shrunk.push(shrink::shrink_violation(
+            cell,
+            schedule,
+            r.sim_seed,
+            r.run_idx,
+            cfg.slack,
+            SHRINK_PROBES,
+        ));
+    }
+
+    let cells_summary = cells
+        .iter()
+        .map(|c| CellSummary {
+            name: c.spec.name(),
+            workload: c.spec.workload.clone(),
+            topology: c.spec.topo.token(),
+            nodes: c.spec.topo.n_nodes(),
+            f: c.spec.f,
+            r_bound_us: c.spec.r_bound.as_micros(),
+            horizon_us: c.horizon.as_micros(),
+            schedules: c.schedules.len(),
+            variants: c.spec.variants.iter().map(|v| v.label()).collect(),
+        })
+        .collect();
+
+    Ok(CampaignOutcome {
+        config: cfg.clone(),
+        cells: cells_summary,
+        records,
+        shrunk,
+        scaling,
+    })
+}

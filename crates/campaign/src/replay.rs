@@ -1,0 +1,323 @@
+//! Replay tokens: a violating run, serialized into one shell-safe string.
+//!
+//! A token pins everything a run depends on — workload, platform, fault
+//! budget, R, horizon, simulator seed, and the exact fault schedule — so
+//! `harness campaign --replay <token>` reproduces the run bit-for-bit on
+//! any machine. Format (order fixed, `;`-separated):
+//!
+//! ```text
+//! w=avionics;t=bus9x100000x5;f=1;r=150000;h=700000;me=20000000;s=12345;fl=crash@52000@n3+omission@310000@n5
+//! ```
+//!
+//! `r`, `h`, and fault activations are µs; `me` is the simulator event
+//! cap the campaign ran with (0 or absent = unlimited — pinned so a
+//! `Truncated` verdict reproduces); `fl` faults are
+//! `variant@at_us@n<node>` joined with `+` (empty `fl` = fault-free).
+
+use crate::grid::{CellError, CellSpec, TopoSpec};
+use crate::schedule::{FaultSchedule, FaultVariant};
+use crate::verdict::{score, Violation};
+use btr_core::FaultScenario;
+use btr_model::{Duration, NodeId, Time};
+
+/// Render the canonical token for a run.
+pub fn token(
+    spec: &CellSpec,
+    sim_seed: u64,
+    horizon: Duration,
+    max_events: u64,
+    scenario: &FaultScenario,
+) -> String {
+    let faults: Vec<String> = scenario
+        .faults
+        .iter()
+        .map(|f| {
+            format!(
+                "{}@{}@n{}",
+                FaultVariant::of(f).label(),
+                f.at.as_micros(),
+                f.node.0
+            )
+        })
+        .collect();
+    format!(
+        "w={};t={};f={};r={};h={};me={};s={};fl={}",
+        spec.workload,
+        spec.topo.token(),
+        spec.f,
+        spec.r_bound.as_micros(),
+        horizon.as_micros(),
+        max_events,
+        sim_seed,
+        faults.join("+")
+    )
+}
+
+/// A parsed token, ready to execute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplaySpec {
+    /// The cell to plan (variants derived from the scheduled faults).
+    pub cell: CellSpec,
+    /// Simulator seed.
+    pub sim_seed: u64,
+    /// Judging horizon.
+    pub horizon: Duration,
+    /// Simulator event cap the original run executed under (0 = none).
+    pub max_events: u64,
+    /// The fault schedule.
+    pub scenario: FaultScenario,
+}
+
+/// Token parse errors, with enough context to fix the token by hand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayError(String);
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad replay token: {}", self.0)
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+fn field<'a>(fields: &[(&'a str, &'a str)], key: &str) -> Result<&'a str, ReplayError> {
+    fields
+        .iter()
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| *v)
+        .ok_or_else(|| ReplayError(format!("missing field '{key}'")))
+}
+
+fn num(fields: &[(&str, &str)], key: &str) -> Result<u64, ReplayError> {
+    field(fields, key)?
+        .parse()
+        .map_err(|_| ReplayError(format!("field '{key}' is not a number")))
+}
+
+/// Parse a token back into a runnable spec.
+pub fn parse(tok: &str) -> Result<ReplaySpec, ReplayError> {
+    let fields: Vec<(&str, &str)> = tok
+        .trim()
+        .split(';')
+        .filter(|s| !s.is_empty())
+        .map(|pair| {
+            pair.split_once('=')
+                .ok_or_else(|| ReplayError(format!("'{pair}' is not key=value")))
+        })
+        .collect::<Result<_, _>>()?;
+
+    let topo_tok = field(&fields, "t")?;
+    let topo = TopoSpec::parse(topo_tok)
+        .ok_or_else(|| ReplayError(format!("unparseable topology '{topo_tok}'")))?;
+    let n_nodes = topo.n_nodes() as u32;
+
+    let mut faults = Vec::new();
+    let fl = field(&fields, "fl")?;
+    if !fl.is_empty() {
+        for part in fl.split('+') {
+            let bits: Vec<&str> = part.split('@').collect();
+            let [variant, at, node] = bits.as_slice() else {
+                return Err(ReplayError(format!(
+                    "fault '{part}' is not variant@at@node"
+                )));
+            };
+            let variant = FaultVariant::parse(variant)
+                .ok_or_else(|| ReplayError(format!("unknown variant '{variant}'")))?;
+            let at: u64 = at
+                .parse()
+                .map_err(|_| ReplayError(format!("bad activation '{at}'")))?;
+            let node: u32 = node
+                .strip_prefix('n')
+                .and_then(|n| n.parse().ok())
+                .ok_or_else(|| ReplayError(format!("bad node '{node}'")))?;
+            if node >= n_nodes {
+                return Err(ReplayError(format!(
+                    "node n{node} out of range for {} nodes",
+                    n_nodes
+                )));
+            }
+            faults.push(variant.inject(NodeId(node), Time(at)));
+        }
+    }
+
+    let mut variants: Vec<FaultVariant> = Vec::new();
+    for f in &faults {
+        let v = FaultVariant::of(f);
+        if !variants.contains(&v) {
+            variants.push(v);
+        }
+    }
+    if variants.is_empty() {
+        variants = FaultVariant::ALL.to_vec();
+    }
+
+    Ok(ReplaySpec {
+        cell: CellSpec {
+            workload: field(&fields, "w")?.to_string(),
+            topo,
+            f: num(&fields, "f")? as u8,
+            r_bound: Duration(num(&fields, "r")?),
+            variants,
+        },
+        sim_seed: num(&fields, "s")?,
+        horizon: Duration(num(&fields, "h")?),
+        // Older/hand-written tokens may omit the cap; absent = unlimited.
+        max_events: if field(&fields, "me").is_ok() {
+            num(&fields, "me")?
+        } else {
+            0
+        },
+        scenario: FaultScenario { faults },
+    })
+}
+
+/// The outcome of replaying a token.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Kind signature of the replayed schedule.
+    pub label: String,
+    /// Measured bad-output window (µs).
+    pub recovery_us: u64,
+    /// Unacceptable / judged output slots.
+    pub bad_outputs: usize,
+    /// Judged output slots.
+    pub total_outputs: usize,
+    /// Whether correct nodes converged.
+    pub converged: bool,
+    /// Broken claims (the reason the reproducer exists).
+    pub violations: Vec<Violation>,
+}
+
+/// Plan and execute a replay, scoring it like any campaign run.
+pub fn run(spec: &ReplaySpec) -> Result<ReplayReport, CellError> {
+    let system = spec.cell.plan()?.with_max_events(spec.max_events);
+    let schedule = FaultSchedule {
+        id: 0,
+        scenario: spec.scenario.clone(),
+    };
+    let report = system.run(&spec.scenario, spec.horizon, spec.sim_seed);
+    let violations = score(&system, &schedule, &report, Duration::ZERO);
+    Ok(ReplayReport {
+        label: schedule.label(),
+        recovery_us: report.recovery.bad_window().as_micros(),
+        bad_outputs: report.recovery.bad_outputs,
+        total_outputs: report.recovery.total_outputs,
+        converged: report.converged,
+        violations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> CellSpec {
+        CellSpec {
+            workload: "avionics".into(),
+            topo: TopoSpec::Bus {
+                n: 9,
+                bytes_per_ms: 100_000,
+                latency_us: 5,
+            },
+            f: 1,
+            r_bound: Duration::from_millis(150),
+            variants: vec![FaultVariant::EQUIVOCATION],
+        }
+    }
+
+    #[test]
+    fn token_round_trips() {
+        let scenario = FaultScenario {
+            faults: vec![
+                FaultVariant::EQUIVOCATION.inject(NodeId(0), Time::from_millis(52)),
+                FaultVariant::COMMISSION_GARBLED.inject(NodeId(3), Time(250_001)),
+            ],
+        };
+        let tok = token(
+            &spec(),
+            12345,
+            Duration::from_millis(700),
+            5_000_000,
+            &scenario,
+        );
+        let parsed = parse(&tok).expect("parses");
+        assert_eq!(parsed.scenario, scenario);
+        assert_eq!(parsed.sim_seed, 12345);
+        assert_eq!(parsed.horizon, Duration::from_millis(700));
+        assert_eq!(parsed.max_events, 5_000_000);
+        assert_eq!(parsed.cell.workload, "avionics");
+        assert_eq!(parsed.cell.f, 1);
+        assert_eq!(parsed.cell.r_bound, Duration::from_millis(150));
+        // Round-trip is exact: re-rendering yields the same token.
+        assert_eq!(
+            token(
+                &parsed.cell,
+                parsed.sim_seed,
+                parsed.horizon,
+                parsed.max_events,
+                &parsed.scenario
+            ),
+            tok
+        );
+    }
+
+    #[test]
+    fn tokens_without_event_cap_parse_as_unlimited() {
+        let tok = "w=avionics;t=bus9x100000x5;f=1;r=150000;h=500000;s=7;fl=";
+        let parsed = parse(tok).expect("parses");
+        assert_eq!(parsed.max_events, 0);
+    }
+
+    #[test]
+    fn fault_free_token_round_trips() {
+        let tok = token(
+            &spec(),
+            5,
+            Duration::from_millis(100),
+            0,
+            &FaultScenario::none(),
+        );
+        let parsed = parse(&tok).expect("parses");
+        assert!(parsed.scenario.faults.is_empty());
+        assert_eq!(parsed.max_events, 0);
+    }
+
+    #[test]
+    fn bad_tokens_are_rejected_with_context() {
+        for (tok, needle) in [
+            ("w=avionics;t=bus9x100000x5;f=1;r=1;h=1", "missing field"),
+            ("w=a;t=tree3;f=1;r=1;h=1;s=1;fl=", "unparseable topology"),
+            (
+                "w=a;t=bus9x1x1;f=1;r=1;h=1;s=1;fl=warp@1@n0",
+                "unknown variant",
+            ),
+            (
+                "w=a;t=bus9x1x1;f=1;r=1;h=1;s=1;fl=crash@1@n99",
+                "out of range",
+            ),
+            ("w=a;t=bus9x1x1;f=1;r=x;h=1;s=1;fl=", "not a number"),
+        ] {
+            let err = parse(tok).expect_err(tok).to_string();
+            assert!(err.contains(needle), "{tok}: {err}");
+        }
+    }
+
+    #[test]
+    fn replay_reproduces_the_equivocation_gap() {
+        let scenario = FaultScenario {
+            faults: vec![FaultVariant::EQUIVOCATION.inject(NodeId(0), Time::from_millis(52))],
+        };
+        let tok = token(
+            &spec(),
+            7,
+            Duration::from_millis(500),
+            20_000_000,
+            &scenario,
+        );
+        let a = run(&parse(&tok).unwrap()).expect("replays");
+        let b = run(&parse(&tok).unwrap()).expect("replays");
+        assert!(!a.violations.is_empty(), "gap must reproduce");
+        assert_eq!(a.violations, b.violations, "replay is deterministic");
+        assert_eq!(a.recovery_us, b.recovery_us);
+    }
+}

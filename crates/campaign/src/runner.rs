@@ -1,0 +1,292 @@
+//! The parallel campaign runner.
+//!
+//! Work-stealing over the run grid (cell × schedule × sim seed) on
+//! `std::thread::scope`: workers claim run indices from a shared atomic
+//! counter, execute independently (each run builds its own simulator
+//! world from shared, immutable planned systems), and the main thread
+//! merges per-worker results back into run-index order. Because every
+//! run is a pure function of its spec, the merged record vector is
+//! **bit-identical at any thread count** — the determinism tests and the
+//! report digest both pin this.
+
+use crate::grid::{CellError, CellSpec};
+use crate::schedule::{self, FaultSchedule};
+use crate::verdict::{score, Violation};
+use btr_core::BtrSystem;
+use btr_model::Duration;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Campaign-wide configuration.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Master seed: fixes schedules and per-run simulator seeds.
+    pub seed: u64,
+    /// Target total number of runs (split evenly across cells).
+    pub runs: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Simulator seeds per (cell, schedule).
+    pub sim_seeds: u32,
+    /// Sample sequential multi-fault schedules up to budget f (hunting
+    /// mode; the sequential space has known findings).
+    pub combos: bool,
+    /// Include f+1-fault (inadmissible) schedules.
+    pub over_budget: bool,
+    /// Per-run simulator event cap (0 = unlimited).
+    pub max_events: u64,
+    /// Extra tolerance on the R-bound check.
+    pub slack: Duration,
+    /// The grid.
+    pub cells: Vec<CellSpec>,
+}
+
+impl CampaignConfig {
+    /// A campaign over the default grid.
+    pub fn new(seed: u64, runs: usize, threads: usize) -> CampaignConfig {
+        CampaignConfig {
+            seed,
+            runs,
+            threads,
+            sim_seeds: 2,
+            combos: false,
+            over_budget: false,
+            max_events: 20_000_000,
+            slack: Duration::ZERO,
+            cells: crate::grid::default_grid(),
+        }
+    }
+}
+
+/// One scored run (everything in here is deterministic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunRecord {
+    /// Dense run index (the merge order).
+    pub run_idx: u32,
+    /// Cell index into the campaign's grid.
+    pub cell_idx: u16,
+    /// Schedule id within the cell.
+    pub schedule_id: u32,
+    /// Simulator seed used.
+    pub sim_seed: u64,
+    /// Kind signature of the schedule, e.g. `crash+omission`.
+    pub label: String,
+    /// Number of injected faults.
+    pub n_faults: u8,
+    /// True when the schedule stays within the cell's fault budget f.
+    pub admissible: bool,
+    /// Measured bad-output window in µs (0 = masked or fault-free).
+    pub recovery_us: u64,
+    /// Unacceptable output slots.
+    pub bad_outputs: u32,
+    /// Judged output slots.
+    pub total_outputs: u32,
+    /// All correct nodes ended on identical fault sets and plans.
+    pub converged: bool,
+    /// Broken claims (empty = clean run).
+    pub violations: Vec<Violation>,
+}
+
+/// A planned cell with its generated schedule set.
+pub struct PlannedCell {
+    /// The cell's spec.
+    pub spec: CellSpec,
+    /// The planned system (shared, immutable, run from many threads).
+    pub system: BtrSystem,
+    /// The cell's schedules.
+    pub schedules: Vec<FaultSchedule>,
+    /// The judging horizon for this cell's runs.
+    pub horizon: Duration,
+    /// The event cap the cell's system runs under (pinned into replay
+    /// tokens so truncated runs reproduce).
+    pub max_events: u64,
+}
+
+/// Plan every cell and generate its schedules. Deterministic; the
+/// expensive planner work is shared by all runs of a cell.
+pub fn plan_cells(cfg: &CampaignConfig) -> Result<Vec<PlannedCell>, CellError> {
+    let per_cell = cfg
+        .runs
+        .div_ceil(cfg.cells.len().max(1) * cfg.sim_seeds.max(1) as usize)
+        .max(1);
+    cfg.cells
+        .iter()
+        .map(|spec| {
+            let system = spec.plan()?.with_max_events(cfg.max_events);
+            let period = system.workload().period;
+            let deadline = system
+                .workload()
+                .sinks()
+                .map(|s| s.deadline)
+                .min()
+                .unwrap_or(period);
+            let params = spec.schedule_params(period, deadline, cfg.combos, cfg.over_budget);
+            let schedules = schedule::generate(&params, cfg.seed, per_cell);
+            let horizon = spec.horizon(period, cfg.combos, cfg.over_budget);
+            Ok(PlannedCell {
+                spec: spec.clone(),
+                system,
+                schedules,
+                horizon,
+                max_events: cfg.max_events,
+            })
+        })
+        .collect()
+}
+
+/// The simulator seed for seed-slot `k` of a campaign.
+pub fn sim_seed(campaign_seed: u64, k: u32) -> u64 {
+    // SplitMix64 finalizer over (seed, k): decorrelates neighbouring
+    // campaign seeds without any per-run state.
+    let mut z = campaign_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(k as u64 + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Execute one run and score it.
+pub fn execute_run(
+    cfg: &CampaignConfig,
+    cells: &[PlannedCell],
+    run_idx: u32,
+    cell_idx: u16,
+    schedule_id: u32,
+    seed_slot: u32,
+) -> RunRecord {
+    let cell = &cells[cell_idx as usize];
+    let sched = &cell.schedules[schedule_id as usize];
+    let seed = sim_seed(cfg.seed, seed_slot);
+    let report = cell.system.run(&sched.scenario, cell.horizon, seed);
+    let violations = score(&cell.system, sched, &report, cfg.slack);
+    RunRecord {
+        run_idx,
+        cell_idx,
+        schedule_id,
+        sim_seed: seed,
+        label: sched.label(),
+        n_faults: sched.scenario.faults.len() as u8,
+        admissible: sched.budget() <= cell.spec.f as usize,
+        recovery_us: report.recovery.bad_window().as_micros(),
+        bad_outputs: report.recovery.bad_outputs as u32,
+        total_outputs: report.recovery.total_outputs as u32,
+        converged: report.converged,
+        violations,
+    }
+}
+
+/// Run the whole grid at `cfg.threads`, returning records in run order
+/// plus the wall time of the execution phase.
+pub fn execute(cfg: &CampaignConfig, cells: &[PlannedCell]) -> (Vec<RunRecord>, u64) {
+    // Lay the grid out cell-major so the report reads naturally.
+    let mut specs: Vec<(u16, u32, u32)> = Vec::new();
+    for (c, cell) in cells.iter().enumerate() {
+        for s in 0..cell.schedules.len() as u32 {
+            for k in 0..cfg.sim_seeds.max(1) {
+                specs.push((c as u16, s, k));
+            }
+        }
+    }
+    let threads = cfg.threads.clamp(1, specs.len().max(1));
+    let next = AtomicUsize::new(0);
+    let started = std::time::Instant::now();
+
+    let mut buckets: Vec<Vec<RunRecord>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                let specs = &specs;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= specs.len() {
+                            break;
+                        }
+                        let (c, s, k) = specs[i];
+                        local.push(execute_run(cfg, cells, i as u32, c, s, k));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            buckets.push(h.join().expect("campaign worker panicked"));
+        }
+    });
+    let wall_ns = started.elapsed().as_nanos() as u64;
+
+    // Merge in run order: per-worker vectors are already sorted by
+    // run_idx (the counter is monotone), so a flatten + sort is cheap.
+    let mut records: Vec<RunRecord> = buckets.into_iter().flatten().collect();
+    records.sort_by_key(|r| r.run_idx);
+    (records, wall_ns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::TopoSpec;
+    use crate::schedule::FaultVariant;
+
+    /// A one-cell config small enough for unit tests.
+    pub(crate) fn tiny_config(threads: usize) -> CampaignConfig {
+        CampaignConfig {
+            seed: 9,
+            runs: 8,
+            threads,
+            sim_seeds: 1,
+            combos: false,
+            over_budget: false,
+            max_events: 20_000_000,
+            slack: Duration::ZERO,
+            cells: vec![CellSpec {
+                workload: "avionics".into(),
+                topo: TopoSpec::Bus {
+                    n: 9,
+                    bytes_per_ms: 100_000,
+                    latency_us: 5,
+                },
+                f: 1,
+                r_bound: Duration::from_millis(150),
+                variants: vec![FaultVariant::CRASH, FaultVariant::COMMISSION],
+            }],
+        }
+    }
+
+    #[test]
+    fn sim_seed_is_stable_and_spread() {
+        assert_eq!(sim_seed(7, 0), sim_seed(7, 0));
+        assert_ne!(sim_seed(7, 0), sim_seed(7, 1));
+        assert_ne!(sim_seed(7, 0), sim_seed(8, 0));
+    }
+
+    #[test]
+    fn records_are_merged_in_run_order_and_thread_invariant() {
+        let cfg1 = tiny_config(1);
+        let cells = plan_cells(&cfg1).expect("plans");
+        let (seq, _) = execute(&cfg1, &cells);
+        assert_eq!(seq.len(), 8);
+        for (i, r) in seq.iter().enumerate() {
+            assert_eq!(r.run_idx, i as u32);
+        }
+        let cfg3 = tiny_config(3);
+        let (par, _) = execute(&cfg3, &cells);
+        assert_eq!(seq, par, "records must not depend on thread count");
+    }
+
+    #[test]
+    fn default_tiny_campaign_is_clean() {
+        let cfg = tiny_config(2);
+        let cells = plan_cells(&cfg).expect("plans");
+        let (records, _) = execute(&cfg, &cells);
+        for r in &records {
+            assert!(r.admissible);
+            assert!(
+                r.violations.is_empty(),
+                "run {}: {:?}",
+                r.run_idx,
+                r.violations
+            );
+        }
+    }
+}

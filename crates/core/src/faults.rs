@@ -9,6 +9,21 @@ use btr_model::{Duration, FaultKind, NodeId, Time};
 use btr_runtime::Attack;
 use serde::{Deserialize, Serialize};
 
+/// Optional refinements of a fault's manifestation.
+///
+/// The base [`FaultKind`] fixes the family; these flags select the
+/// adversary's sub-strategy within it. They matter for campaign-scale
+/// fuzzing because the detection path differs: a garbled commitment
+/// evades re-execution proofs (and is convicted via `BadWitness`
+/// instead), and dropped heartbeats make an omission look like a crash.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultMods {
+    /// Commission only: also lie about the input commitment.
+    pub garble_commitment: bool,
+    /// Omission only: drop heartbeats too (masquerade as a crash).
+    pub drop_heartbeats: bool,
+}
+
 /// One injected fault.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct InjectedFault {
@@ -18,9 +33,27 @@ pub struct InjectedFault {
     pub kind: FaultKind,
     /// When the fault manifests.
     pub at: Time,
+    /// Sub-strategy refinements (ignored by kinds they don't apply to).
+    pub mods: FaultMods,
 }
 
 impl InjectedFault {
+    /// A fault with default modifiers.
+    pub fn new(node: NodeId, kind: FaultKind, at: Time) -> InjectedFault {
+        InjectedFault {
+            node,
+            kind,
+            at,
+            mods: FaultMods::default(),
+        }
+    }
+
+    /// Same fault with the given modifiers.
+    pub fn with_mods(mut self, mods: FaultMods) -> InjectedFault {
+        self.mods = mods;
+        self
+    }
+
     /// The runtime attack script for this fault (None for crashes, which
     /// are simulator control actions instead).
     pub fn attack(&self) -> Option<Attack> {
@@ -29,12 +62,12 @@ impl InjectedFault {
             FaultKind::Omission => Some(Attack::Omission {
                 from: self.at,
                 drop_outputs: true,
-                drop_heartbeats: false,
+                drop_heartbeats: self.mods.drop_heartbeats,
             }),
             FaultKind::Commission => Some(Attack::Commission {
                 from: self.at,
                 tasks: None,
-                garble_commitment: false,
+                garble_commitment: self.mods.garble_commitment,
             }),
             FaultKind::Timing => Some(Attack::Timing {
                 from: self.at,
@@ -70,7 +103,7 @@ impl FaultScenario {
     /// A single fault.
     pub fn single(node: NodeId, kind: FaultKind, at: Time) -> Self {
         FaultScenario {
-            faults: vec![InjectedFault { node, kind, at }],
+            faults: vec![InjectedFault::new(node, kind, at)],
         }
     }
 
@@ -81,10 +114,8 @@ impl FaultScenario {
             faults: nodes
                 .iter()
                 .enumerate()
-                .map(|(i, &node)| InjectedFault {
-                    node,
-                    kind,
-                    at: first_at + Duration(gap.as_micros() * i as u64),
+                .map(|(i, &node)| {
+                    InjectedFault::new(node, kind, first_at + Duration(gap.as_micros() * i as u64))
                 })
                 .collect(),
         }
@@ -143,15 +174,45 @@ mod tests {
     #[test]
     fn every_kind_maps_to_a_script_or_crash() {
         for kind in FaultKind::ALL {
-            let f = InjectedFault {
-                node: NodeId(0),
-                kind,
-                at: Time(5),
-            };
+            let f = InjectedFault::new(NodeId(0), kind, Time(5));
             match kind {
                 FaultKind::Crash => assert!(f.attack().is_none()),
                 _ => assert!(f.attack().is_some(), "{kind}"),
             }
         }
+    }
+
+    #[test]
+    fn mods_select_attack_substrategy() {
+        let garbled =
+            InjectedFault::new(NodeId(0), FaultKind::Commission, Time(5)).with_mods(FaultMods {
+                garble_commitment: true,
+                ..FaultMods::default()
+            });
+        assert!(matches!(
+            garbled.attack(),
+            Some(Attack::Commission {
+                garble_commitment: true,
+                ..
+            })
+        ));
+        let stealthy =
+            InjectedFault::new(NodeId(1), FaultKind::Omission, Time(5)).with_mods(FaultMods {
+                drop_heartbeats: true,
+                ..FaultMods::default()
+            });
+        assert!(matches!(
+            stealthy.attack(),
+            Some(Attack::Omission {
+                drop_heartbeats: true,
+                ..
+            })
+        ));
+        // Mods are inert on kinds they don't apply to.
+        let crash = InjectedFault::new(NodeId(2), FaultKind::Crash, Time(5)).with_mods(FaultMods {
+            garble_commitment: true,
+            drop_heartbeats: true,
+        });
+        assert!(crash.attack().is_none());
     }
 }

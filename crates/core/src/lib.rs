@@ -36,7 +36,7 @@ pub mod oracle;
 pub mod plant;
 pub mod system;
 
-pub use faults::{FaultScenario, InjectedFault};
+pub use faults::{FaultMods, FaultScenario, InjectedFault};
 pub use oracle::{reference_value, shed_aware_value, RecoveryStats, SinkVerdict, Verdict};
 pub use plant::{Plant, PlantConfig};
 pub use system::{BtrSystem, RunReport, SystemError};

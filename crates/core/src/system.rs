@@ -43,6 +43,8 @@ pub struct BtrSystem {
     loss_ppm: u32,
     /// Link-level FEC (k data, m parity shards per message).
     fec: Option<(u8, u8)>,
+    /// Hard cap on simulator events per run (0 = unlimited).
+    max_events: u64,
 }
 
 /// Everything measured in one run.
@@ -65,6 +67,10 @@ pub struct RunReport {
     pub periods: u64,
     /// Total bytes refused by link guardians (babbling containment).
     pub guardian_drops: u64,
+    /// True if the run hit the configured event cap and was cut short
+    /// (see [`BtrSystem::with_max_events`]); verdicts past the cut are
+    /// untrustworthy and campaign oracles flag such runs.
+    pub truncated: bool,
 }
 
 impl RunReport {
@@ -115,6 +121,7 @@ impl BtrSystem {
             grace: Duration::from_millis(30),
             loss_ppm: 0,
             fec: None,
+            max_events: 0,
         })
     }
 
@@ -137,6 +144,15 @@ impl BtrSystem {
     /// "FEC can be used to minimize this risk" mechanism of Section 2.1.
     pub fn with_fec(mut self, k: u8, m: u8) -> Self {
         self.fec = Some((k, m));
+        self
+    }
+
+    /// Cap the number of simulator events per run (0 = unlimited). Runs
+    /// that hit the cap stop early and are reported with
+    /// [`RunReport::truncated`] — the safety valve that keeps campaign
+    /// workers from stalling on a pathological schedule.
+    pub fn with_max_events(mut self, cap: u64) -> Self {
+        self.max_events = cap;
         self
     }
 
@@ -167,6 +183,7 @@ impl BtrSystem {
         sim_cfg.period = self.workload.period;
         sim_cfg.loss_ppm = self.loss_ppm;
         sim_cfg.fec = self.fec;
+        sim_cfg.max_events = self.max_events;
         let mut world = World::new(self.topo.clone(), sim_cfg);
         let n = self.topo.node_count();
         for i in 0..n as u32 {
@@ -252,6 +269,7 @@ impl BtrSystem {
             converged,
             periods,
             guardian_drops,
+            truncated: world.truncated(),
         }
     }
 }
@@ -315,16 +333,8 @@ mod tests {
         let sys = system(2);
         let scenario = FaultScenario {
             faults: vec![
-                InjectedFault {
-                    node: NodeId(1),
-                    kind: FaultKind::Crash,
-                    at: Time::from_millis(40),
-                },
-                InjectedFault {
-                    node: NodeId(5),
-                    kind: FaultKind::Omission,
-                    at: Time::from_millis(200),
-                },
+                InjectedFault::new(NodeId(1), FaultKind::Crash, Time::from_millis(40)),
+                InjectedFault::new(NodeId(5), FaultKind::Omission, Time::from_millis(200)),
             ],
         };
         let report = sys.run(&scenario, Duration::from_millis(500), 11);

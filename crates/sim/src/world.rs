@@ -44,6 +44,13 @@ pub struct SimConfig {
     /// (different samplers); with `loss_ppm == 0` the two modes produce
     /// bit-identical runs, which the determinism tests rely on.
     pub legacy_hot_path: bool,
+    /// Hard cap on dispatched events (0 = unlimited). When a run exceeds
+    /// the cap, [`World::run_until`] stops dispatching and the world is
+    /// marked [`World::truncated`]. Campaign fleets use this as a safety
+    /// valve so one pathological schedule (e.g. a message storm) cannot
+    /// stall a worker thread; a truncated run is deterministic like any
+    /// other, so the cap does not break reproducibility.
+    pub max_events: u64,
 }
 
 impl SimConfig {
@@ -57,6 +64,7 @@ impl SimConfig {
             loss_ppm: 0,
             fec: None,
             legacy_hot_path: false,
+            max_events: 0,
         }
     }
 }
@@ -187,6 +195,7 @@ pub struct World {
     trace: Vec<TraceEvent>,
     metrics: SimMetrics,
     started: bool,
+    truncated: bool,
 }
 
 impl World {
@@ -242,6 +251,7 @@ impl World {
             trace: Vec::new(),
             metrics: SimMetrics::default(),
             started: false,
+            truncated: false,
         }
     }
 
@@ -290,6 +300,11 @@ impl World {
         self.slots[node.index()].crashed
     }
 
+    /// True if a run hit the `max_events` cap and stopped dispatching.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
     /// Borrow a node's behaviour for inspection (None while dispatching).
     pub fn behavior(&self, node: NodeId) -> Option<&dyn crate::NodeBehavior> {
         self.slots[node.index()].behavior.as_deref()
@@ -316,11 +331,22 @@ impl World {
     }
 
     /// Run until the queue is empty or `t` is reached; time advances to `t`.
+    ///
+    /// If `cfg.max_events` is set and the run reaches it, dispatching
+    /// stops immediately and [`World::truncated`] turns true (the cap is
+    /// checked per event, so runs are still bit-deterministic).
     pub fn run_until(&mut self, t: Time) {
         assert!(self.started, "call start() first");
         loop {
             let due = matches!(self.queue.peek(), Some(Reverse(s)) if s.at <= t);
             if !due {
+                break;
+            }
+            // Check the cap only when another event would dispatch: a run
+            // that *finishes* with exactly `max_events` events was not
+            // cut short and must not be flagged.
+            if self.cfg.max_events > 0 && self.metrics.events >= self.cfg.max_events {
+                self.truncated = true;
                 break;
             }
             let Reverse(s) = self.queue.pop().expect("peeked");
@@ -1134,6 +1160,39 @@ mod tests {
         let fec = bytes_with(Some((4, 2)));
         // (4+2)/4 = 1.5x overhead.
         assert_eq!(fec, plain * 6 / 4);
+    }
+
+    #[test]
+    fn max_events_cap_truncates_deterministically() {
+        let run = |cap: u64| {
+            let topo = Topology::bus(2, 10_000, Duration(10));
+            let mut cfg = SimConfig::new(1);
+            cfg.max_events = cap;
+            let mut w = World::new(topo, cfg);
+            w.set_behavior(NodeId(0), Box::new(Starter { sent: false }));
+            w.set_behavior(NodeId(1), Box::new(Echo));
+            w.start();
+            w.run_until(Time::from_millis(100));
+            (
+                w.truncated(),
+                w.metrics().events,
+                w.metrics().msgs_delivered,
+            )
+        };
+        let (full_trunc, full_events, full_msgs) = run(0);
+        assert!(!full_trunc);
+        assert_eq!(full_msgs, 11);
+        let cap = full_events / 2;
+        let (t1, e1, m1) = run(cap);
+        let (t2, e2, m2) = run(cap);
+        assert!(t1, "capped run must report truncation");
+        assert_eq!(e1, cap);
+        assert!(m1 < full_msgs);
+        assert_eq!((t1, e1, m1), (t2, e2, m2), "truncation is deterministic");
+        // A run that completes using exactly the cap was not cut short.
+        let (t3, e3, m3) = run(full_events);
+        assert!(!t3, "exact-cap completion must not be flagged");
+        assert_eq!((e3, m3), (full_events, full_msgs));
     }
 
     #[test]

@@ -475,10 +475,47 @@ pub fn fusion_chain(depth: usize, n_nodes: usize) -> Workload {
     b.build().expect("fusion chain is well-formed")
 }
 
+/// A named workload generator: the platform node count in, the
+/// workload out.
+pub type NamedGenerator = (&'static str, fn(usize) -> Workload);
+
+/// The named workload-generator catalog.
+///
+/// Campaign grids and replay tokens refer to workload families by name,
+/// so the mapping from name to generator must be stable and enumerable.
+/// Each entry is `(name, generator)` where the generator takes the
+/// platform node count.
+pub fn catalog() -> &'static [NamedGenerator] {
+    fn fusion4(n: usize) -> Workload {
+        fusion_chain(4, n)
+    }
+    &[
+        ("avionics", avionics),
+        ("automotive", automotive),
+        ("scada", scada),
+        ("fusion-chain", fusion4),
+    ]
+}
+
+/// Look up a catalog generator by name.
+pub fn by_name(name: &str) -> Option<fn(usize) -> Workload> {
+    catalog().iter().find(|(n, _)| *n == name).map(|(_, g)| *g)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::TaskKind;
+
+    #[test]
+    fn catalog_names_resolve_and_generate() {
+        for (name, gen) in catalog() {
+            let via_lookup = by_name(name).expect("catalog name resolves");
+            assert_eq!(via_lookup(9), gen(9), "{name} lookup mismatch");
+            assert!(!gen(9).is_empty(), "{name} generates tasks");
+        }
+        assert!(by_name("no-such-workload").is_none());
+    }
 
     #[test]
     fn avionics_shape() {

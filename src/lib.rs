@@ -19,11 +19,14 @@
 //! * [`runtime`] — the per-node BTR software stack.
 //! * [`core`] — the end-to-end system, fault injection, and oracle.
 //! * [`baselines`] — BFT / PBFT-lite / ZZ / self-stabilisation / restart.
+//! * [`campaign`] — parallel fault-injection campaigns: schedule
+//!   generation, oracle verdicts, violation shrinking, replay tokens.
 //!
 //! See the `examples/` directory for runnable scenarios and EXPERIMENTS.md
 //! for the evaluation harness.
 
 pub use btr_baselines as baselines;
+pub use btr_campaign as campaign;
 pub use btr_core as core;
 pub use btr_crypto as crypto;
 pub use btr_detector as detector;
