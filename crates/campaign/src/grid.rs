@@ -1,12 +1,14 @@
 //! The campaign grid: which (workload × platform × fault budget) cells a
 //! campaign sweeps, and how each cell is planned.
 //!
-//! Cells carry their own fault-variant set because the R-bound does not
-//! hold uniformly across the space yet: the campaign engine itself found
-//! (cell, variant) combos where recovery never completes (see
-//! EXPERIMENTS.md "campaign findings"). The default grid pins the
-//! *clean* space — CI asserts zero violations there — while
-//! [`all_variant_grid`] exposes the full space for hunting.
+//! Cells carry their own fault-variant set so a grid can focus a sweep,
+//! but the default grid no longer excludes anything: the R-bound gaps
+//! the first campaign found (equivocation on sparse-consumer victims,
+//! SCADA omission/timing attribution, the sequential false-attribution
+//! cascade, ring re-routing) are fixed, and every cell now schedules
+//! every variant — including the fusion-chain ring cell that the gaps
+//! had kept out. CI asserts zero admissible violations across the whole
+//! space (see EXPERIMENTS.md "campaign findings — resolved").
 
 use crate::schedule::{FaultVariant, ScheduleParams};
 use btr_core::{BtrSystem, SystemError};
@@ -248,19 +250,13 @@ impl std::fmt::Display for CellError {
 
 impl std::error::Error for CellError {}
 
-fn variants_except(excluded: &[FaultVariant]) -> Vec<FaultVariant> {
-    FaultVariant::ALL
-        .into_iter()
-        .filter(|v| !excluded.contains(v))
-        .collect()
-}
-
-/// The default campaign grid: four cells spanning three workload
-/// families, two platform families, and budgets f ∈ {1, 2}, each pinned
-/// to the fault space the current stack demonstrably recovers within R
-/// (CI asserts zero violations here). Variants excluded from a cell are
-/// known R-bound gaps — see EXPERIMENTS.md "campaign findings" — and
-/// remain reachable through [`all_variant_grid`].
+/// The default campaign grid: five cells spanning four workload
+/// families, two platform families (bus and multi-hop ring), and budgets
+/// f ∈ {1, 2}, every cell scheduling **every** fault variant. CI asserts
+/// zero admissible violations here, including under `--combos`. The
+/// variant exclusions and the missing ring cell that used to pin this
+/// grid to a "clean" subspace were R-bound gaps, now fixed — see
+/// EXPERIMENTS.md "campaign findings — resolved".
 pub fn default_grid() -> Vec<CellSpec> {
     vec![
         CellSpec {
@@ -272,7 +268,7 @@ pub fn default_grid() -> Vec<CellSpec> {
             },
             f: 1,
             r_bound: Duration::from_millis(150),
-            variants: variants_except(&[FaultVariant::EQUIVOCATION]),
+            variants: FaultVariant::ALL.to_vec(),
         },
         CellSpec {
             workload: "avionics".into(),
@@ -283,7 +279,7 @@ pub fn default_grid() -> Vec<CellSpec> {
             },
             f: 2,
             r_bound: Duration::from_millis(150),
-            variants: variants_except(&[FaultVariant::EQUIVOCATION]),
+            variants: FaultVariant::ALL.to_vec(),
         },
         CellSpec {
             workload: "automotive".into(),
@@ -305,28 +301,28 @@ pub fn default_grid() -> Vec<CellSpec> {
             },
             f: 1,
             r_bound: Duration::from_millis(400),
-            variants: vec![
-                FaultVariant::CRASH,
-                FaultVariant::OMISSION_STEALTH,
-                FaultVariant::COMMISSION,
-                FaultVariant::COMMISSION_GARBLED,
-                FaultVariant::EVIDENCE_SPAM,
-            ],
+            variants: FaultVariant::ALL.to_vec(),
+        },
+        CellSpec {
+            workload: "fusion-chain".into(),
+            topo: TopoSpec::Ring {
+                n: 9,
+                bytes_per_ms: 100_000,
+                latency_us: 5,
+            },
+            f: 1,
+            r_bound: Duration::from_millis(150),
+            variants: FaultVariant::ALL.to_vec(),
         },
     ]
 }
 
-/// The same cells as [`default_grid`] but with every variant enabled —
-/// the hunting configuration. Violations are *expected* here; the
-/// harness does not gate its exit code on them.
+/// The same cells as [`default_grid`] with every variant enabled. Since
+/// the campaign-found gaps were fixed, the default grid already runs the
+/// full variant space, so this is an alias; it remains the stable name
+/// scripts pass via `--all-variants`.
 pub fn all_variant_grid() -> Vec<CellSpec> {
     default_grid()
-        .into_iter()
-        .map(|mut c| {
-            c.variants = FaultVariant::ALL.to_vec();
-            c
-        })
-        .collect()
 }
 
 #[cfg(test)]

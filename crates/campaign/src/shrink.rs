@@ -169,7 +169,11 @@ mod tests {
     use crate::schedule::FaultVariant;
     use btr_model::NodeId;
 
-    fn equivocation_cell() -> PlannedCell {
+    /// A cell whose R is deliberately unachievable (1 ms), so any crash
+    /// violates the bound — the equivocation gap the original shrink
+    /// test leaned on is fixed, and a violating run now has to be
+    /// constructed, not found.
+    pub(crate) fn tight_r_cell() -> PlannedCell {
         let cfg = CampaignConfig {
             seed: 1,
             runs: 1,
@@ -187,8 +191,8 @@ mod tests {
                     latency_us: 5,
                 },
                 f: 1,
-                r_bound: Duration::from_millis(150),
-                variants: vec![FaultVariant::EQUIVOCATION],
+                r_bound: Duration::from_millis(1),
+                variants: vec![FaultVariant::CRASH],
             }],
         };
         plan_cells(&cfg).expect("plans").remove(0)
@@ -196,15 +200,16 @@ mod tests {
 
     #[test]
     fn shrinks_to_single_fault_and_later_activation() {
-        let cell = equivocation_cell();
-        // Two faults; only the node-0 equivocation actually violates
-        // (the campaign's known avionics equivocation gap).
+        let cell = tight_r_cell();
+        // Two faults; the node-6 crash alone already violates the 1 ms
+        // bound, so the commission rider must be shed by phase 1 and the
+        // crash activation pushed later by phase 2.
         let schedule = FaultSchedule {
             id: 0,
             scenario: FaultScenario {
                 faults: vec![
-                    FaultVariant::EQUIVOCATION.inject(NodeId(0), Time::from_millis(52)),
-                    FaultVariant::CRASH.inject(NodeId(5), Time::from_millis(250)),
+                    FaultVariant::CRASH.inject(NodeId(6), Time::from_millis(52)),
+                    FaultVariant::COMMISSION.inject(NodeId(5), Time::from_millis(250)),
                 ],
             },
         };
@@ -212,7 +217,7 @@ mod tests {
         let out = shrink_violation(&cell, &schedule, seed, 0, Duration::ZERO, 64);
         assert_eq!(out.faults_before, 2);
         assert_eq!(out.faults_after, 1, "minimal: {:?}", out.minimal);
-        assert_eq!(out.minimal.faults[0].node, NodeId(0));
+        assert_eq!(out.minimal.faults[0].node, NodeId(6));
         assert!(
             out.minimal.faults[0].at > Time::from_millis(52),
             "activation should move later, got {}",
@@ -225,6 +230,94 @@ mod tests {
             scenario: out.minimal.clone(),
         };
         assert!(!score(&cell.system, &probe, &report, Duration::ZERO).is_empty());
-        assert!(out.replay.contains("equivocation"));
+        assert!(out.replay.contains("crash"));
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::schedule::FaultVariant;
+    use crate::verdict::Violation;
+    use btr_model::NodeId;
+    use proptest::prelude::*;
+
+    fn kinds(cell: &PlannedCell, scenario: &FaultScenario, seed: u64) -> Vec<&'static str> {
+        let probe = FaultSchedule {
+            id: 0,
+            scenario: scenario.clone(),
+        };
+        let report = cell.system.run(scenario, cell.horizon, seed);
+        let mut k: Vec<&'static str> = score(&cell.system, &probe, &report, Duration::ZERO)
+            .iter()
+            .map(Violation::kind)
+            .collect();
+        k.sort_unstable();
+        k.dedup();
+        k
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// The shrinker's contract, over random violating crash schedules
+        /// on a deliberately unmeetable R: the minimal reproducer (1)
+        /// still violates, (2) breaks the same claim kinds as the
+        /// original, (3) is no larger, with activations moved only
+        /// later, and (4) shrinking the minimal reproducer again is a
+        /// fixed point — the reproducers frozen into replay tokens are
+        /// stable under re-triage.
+        #[test]
+        fn prop_shrink_invariants(
+            victims in proptest::collection::btree_set(0u32..9, 1..3),
+            at_ms in 40u64..180,
+            seed in 1u64..5,
+        ) {
+            let cell = super::tests::tight_r_cell();
+            let faults: Vec<_> = victims
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| {
+                    FaultVariant::CRASH
+                        .inject(NodeId(v), btr_model::Time::from_millis(at_ms + 20 * i as u64))
+                })
+                .collect();
+            let scenario = FaultScenario { faults };
+            let original_kinds = kinds(&cell, &scenario, seed);
+            prop_assume!(!original_kinds.is_empty());
+
+            let schedule = FaultSchedule { id: 0, scenario: scenario.clone() };
+            let out = shrink_violation(&cell, &schedule, seed, 0, Duration::ZERO, 48);
+
+            // (1) + (2): still violating, same claim kinds.
+            let shrunk_kinds = kinds(&cell, &out.minimal, seed);
+            prop_assert!(!shrunk_kinds.is_empty(), "shrunk reproducer stopped violating");
+            prop_assert_eq!(&shrunk_kinds, &original_kinds);
+
+            // (3): no larger; every surviving fault only moved later.
+            prop_assert!(out.faults_after <= out.faults_before);
+            prop_assert_eq!(out.faults_after, out.minimal.faults.len());
+            for f in &out.minimal.faults {
+                let orig = scenario
+                    .faults
+                    .iter()
+                    .find(|o| o.node == f.node)
+                    .expect("shrinker never invents victims");
+                prop_assert!(f.at >= orig.at, "activation moved earlier");
+                prop_assert_eq!(f.kind, orig.kind);
+            }
+
+            // (4): fixed point under re-shrinking.
+            let again = shrink_violation(
+                &cell,
+                &FaultSchedule { id: 0, scenario: out.minimal.clone() },
+                seed,
+                0,
+                Duration::ZERO,
+                48,
+            );
+            prop_assert_eq!(&again.minimal, &out.minimal);
+            prop_assert_eq!(again.replay, out.replay);
+        }
     }
 }

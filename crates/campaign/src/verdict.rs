@@ -155,12 +155,14 @@ pub fn score(
 fn forced_shed(sys: &BtrSystem, injected: &FaultSet) -> std::collections::BTreeSet<TaskId> {
     let w = sys.workload();
     let mut dead = std::collections::BTreeSet::new();
-    // Tasks are topologically ordered by id (inputs precede consumers).
-    for t in w.tasks() {
+    // Walk in dataflow order (id order is not guaranteed topological),
+    // so starvation propagates through the whole chain in one pass.
+    for &id in w.topo_order() {
+        let t = w.task(id);
         let pinned_dead = t.kind.pinned_node().is_some_and(|n| injected.contains(n));
         let starved = !t.inputs.is_empty() && t.inputs.iter().all(|u| dead.contains(u));
         if pinned_dead || starved {
-            dead.insert(t.id);
+            dead.insert(id);
         }
     }
     dead
@@ -243,15 +245,34 @@ mod tests {
     }
 
     #[test]
-    fn equivocation_gap_is_caught() {
-        // A known R-bound gap (see EXPERIMENTS.md campaign findings):
-        // equivocation by node 0 on the avionics bus never convicts, so
-        // the bad window runs to the horizon.
+    fn equivocation_now_recovers_within_r() {
+        // PR 2's campaign found this exact run violating the R-bound:
+        // equivocation by node 0 never produced conflicting-signature
+        // evidence (single-consumer victim), so outputs stayed wrong to
+        // the horizon. With consumers echoing accepted outputs to the
+        // task's checker, the conflict is proven and the run is clean.
         let sys = system();
         let s = schedule(vec![
             FaultVariant::EQUIVOCATION.inject(NodeId(0), Time::from_millis(52))
         ]);
         let report = sys.run(&s.scenario, Duration::from_millis(500), 7);
+        assert_eq!(score(&sys, &s, &report, Duration::ZERO), Vec::new());
+    }
+
+    #[test]
+    fn unrecovered_run_scores_an_r_bound_violation() {
+        // The oracle's R-bound arm, exercised against a bound the run
+        // genuinely cannot meet: crash detection alone takes several
+        // periods, so R = 1 ms is unachievable and must be flagged.
+        let workload = btr_workload::generators::avionics(9);
+        let topo = Topology::bus(9, 100_000, Duration(5));
+        let mut cfg = PlannerConfig::new(1, Duration::from_millis(1));
+        cfg.admit_best_effort = true;
+        let sys = BtrSystem::plan(workload, topo, cfg).expect("plannable");
+        let s = schedule(vec![
+            FaultVariant::CRASH.inject(NodeId(6), Time::from_millis(42))
+        ]);
+        let report = sys.run(&s.scenario, Duration::from_millis(400), 3);
         let v = score(&sys, &s, &report, Duration::ZERO);
         assert!(
             v.iter().any(|v| v.kind() == "r-bound"),

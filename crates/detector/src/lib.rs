@@ -152,11 +152,18 @@ impl Detector {
 
     /// End-of-period housekeeping: omission declarations for replicas
     /// whose outputs never arrived, and crash suspicions for silent nodes.
+    ///
+    /// `silence_explained(task, producer)` lets the caller suppress
+    /// declarations whose blame is already accounted for — e.g. the
+    /// producer's upstream chain contains a known-faulty node, so its
+    /// silence is starvation, not a new fault (the false-attribution-
+    /// cascade gate; see EXPERIMENTS.md campaign findings).
     pub fn end_of_period(
         &mut self,
         signer: &Signer,
         period: PeriodIdx,
         known_faulty: &BTreeSet<NodeId>,
+        silence_explained: &dyn Fn(TaskId, NodeId) -> bool,
     ) -> Vec<EvidenceRecord> {
         let mut out = Vec::new();
         for chk in self.checkers.values_mut() {
@@ -168,6 +175,9 @@ impl Detector {
                 // for this period is exonerated: its silence was a
                 // cascade, and blame belongs further up the dataflow.
                 if self.exonerated.contains_key(&(producer, period)) {
+                    continue;
+                }
+                if silence_explained(chk.task(), producer) {
                     continue;
                 }
                 out.push(EvidenceRecord::declare_path(
@@ -204,6 +214,12 @@ impl Detector {
         self.exonerated.retain(|&(_, p), _| p >= before);
     }
 
+    /// Install the plan-derived plausible accusers for threshold scaling
+    /// (see [`OmissionTracker::set_plausible_accusers`]).
+    pub fn set_plausible_accusers(&mut self, accusers: BTreeMap<NodeId, BTreeSet<NodeId>>) {
+        self.omission.set_plausible_accusers(accusers);
+    }
+
     /// Record an externally received (already validated) declaration for
     /// omission attribution. Returns nodes newly attributed faulty.
     pub fn record_declaration(&mut self, record: &EvidenceRecord) -> Vec<NodeId> {
@@ -226,8 +242,16 @@ impl Detector {
                         .entry((*declarer, *period))
                         .or_insert((*from, *task));
                 }
-                self.omission.record_path(*from, *to, *period)
+                self.omission.record_path(*declarer, *from, *to, *period)
             }
+            // A mistimed output is a declaration against its producer:
+            // "doing the right thing at the wrong time" is counted like
+            // a problematic path from the producer to the declarer.
+            EvidenceRecord::TimingDeclaration {
+                declarer, output, ..
+            } => self
+                .omission
+                .record_path(*declarer, output.producer, *declarer, output.period),
             EvidenceRecord::CrashSuspicion {
                 declarer,
                 about,
@@ -398,7 +422,7 @@ mod tests {
         // Only lane 1 arrives in period 5.
         let (o1, w1) = lane_out(5, 1, 2, 0);
         d.observe_output(&ks(), &s, &View, o1, &w1, Time(0), None, None);
-        let evs = d.end_of_period(&s, 5, &BTreeSet::new());
+        let evs = d.end_of_period(&s, 5, &BTreeSet::new(), &|_, _| false);
         assert_eq!(evs.len(), 1);
         match &evs[0] {
             EvidenceRecord::PathDeclaration { from, to, task, .. } => {
@@ -414,7 +438,7 @@ mod tests {
         d.install_checker(checker_cfg());
         let s = signer(3);
         let faulty = BTreeSet::from([NodeId(1), NodeId(2)]);
-        let evs = d.end_of_period(&s, 1, &faulty);
+        let evs = d.end_of_period(&s, 1, &faulty, &|_, _| false);
         assert!(evs.is_empty());
     }
 
@@ -428,7 +452,7 @@ mod tests {
         for p in 1..=4 {
             d.observe_heartbeat(NodeId(5), p);
         }
-        let evs = d.end_of_period(&s, 4, &BTreeSet::new());
+        let evs = d.end_of_period(&s, 4, &BTreeSet::new(), &|_, _| false);
         let suspects: Vec<NodeId> = evs
             .iter()
             .filter_map(|e| match e {

@@ -28,14 +28,23 @@ pub mod pool;
 
 pub use pool::{AdmitOutcome, EvidencePool, PoolConfig};
 
-use btr_model::{EvidenceId, NodeId};
+use btr_model::{EvidenceId, NodeId, PeriodIdx, ReplicaIdx, TaskId};
 use std::collections::BTreeSet;
 
 /// Flooding dedup: decides, per evidence record, whether this node still
-/// needs to forward it (endorse-once semantics).
+/// needs to forward it (endorse-once semantics), and per received output,
+/// whether it still needs to be echoed to its task's checker.
+///
+/// The echo channel exists for equivocation detection: conflicting signed
+/// outputs are only a *proof* once two copies meet at one node, and an
+/// equivocator whose tasks each have a single consumer can keep the
+/// copies apart forever. Consumers therefore echo the first copy they
+/// accept to the task's checker, making the checker the designated
+/// meeting point (one extra message per consumed flow per period).
 #[derive(Debug, Default)]
 pub struct Disseminator {
     forwarded: BTreeSet<EvidenceId>,
+    echoed: BTreeSet<(TaskId, ReplicaIdx, PeriodIdx)>,
 }
 
 impl Disseminator {
@@ -65,6 +74,18 @@ impl Disseminator {
             .collect()
     }
 
+    /// True exactly once per (task, replica, period): the caller should
+    /// echo the accepted output to the task's checker.
+    pub fn should_echo(&mut self, task: TaskId, replica: ReplicaIdx, period: PeriodIdx) -> bool {
+        self.echoed.insert((task, replica, period))
+    }
+
+    /// Drop echo bookkeeping older than `before` periods (bounded memory;
+    /// the checker's own pool dedups any re-echo after GC).
+    pub fn gc_echoes(&mut self, before: PeriodIdx) {
+        self.echoed.retain(|&(_, _, p)| p >= before);
+    }
+
     /// Number of records forwarded so far.
     pub fn forwarded_count(&self) -> usize {
         self.forwarded.len()
@@ -83,6 +104,20 @@ mod tests {
         assert!(!d.should_forward(id));
         assert!(d.should_forward(EvidenceId(8)));
         assert_eq!(d.forwarded_count(), 2);
+    }
+
+    #[test]
+    fn echo_exactly_once_per_slot_until_gc() {
+        let mut d = Disseminator::new();
+        use btr_model::TaskId;
+        assert!(d.should_echo(TaskId(1), 0, 5));
+        assert!(!d.should_echo(TaskId(1), 0, 5));
+        assert!(d.should_echo(TaskId(1), 1, 5));
+        assert!(d.should_echo(TaskId(2), 0, 5));
+        d.gc_echoes(6);
+        // After GC the slot may echo again (bounded memory beats perfect
+        // dedup; the checker's pool dedups the duplicate).
+        assert!(d.should_echo(TaskId(1), 0, 5));
     }
 
     #[test]

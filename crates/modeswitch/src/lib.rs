@@ -59,6 +59,8 @@ pub struct ModeSwitcher {
     fault_set: FaultSet,
     current: PlanId,
     pending: Option<(PlanId, Time)>,
+    /// Instant of the most recently completed activation.
+    last_activated: Option<Time>,
     /// Count of completed switches (diagnostics).
     switches: u64,
 }
@@ -71,6 +73,7 @@ impl ModeSwitcher {
             fault_set: FaultSet::empty(),
             current: strategy.initial_plan().id,
             pending: None,
+            last_activated: None,
             switches: 0,
         }
     }
@@ -182,11 +185,29 @@ impl ModeSwitcher {
             Some((to, at)) if now >= at => {
                 self.current = to;
                 self.pending = None;
+                self.last_activated = Some(now);
                 self.switches += 1;
                 Some(to)
             }
             _ => None,
         }
+    }
+
+    /// The instant of the most recently completed activation.
+    pub fn last_activated(&self) -> Option<Time> {
+        self.last_activated
+    }
+
+    /// True while a mode transition is pending or completed less than
+    /// `settle` ago. The paper's Section 4.4 concedes that "some brief
+    /// confusion may even be acceptable" around a switch; BTR charges
+    /// that window against R instead of letting it generate accusations,
+    /// so the detector suppresses declarations while this holds.
+    pub fn in_blackout(&self, now: Time, settle: Duration) -> bool {
+        self.pending.is_some()
+            || self
+                .last_activated
+                .is_some_and(|t| now.saturating_since(t) <= settle)
     }
 
     /// Worst-case time from fault report to activation for the *next*
@@ -350,6 +371,23 @@ mod tests {
         assert_eq!(action, SwitchAction::None);
         assert_eq!(m.current_plan(), PlanId(4));
         assert_eq!(m.fault_set().len(), 3);
+    }
+
+    #[test]
+    fn blackout_spans_pending_and_settle_window() {
+        let s = strategy();
+        let mut m = ModeSwitcher::new(NodeId(2), &s);
+        let settle = ms(20);
+        assert!(!m.in_blackout(Time(0), settle));
+        m.add_fault(&s, Time(3_000), Time(3_000), NodeId(1));
+        // Pending: blackout regardless of time.
+        assert!(m.in_blackout(Time(5_000), settle));
+        assert_eq!(m.poll(Time::from_millis(30)), Some(PlanId(2)));
+        assert_eq!(m.last_activated(), Some(Time::from_millis(30)));
+        // Settling: blackout for `settle` after activation, then clear.
+        assert!(m.in_blackout(Time::from_millis(49), settle));
+        assert!(m.in_blackout(Time::from_millis(50), settle));
+        assert!(!m.in_blackout(Time::from_millis(51), settle));
     }
 
     #[test]

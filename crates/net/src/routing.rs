@@ -54,13 +54,30 @@ impl RoutingTable {
     /// ascending id order, so every correct node derives identical tables
     /// from identical inputs.
     pub fn avoiding(topo: &Topology, avoid: &BTreeSet<NodeId>) -> RoutingTable {
+        Self::build(topo, avoid, false)
+    }
+
+    /// Compute routes that never *relay through* `avoid` nodes, but may
+    /// still originate or terminate at them.
+    ///
+    /// This is the link layer's view of a crashed node: traffic addressed
+    /// to it still flows (and is dropped at the dead receiver, where the
+    /// simulator attributes it), but multi-hop flows are healed around it
+    /// — a point-to-point link to a dead node loses carrier, so its
+    /// neighbours stop relaying through it. See
+    /// `btr_sim::World`'s crash handling.
+    pub fn avoiding_transit(topo: &Topology, avoid: &BTreeSet<NodeId>) -> RoutingTable {
+        Self::build(topo, avoid, true)
+    }
+
+    fn build(topo: &Topology, avoid: &BTreeSet<NodeId>, endpoints_ok: bool) -> RoutingTable {
         let n = topo.node_count();
         let mut next_hop: Vec<Option<NodeId>> = vec![None; n * n];
         // BFS backwards from each destination: parent pointers give the
         // next hop toward that destination.
         for dst in 0..n {
             let dst_id = NodeId(dst as u32);
-            if avoid.contains(&dst_id) {
+            if avoid.contains(&dst_id) && !endpoints_ok {
                 continue;
             }
             let mut visited = vec![false; n];
@@ -68,7 +85,17 @@ impl RoutingTable {
             let mut queue = VecDeque::from([dst_id]);
             while let Some(cur) = queue.pop_front() {
                 for nb in topo.neighbors(cur) {
-                    if visited[nb.index()] || avoid.contains(&nb) {
+                    if visited[nb.index()] {
+                        continue;
+                    }
+                    if avoid.contains(&nb) {
+                        if !endpoints_ok {
+                            continue;
+                        }
+                        // An avoided node may originate traffic (it gets a
+                        // next hop) but never relays: don't expand it.
+                        visited[nb.index()] = true;
+                        next_hop[nb.index() * n + dst] = Some(cur);
                         continue;
                     }
                     visited[nb.index()] = true;
@@ -343,6 +370,51 @@ mod tests {
                     let spec = t.link(*link);
                     assert!(spec.attaches(nodes[i]) && spec.attaches(nodes[i + 1]));
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn avoiding_transit_keeps_endpoints_reachable() {
+        let t = Topology::ring(6, 100, Duration(1));
+        let avoid = BTreeSet::from([NodeId(1)]);
+        let r = RoutingTable::avoiding_transit(&t, &avoid);
+        // 0 -> 2 heals the long way around (no relaying through n1)...
+        assert_eq!(
+            r.path(NodeId(0), NodeId(2)),
+            Some(&[NodeId(0), NodeId(5), NodeId(4), NodeId(3), NodeId(2)][..])
+        );
+        // ...but traffic addressed *to* n1 still routes (dropped at the
+        // dead receiver, where the simulator attributes it)...
+        assert_eq!(
+            r.path(NodeId(0), NodeId(1)),
+            Some(&[NodeId(0), NodeId(1)][..])
+        );
+        // ...and n1 could still originate (its packets just die with it).
+        assert!(r.path(NodeId(1), NodeId(2)).is_some());
+        // No healed path relays through the avoided node.
+        for s in 0..6u32 {
+            for d in 0..6u32 {
+                if let Some(p) = r.path(NodeId(s), NodeId(d)) {
+                    if p.len() > 2 {
+                        assert!(
+                            !p[1..p.len() - 1].contains(&NodeId(1)),
+                            "{s}->{d} relays through the avoided node: {p:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn avoiding_transit_matches_plain_when_nothing_avoided() {
+        let t = Topology::mesh(3, 3, 100, Duration(1));
+        let a = RoutingTable::new(&t);
+        let b = RoutingTable::avoiding_transit(&t, &BTreeSet::new());
+        for s in 0..9u32 {
+            for d in 0..9u32 {
+                assert_eq!(a.path(NodeId(s), NodeId(d)), b.path(NodeId(s), NodeId(d)));
             }
         }
     }

@@ -2,10 +2,10 @@
 //! expected inputs, and checker configurations.
 
 use btr_detector::CheckerConfig;
-use btr_model::{ATask, NodeId, Plan, PlanId, ReplicaIdx, ScheduleEntry, TaskId};
+use btr_model::{ATask, Duration, NodeId, Plan, PlanId, ReplicaIdx, ScheduleEntry, TaskId};
 use btr_sched::input_lane;
 use btr_workload::{TaskKind, Workload};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Everything a node needs to execute its part of one plan.
 #[derive(Debug, Clone)]
@@ -22,6 +22,30 @@ pub struct PlanView {
     pub lanes: BTreeMap<TaskId, u8>,
     /// Checker configurations for Check tasks I host.
     pub checkers: Vec<CheckerConfig>,
+    /// The checker host of every checked task in the plan (all nodes, not
+    /// just mine): consumers echo received outputs there so conflicting
+    /// signed copies meet in one place (equivocation detection even when
+    /// every victim task has a single consumer).
+    pub checker_nodes: BTreeMap<TaskId, NodeId>,
+    /// When each work lane is scheduled to *emit* within its period
+    /// (slot start + WCET), for every lane in the plan. Receivers derive
+    /// arrival deadlines from this: an output arriving much later than
+    /// its emit instant is a timing fault, even if it beats the task's
+    /// end-to-end deadline.
+    pub emit_offsets: BTreeMap<(TaskId, ReplicaIdx), Duration>,
+    /// For every node: the *distinct* other nodes that would notice its
+    /// silence under this plan (consumers of its lanes plus checkers of
+    /// its tasks). This is the accuser fan-in the omission tracker can
+    /// expect — a suspect with only two plausible accusers can never
+    /// accumulate three distinct peers, so its attribution threshold
+    /// scales down, but only for accusations from exactly this set.
+    pub accuser_sets: BTreeMap<NodeId, BTreeSet<NodeId>>,
+    /// For every task: the nodes hosting any lane of any *transitive*
+    /// input task under this plan. A producer whose upstream set
+    /// intersects the known fault set is starved, not faulty — its
+    /// silence is explainable and must not be declared (the
+    /// false-attribution-cascade gate).
+    pub upstream_hosts: BTreeMap<TaskId, BTreeSet<NodeId>>,
 }
 
 /// Lane counts implied by a plan's placement.
@@ -48,6 +72,24 @@ pub fn derive_view(node: NodeId, plan: &Plan, workload: &Workload) -> PlanView {
     let mut out_routes: BTreeMap<ATask, Vec<NodeId>> = BTreeMap::new();
     let mut in_flows: BTreeMap<ATask, Vec<(TaskId, ReplicaIdx, NodeId)>> = BTreeMap::new();
     let mut checkers = Vec::new();
+
+    // Plan-global derivations (identical on every node).
+    let mut checker_nodes: BTreeMap<TaskId, NodeId> = BTreeMap::new();
+    for (atask, &n) in &plan.placement {
+        if let ATask::Check { task } = atask {
+            checker_nodes.insert(*task, n);
+        }
+    }
+    let mut emit_offsets: BTreeMap<(TaskId, ReplicaIdx), Duration> = BTreeMap::new();
+    for sched in plan.schedules.values() {
+        for e in &sched.entries {
+            if let ATask::Work { task, replica } = e.atask {
+                emit_offsets.insert((task, replica), e.start + e.wcet);
+            }
+        }
+    }
+    let accuser_sets = derive_accuser_sets(plan, workload, &lanes, &checker_nodes);
+    let upstream_hosts = derive_upstream_hosts(plan, workload, &lanes);
 
     for e in &entries {
         match e.atask {
@@ -122,7 +164,85 @@ pub fn derive_view(node: NodeId, plan: &Plan, workload: &Workload) -> PlanView {
         in_flows,
         lanes,
         checkers,
+        checker_nodes,
+        emit_offsets,
+        accuser_sets,
+        upstream_hosts,
     }
+}
+
+/// The distinct other nodes that would notice each node's silence under
+/// `plan`: hosts of consumer lanes reading its lanes, plus checkers of the
+/// tasks it hosts lanes of.
+fn derive_accuser_sets(
+    plan: &Plan,
+    workload: &Workload,
+    lanes: &BTreeMap<TaskId, u8>,
+    checker_nodes: &BTreeMap<TaskId, NodeId>,
+) -> BTreeMap<NodeId, BTreeSet<NodeId>> {
+    let mut accusers: BTreeMap<NodeId, BTreeSet<NodeId>> = BTreeMap::new();
+    for (atask, &host) in &plan.placement {
+        let ATask::Work { task, replica } = *atask else {
+            continue;
+        };
+        let set = accusers.entry(host).or_default();
+        let my_lanes = lanes.get(&task).copied().unwrap_or(1);
+        for &c in workload.consumers_of(task) {
+            let Some(&c_lanes) = lanes.get(&c) else {
+                continue;
+            };
+            for rc in 0..c_lanes {
+                if input_lane(rc, my_lanes) == replica {
+                    if let Some(n) = plan.node_of(ATask::Work {
+                        task: c,
+                        replica: rc,
+                    }) {
+                        if n != host {
+                            set.insert(n);
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(&chk) = checker_nodes.get(&task) {
+            if chk != host {
+                set.insert(chk);
+            }
+        }
+    }
+    accusers
+}
+
+/// Hosts of every lane of every transitive input task, per task.
+fn derive_upstream_hosts(
+    plan: &Plan,
+    workload: &Workload,
+    lanes: &BTreeMap<TaskId, u8>,
+) -> BTreeMap<TaskId, BTreeSet<NodeId>> {
+    // One forward pass in dataflow order (inputs strictly precede
+    // consumers — id order is NOT guaranteed topological) closes the
+    // transitive sets.
+    let mut out: BTreeMap<TaskId, BTreeSet<NodeId>> = BTreeMap::new();
+    for &t in workload.topo_order() {
+        let spec = workload.task(t);
+        let mut set = BTreeSet::new();
+        for &u in &spec.inputs {
+            if let Some(up) = out.get(&u) {
+                set.extend(up.iter().copied());
+            }
+            let u_lanes = lanes.get(&u).copied().unwrap_or(0);
+            for r in 0..u_lanes {
+                if let Some(n) = plan.node_of(ATask::Work {
+                    task: u,
+                    replica: r,
+                }) {
+                    set.insert(n);
+                }
+            }
+        }
+        out.insert(spec.id, set);
+    }
+    out
 }
 
 #[cfg(test)]

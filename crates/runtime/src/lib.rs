@@ -31,17 +31,43 @@ use btr_model::{
 use btr_modeswitch::{ModeSwitcher, SwitchAction};
 use btr_sim::{NodeBehavior, NodeCtx, TimerId};
 use btr_workload::{TaskKind, Workload};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use timers::Timer;
+
+/// True if `producer`'s failure to deliver `task` is already explained by
+/// the known fault set: some lane of a transitive input of `task` is
+/// hosted on a convicted node under the current plan, so the producer is
+/// starved, not faulty. Declaring it anyway is how the false-attribution
+/// cascade started (see EXPERIMENTS.md campaign findings) — blame stays
+/// pinned on the nodes with direct evidence against them.
+///
+/// Free function so the end-of-period handler can call it while the
+/// detector is mutably borrowed.
+fn starvation_explained(
+    upstream_hosts: &BTreeMap<TaskId, BTreeSet<NodeId>>,
+    faulty: &BTreeSet<NodeId>,
+    task: TaskId,
+) -> bool {
+    upstream_hosts
+        .get(&task)
+        .is_some_and(|hosts| hosts.iter().any(|h| faulty.contains(h)))
+}
 
 /// Runtime configuration for a BTR node.
 #[derive(Debug, Clone)]
 pub struct BtrConfig {
     /// Heartbeat periods missed before crash suspicion.
     pub heartbeat_miss_threshold: u64,
-    /// Distinct peers implicating a node before omission attribution.
+    /// Distinct peers implicating a node before omission attribution
+    /// (scaled down per suspect to the accuser fan-in the active plan
+    /// actually provides, never below two).
     pub omission_threshold: usize,
+    /// Tolerated lateness beyond a lane's scheduled emit instant before
+    /// an arriving output is declared mistimed. Wide enough to absorb
+    /// network queueing; far below the delays a timing attack needs to
+    /// corrupt downstream schedules.
+    pub timing_slack: Duration,
     /// Evidence pool admission limits.
     pub pool: PoolConfig,
     /// Send per-period heartbeats (crash detection substrate).
@@ -55,6 +81,7 @@ impl Default for BtrConfig {
         BtrConfig {
             heartbeat_miss_threshold: 3,
             omission_threshold: 3,
+            timing_slack: Duration::from_millis(4),
             pool: PoolConfig::default(),
             heartbeats: true,
             attack: None,
@@ -104,8 +131,6 @@ pub struct BtrNode {
     stats: NodeStats,
     /// Alternation flip used by the equivocation attack.
     equiv_flip: u64,
-    /// Time of the last completed mode switch (declaration blackout).
-    last_activation: Option<Time>,
 }
 
 impl BtrNode {
@@ -117,10 +142,11 @@ impl BtrNode {
         n_nodes: usize,
         cfg: BtrConfig,
     ) -> BtrNode {
-        let detector = Detector::new(id, cfg.heartbeat_miss_threshold, cfg.omission_threshold);
+        let mut detector = Detector::new(id, cfg.heartbeat_miss_threshold, cfg.omission_threshold);
         let pool = EvidencePool::new(cfg.pool.clone());
         let switcher = ModeSwitcher::new(id, &strategy);
         let view = derive_view(id, strategy.initial_plan(), &workload);
+        detector.set_plausible_accusers(view.accuser_sets.clone());
         BtrNode {
             id,
             workload,
@@ -137,7 +163,6 @@ impl BtrNode {
             n_nodes,
             stats: NodeStats::default(),
             equiv_flip: 0,
-            last_activation: None,
         }
     }
 
@@ -174,10 +199,17 @@ impl BtrNode {
     /// missing messages in this window are expected confusion (charged
     /// against R), not new faults.
     fn in_blackout(&self, now: Time) -> bool {
-        self.switcher.pending().is_some()
-            || self.last_activation.is_some_and(|t| {
-                now.saturating_since(t) <= Duration(2 * self.workload.period.as_micros())
-            })
+        self.switcher
+            .in_blackout(now, Duration(2 * self.workload.period.as_micros()))
+    }
+
+    /// See [`starvation_explained`].
+    fn silence_explained(&self, task: TaskId) -> bool {
+        starvation_explained(
+            &self.view.upstream_hosts,
+            self.switcher.fault_set().as_set(),
+            task,
+        )
     }
 
     /// Install the checkers for the current view.
@@ -195,6 +227,8 @@ impl BtrNode {
         self.view = derive_view(self.id, plan, &self.workload);
         self.version = self.version.wrapping_add(1);
         self.sync_checkers();
+        self.detector
+            .set_plausible_accusers(self.view.accuser_sets.clone());
         // Schedule the remaining slots of the current period under the
         // new version (the boundary handler for this period ran before
         // activation and its slots are now stale).
@@ -380,7 +414,13 @@ impl BtrNode {
                 self.detector.gc(p.saturating_sub(4));
             } else {
                 let faulty = self.switcher.fault_set().as_set().clone();
-                let evs = self.detector.end_of_period(ctx.signer(), p - 1, &faulty);
+                let upstream_hosts = &self.view.upstream_hosts;
+                let explained = |task: TaskId, _producer: NodeId| {
+                    starvation_explained(upstream_hosts, &faulty, task)
+                };
+                let evs = self
+                    .detector
+                    .end_of_period(ctx.signer(), p - 1, &faulty, &explained);
                 self.handle_local_evidence(evs, ctx);
             }
         }
@@ -399,6 +439,7 @@ impl BtrNode {
         let keep_from = p.saturating_sub(3);
         self.inputs.retain(|&(ip, _, _), _| ip >= keep_from);
         self.pending_emit.retain(|&(ip, _), _| ip >= keep_from);
+        self.dissem.gc_echoes(keep_from);
         // Re-arm.
         ctx.set_timer_at(
             p_start + self.workload.period,
@@ -461,6 +502,8 @@ impl BtrNode {
                 if !self.in_blackout(ctx.now())
                     && blame_node != self.id
                     && !self.switcher.fault_set().contains(blame_node)
+                    && !self.silence_explained(u)
+                    && !self.silence_explained(blame_task)
                 {
                     let decl = EvidenceRecord::declare_path(
                         ctx.signer(),
@@ -614,6 +657,10 @@ impl BtrNode {
         witnesses: Vec<SignedOutput>,
         ctx: &mut NodeCtx<'_>,
     ) {
+        // Relayed copies (checker echoes) are cross-check material, not
+        // fresh observations: they carry no timing signal and are not
+        // echoed onward.
+        let direct = env_src == output.producer;
         // Store if this is an input one of my tasks expects.
         let wanted = self.view.in_flows.values().any(|flows| {
             flows
@@ -622,11 +669,42 @@ impl BtrNode {
         });
         if wanted && ctx.verify_output(&output).is_ok() {
             self.store_input(output.clone());
+            // Echo the accepted copy to the task's checker, once per
+            // slot: conflicting signed copies then meet in the checker's
+            // pool even when each of the producer's tasks has a single
+            // consumer (the campaign's avionics equivocation gap).
+            if direct {
+                if let Some(&chk) = self.view.checker_nodes.get(&output.task) {
+                    if chk != self.id
+                        && chk != output.producer
+                        && self
+                            .dissem
+                            .should_echo(output.task, output.replica, output.period)
+                    {
+                        ctx.send(
+                            chk,
+                            Payload::Output {
+                                output: output.clone(),
+                                witnesses: Vec::new(),
+                            },
+                        );
+                    }
+                }
+            }
         }
-        let _ = env_src;
-        // Detection: timing window = the task's deadline within its period.
-        let spec = self.workload.task(output.task);
-        let expected_by = self.period_start(output.period) + spec.deadline;
+        // Timing window: the lane's scheduled emit instant plus slack
+        // (falling back to the task deadline when the plan has no slot
+        // for it). Only direct arrivals outside a transition blackout are
+        // judged — echoes arrive a hop late by design.
+        let expected_by = if direct && !self.in_blackout(ctx.now()) {
+            let base = match self.view.emit_offsets.get(&(output.task, output.replica)) {
+                Some(&emit) => emit + self.cfg.timing_slack,
+                None => self.workload.task(output.task).deadline,
+            };
+            Some(self.period_start(output.period) + base)
+        } else {
+            None
+        };
         let signer = ctx.signer().clone();
         let evs = self.detector.observe_output(
             ctx.keystore(),
@@ -635,7 +713,7 @@ impl BtrNode {
             output,
             &witnesses,
             ctx.now(),
-            Some(expected_by),
+            expected_by,
             env_sig.map(|s| (sent_at, s)),
         );
         self.handle_local_evidence(evs, ctx);
@@ -715,7 +793,6 @@ impl NodeBehavior for BtrNode {
             }) => self.handle_slot_emit(version, idx, period, ctx),
             Some(Timer::Activate) => {
                 if let Some(plan) = self.switcher.poll(ctx.now()) {
-                    self.last_activation = Some(ctx.now());
                     self.install_plan(plan, ctx);
                 }
             }

@@ -388,6 +388,7 @@ impl World {
                             node: n,
                         });
                     }
+                    self.heal_routes();
                 }
             }
             ControlAction::SetForwardPolicy(n, p) => {
@@ -639,6 +640,23 @@ impl World {
         Some(t)
     }
 
+    /// Recompute routes around every crashed node. A dead node on a
+    /// point-to-point link loses carrier, so its neighbours deterministically
+    /// stop relaying through it; traffic *addressed* to it still routes and
+    /// is dropped at the receiver (same attribution as before). On a bus
+    /// (single shared link) this is a no-op, so crash-free runs and
+    /// single-hop platforms are bit-identical to the pre-heal behaviour.
+    fn heal_routes(&mut self) {
+        let crashed: BTreeSet<NodeId> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.crashed)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect();
+        self.routing = RoutingTable::avoiding_transit(&self.topo, &crashed);
+    }
+
     fn record_drop(&mut self, src: NodeId, dst: NodeId, reason: DropReason) {
         match reason {
             DropReason::GuardianDenied => self.metrics.drops_guardian += 1,
@@ -797,6 +815,7 @@ impl NodeCtx<'_> {
                 node: self.node,
             });
         }
+        self.world.heal_routes();
     }
 
     /// A deterministic per-node pseudo-random stream.
@@ -1193,6 +1212,44 @@ mod tests {
         let (t3, e3, m3) = run(full_events);
         assert!(!t3, "exact-cap completion must not be flagged");
         assert_eq!((e3, m3), (full_events, full_msgs));
+    }
+
+    #[test]
+    fn crash_heals_multi_hop_routes() {
+        // Ring of 4: 0 -> 2 normally relays through 1 (lowest-id tie
+        // break). After 1 crashes, the route heals via 3 and deliveries
+        // keep flowing; without healing the relay would drop everything.
+        struct Periodic;
+        impl NodeBehavior for Periodic {
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+                ctx.set_timer(Duration::from_millis(1), 0);
+            }
+            fn on_message(&mut self, _c: &mut NodeCtx<'_>, _e: Envelope) {}
+            fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _t: TimerId) {
+                ctx.send(NodeId(2), Payload::Control(1));
+                ctx.set_timer(Duration::from_millis(1), 0);
+            }
+        }
+        struct Count;
+        impl NodeBehavior for Count {
+            fn on_start(&mut self, _c: &mut NodeCtx<'_>) {}
+            fn on_message(&mut self, ctx: &mut NodeCtx<'_>, _e: Envelope) {
+                ctx.actuate(TaskId(0), 0, 1);
+            }
+            fn on_timer(&mut self, _c: &mut NodeCtx<'_>, _t: TimerId) {}
+        }
+        let topo = Topology::ring(4, 10_000, Duration(5));
+        let mut w = World::new(topo, SimConfig::new(4));
+        w.set_behavior(NodeId(0), Box::new(Periodic));
+        w.set_behavior(NodeId(2), Box::new(Count));
+        w.schedule_control(Time::from_millis(10), ControlAction::Crash(NodeId(1)));
+        w.start();
+        w.run_until(Time::from_millis(30));
+        // ~29 sends, all delivered (loss-free): the post-crash sends heal
+        // through node 3 instead of being refused by the dead relay.
+        let delivered = w.actuations().len() as u64;
+        assert!(delivered >= 28, "only {delivered} deliveries");
+        assert_eq!(w.metrics().drops_forward, 0, "dead relay refused traffic");
     }
 
     #[test]
