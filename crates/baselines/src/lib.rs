@@ -238,6 +238,7 @@ impl BaselineSystem {
             world.actuations(),
             periods,
             &BTreeSet::new(),
+            &scenario.compromised().into_iter().collect(),
             scenario.first_manifestation(),
             Duration(1_000),
         );

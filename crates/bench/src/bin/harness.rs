@@ -17,6 +17,9 @@ use btr_bench::experiments as exp;
 use btr_bench::hotpath::{
     self, HotPathMeasurement, HOTPATH_FEC, HOTPATH_LOSS_PPM, HOTPATH_NODES, HOTPATH_PERIODS,
 };
+use btr_bench::scale::{
+    self, ScaleMeasurement, SCALE_NODES, SCALE_ROUTING_BUDGET, SCALE_SMOKE_MSGS, SCALE_TARGET_MSGS,
+};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -161,6 +164,141 @@ fn run_bench(periods: u64, out_path: &str) {
     }
 }
 
+fn run_scale_cli(mut args: Vec<String>) {
+    let seed = take_value(&mut args, "--seed").unwrap_or(7u64);
+    let smoke = take_flag(&mut args, "--smoke");
+    let out_path: String = take_value(&mut args, "--out").unwrap_or("BENCH_scale.json".into());
+    let nodes: Vec<usize> = match take_value::<String>(&mut args, "--nodes") {
+        None => SCALE_NODES.to_vec(),
+        Some(list) => {
+            let parsed: Result<Vec<usize>, _> = list.split(',').map(str::parse).collect();
+            match parsed {
+                Ok(v) if !v.is_empty() && v.iter().all(|&n| n >= 2) => v,
+                _ => {
+                    eprintln!("error: --nodes wants a comma list of sizes >= 2, got '{list}'");
+                    std::process::exit(2);
+                }
+            }
+        }
+    };
+    if let Some(stray) = args.iter().find(|a| *a != "scale") {
+        eprintln!("error: unknown scale argument '{stray}'");
+        std::process::exit(2);
+    }
+
+    let target = if smoke {
+        SCALE_SMOKE_MSGS
+    } else {
+        SCALE_TARGET_MSGS
+    };
+    println!(
+        "scale sweep: torus n ∈ {nodes:?}, ~{target} msgs/point, seed {seed}{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let mut points: Vec<ScaleMeasurement> = Vec::new();
+    let mut over_budget = false;
+    for &n in &nodes {
+        // Warm once (page-in, route materialisation) then measure.
+        let _ = scale::measure_scale(n, seed, target / 10 + 1, &alloc_count);
+        let m = scale::measure_scale(n, seed, target, &alloc_count);
+        println!(
+            "  n={:<5} {:>9} torus  {:>12.0} msgs/s  {:>7.0} ns/delivery  {:>9} routing bytes ({})  {:>6} allocs",
+            m.nodes,
+            format!("{}x{}", m.rows, m.cols),
+            m.msgs_per_sec(),
+            m.ns_per_delivery(),
+            m.routing_resident_bytes,
+            m.routing_kind,
+            m.allocations,
+        );
+        if !m.within_routing_budget() {
+            eprintln!(
+                "error: n={} routing residency {} exceeds the sub-quadratic budget {}",
+                m.nodes, m.routing_resident_bytes, SCALE_ROUTING_BUDGET
+            );
+            over_budget = true;
+        }
+        if m.msgs_delivered == 0 {
+            eprintln!("error: n={} delivered nothing", m.nodes);
+            over_budget = true;
+        }
+        if m.envelopes_leaked != 0 {
+            eprintln!(
+                "error: n={} leaked {} arena envelopes",
+                m.nodes, m.envelopes_leaked
+            );
+            over_budget = true;
+        }
+        points.push(m);
+    }
+
+    let point_json = |m: &ScaleMeasurement| {
+        format!(
+            concat!(
+                "    {{\n",
+                "      \"nodes\": {},\n",
+                "      \"torus\": \"{}x{}\",\n",
+                "      \"periods\": {},\n",
+                "      \"msgs_sent\": {},\n",
+                "      \"msgs_delivered\": {},\n",
+                "      \"events\": {},\n",
+                "      \"wall_ns\": {},\n",
+                "      \"msgs_per_sec\": {},\n",
+                "      \"ns_per_delivery\": {},\n",
+                "      \"allocations\": {},\n",
+                "      \"routing_kind\": \"{}\",\n",
+                "      \"routing_resident_bytes\": {},\n",
+                "      \"drops_forward\": {}\n",
+                "    }}"
+            ),
+            m.nodes,
+            m.rows,
+            m.cols,
+            m.periods,
+            m.msgs_sent,
+            m.msgs_delivered,
+            m.events,
+            m.wall_ns,
+            json_f64(m.msgs_per_sec()),
+            json_f64(m.ns_per_delivery()),
+            m.allocations,
+            m.routing_kind,
+            m.routing_resident_bytes,
+            m.drops_forward,
+        )
+    };
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"sim_scale\",\n",
+            "  \"seed\": {},\n",
+            "  \"smoke\": {},\n",
+            "  \"routing_budget_bytes\": {},\n",
+            "  \"sweep\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        seed,
+        smoke,
+        SCALE_ROUTING_BUDGET,
+        points
+            .iter()
+            .map(point_json)
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    );
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("  wrote {out_path}"),
+        Err(e) => {
+            eprintln!("error: failed to write {out_path}: {e}");
+            std::process::exit(2);
+        }
+    }
+    if over_budget {
+        std::process::exit(1);
+    }
+}
+
 fn usage() {
     eprintln!(
         "usage: harness [--threads N] [--list] <command>...\n\
@@ -169,6 +307,7 @@ fn usage() {
          \x20 all                run the full experiment suite (e1..e10 a1 a2 r1)\n\
          \x20 e1 .. e10 a1 a2 r1 individual experiments (see --list)\n\
          \x20 bench [periods]    simulator hot-path A/B (emits BENCH_sim.json)\n\
+         \x20 scale [opts]       thousand-node torus sweep (emits BENCH_scale.json)\n\
          \x20 campaign [opts]    parallel fault-injection campaign (emits CAMPAIGN_btr.json)\n\
          \n\
          global options:\n\
@@ -183,7 +322,13 @@ fn usage() {
          \x20 --over-budget      add f+1-fault schedules (inadmissible; exercises the shrinker)\n\
          \x20 --all-variants     every fault variant on every cell (alias of the default grid)\n\
          \x20 --out PATH         report path (default CAMPAIGN_btr.json)\n\
-         \x20 --replay TOKEN     re-execute one reproducer token and print its verdicts"
+         \x20 --replay TOKEN     re-execute one reproducer token and print its verdicts\n\
+         \n\
+         scale options:\n\
+         \x20 --nodes N,N,...    sweep sizes (default 20,100,400,1000)\n\
+         \x20 --seed S           simulator seed (default 7)\n\
+         \x20 --smoke            ~10x fewer messages per point (CI budget)\n\
+         \x20 --out PATH         report path (default BENCH_scale.json)"
     );
 }
 
@@ -381,6 +526,8 @@ fn main() {
         println!("a2  checker placement ablation");
         println!("r1  robustness to residual link loss");
         println!("bench [periods]  simulator hot-path A/B (emits BENCH_sim.json)");
+        println!("scale [--nodes N,..] [--seed S] [--smoke] [--out PATH]");
+        println!("                 thousand-node torus sweep (emits BENCH_scale.json)");
         println!("campaign [--runs N] [--seed S] [--sim-seeds K] [--combos] [--over-budget]");
         println!("         [--all-variants] [--out PATH] [--replay TOKEN]");
         println!("                 parallel fault-injection campaign (emits CAMPAIGN_btr.json)");
@@ -388,6 +535,10 @@ fn main() {
     }
     if args.iter().any(|a| a == "campaign") {
         run_campaign_cli(args, threads);
+        return;
+    }
+    if args.iter().any(|a| a == "scale") {
+        run_scale_cli(args);
         return;
     }
     if args.iter().any(|a| a == "bench") {

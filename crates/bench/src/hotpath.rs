@@ -252,6 +252,41 @@ mod tests {
     }
 
     #[test]
+    fn arena_mode_matches_pinned_golden() {
+        // The optimized mode's own golden: xoshiro loss stream + arena-
+        // backed event queue, seed 7, 200 periods. Together with
+        // `legacy_mode_matches_pinned_golden` and the loss-free cross-
+        // mode equivalence this pins the whole A/B oracle: the arena
+        // queue replays the pinned scenario bit-for-bit run over run,
+        // and any change to its event ordering or the loss stream moves
+        // these counters.
+        let m = run_hotpath(7, false, 200, HOTPATH_LOSS_PPM);
+        let golden = SimMetrics {
+            msgs_sent: 15_997,
+            bytes_sent: 4_464_624,
+            msgs_delivered: 15_997,
+            drops_guardian: 0,
+            drops_forward: 0,
+            drops_other: 3,
+            events: 19_997,
+            timers: 4_000,
+            actuations: 0,
+        };
+        assert_eq!(m, golden, "arena-mode pinned run changed");
+    }
+
+    #[test]
+    fn arena_drains_after_run() {
+        // Every queued envelope handle must be reclaimed by the time the
+        // queue drains — a nonzero count here is an arena leak.
+        let mut w = hotpath_world(7, false, 50, HOTPATH_LOSS_PPM, false);
+        w.start();
+        w.run_until(Time(50 * w.period().as_micros() + 1_000_000));
+        assert_eq!(w.queued_events(), 0);
+        assert_eq!(w.envelopes_in_flight(), 0);
+    }
+
+    #[test]
     fn legacy_mode_matches_pinned_golden() {
         // Exact golden counters for the pinned scenario, legacy sampler,
         // seed 7, 200 periods. These pin the *exact* pre-refactor drop

@@ -11,6 +11,7 @@
 
 pub mod experiments;
 pub mod hotpath;
+pub mod scale;
 pub mod table;
 
 pub use experiments::*;

@@ -49,6 +49,26 @@ pub enum TopoSpec {
         /// Propagation latency, µs.
         latency_us: u64,
     },
+    /// A 2D torus (mesh with wrap-around links; see `btr_topo::torus`).
+    Torus {
+        /// Grid rows.
+        rows: usize,
+        /// Grid columns.
+        cols: usize,
+        /// Usable bandwidth, bytes per millisecond.
+        bytes_per_ms: u32,
+        /// Propagation latency, µs.
+        latency_us: u64,
+    },
+    /// A k-ary fat-tree (see `btr_topo::fat_tree`; `k³/4 + 5k²/4` nodes).
+    FatTree {
+        /// Tree arity (even, ≥ 2).
+        k: usize,
+        /// Usable bandwidth, bytes per millisecond.
+        bytes_per_ms: u32,
+        /// Propagation latency, µs.
+        latency_us: u64,
+    },
 }
 
 impl TopoSpec {
@@ -56,7 +76,8 @@ impl TopoSpec {
     pub fn n_nodes(&self) -> usize {
         match *self {
             TopoSpec::Bus { n, .. } | TopoSpec::Ring { n, .. } => n,
-            TopoSpec::Mesh { rows, cols, .. } => rows * cols,
+            TopoSpec::Mesh { rows, cols, .. } | TopoSpec::Torus { rows, cols, .. } => rows * cols,
+            TopoSpec::FatTree { k, .. } => btr_topo::fat_tree_size(k),
         }
     }
 
@@ -79,6 +100,19 @@ impl TopoSpec {
                 bytes_per_ms,
                 latency_us,
             } => Topology::mesh(rows, cols, bytes_per_ms, Duration(latency_us)),
+            TopoSpec::Torus {
+                rows,
+                cols,
+                bytes_per_ms,
+                latency_us,
+            } => btr_topo::torus(rows, cols, bytes_per_ms, Duration(latency_us))
+                .expect("torus specs are size-validated at parse/construction"),
+            TopoSpec::FatTree {
+                k,
+                bytes_per_ms,
+                latency_us,
+            } => btr_topo::fat_tree(k, 0, bytes_per_ms, Duration(latency_us))
+                .expect("fat-tree specs are size-validated at parse/construction"),
         }
     }
 
@@ -101,6 +135,17 @@ impl TopoSpec {
                 bytes_per_ms,
                 latency_us,
             } => format!("mesh{rows}x{cols}x{bytes_per_ms}x{latency_us}"),
+            TopoSpec::Torus {
+                rows,
+                cols,
+                bytes_per_ms,
+                latency_us,
+            } => format!("torus{rows}x{cols}x{bytes_per_ms}x{latency_us}"),
+            TopoSpec::FatTree {
+                k,
+                bytes_per_ms,
+                latency_us,
+            } => format!("fattree{k}x{bytes_per_ms}x{latency_us}"),
         }
     }
 
@@ -112,6 +157,10 @@ impl TopoSpec {
             ("ring", r)
         } else if let Some(r) = s.strip_prefix("mesh") {
             ("mesh", r)
+        } else if let Some(r) = s.strip_prefix("torus") {
+            ("torus", r)
+        } else if let Some(r) = s.strip_prefix("fattree") {
+            ("fattree", r)
         } else {
             return None;
         };
@@ -137,6 +186,27 @@ impl TopoSpec {
                 bytes_per_ms: b as u32,
                 latency_us: l,
             }),
+            // Size guards use checked arithmetic and sane ceilings: a
+            // crafted token must parse to None (the replay CLI's clean
+            // exit(2) path), never overflow in the guard itself or in a
+            // later n_nodes()/generator computation.
+            ("torus", &[r, c, b, l])
+                if r.checked_mul(c).is_some_and(|p| (2..=1 << 20).contains(&p)) =>
+            {
+                Some(TopoSpec::Torus {
+                    rows: r as usize,
+                    cols: c as usize,
+                    bytes_per_ms: b as u32,
+                    latency_us: l,
+                })
+            }
+            ("fattree", &[k, b, l]) if (2..=64).contains(&k) && k % 2 == 0 => {
+                Some(TopoSpec::FatTree {
+                    k: k as usize,
+                    bytes_per_ms: b as u32,
+                    latency_us: l,
+                })
+            }
             _ => None,
         }
     }
@@ -164,6 +234,8 @@ impl CellSpec {
             TopoSpec::Bus { .. } => "bus",
             TopoSpec::Ring { .. } => "ring",
             TopoSpec::Mesh { .. } => "mesh",
+            TopoSpec::Torus { .. } => "torus",
+            TopoSpec::FatTree { .. } => "fattree",
         };
         format!(
             "{}{}-{}-f{}",
@@ -178,7 +250,14 @@ impl CellSpec {
     pub fn plan(&self) -> Result<BtrSystem, CellError> {
         let gen = generators::by_name(&self.workload)
             .ok_or_else(|| CellError::UnknownWorkload(self.workload.clone()))?;
-        let workload = gen(self.topo.n_nodes());
+        // Validate the platform size before handing it to the workload
+        // generators, which assert (panic) below two nodes — a crafted
+        // replay token or grid must fail cleanly instead.
+        let n = self.topo.n_nodes();
+        if n < 2 {
+            return Err(CellError::TooFewNodes { got: n });
+        }
+        let workload = gen(n);
         let mut cfg = PlannerConfig::new(self.f, self.r_bound);
         cfg.admit_best_effort = true;
         BtrSystem::plan(workload, self.topo.build(), cfg).map_err(CellError::Planning)
@@ -235,6 +314,11 @@ impl CellSpec {
 pub enum CellError {
     /// The workload name is not in the generator catalog.
     UnknownWorkload(String),
+    /// The platform has too few nodes to host any workload.
+    TooFewNodes {
+        /// The offending node count.
+        got: usize,
+    },
     /// The planner failed for this cell.
     Planning(SystemError),
 }
@@ -243,6 +327,9 @@ impl std::fmt::Display for CellError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CellError::UnknownWorkload(w) => write!(f, "unknown workload '{w}'"),
+            CellError::TooFewNodes { got } => {
+                write!(f, "platform has {got} node(s); workloads need at least 2")
+            }
             CellError::Planning(e) => write!(f, "cell planning failed: {e}"),
         }
     }
@@ -250,13 +337,15 @@ impl std::fmt::Display for CellError {
 
 impl std::error::Error for CellError {}
 
-/// The default campaign grid: five cells spanning four workload
-/// families, two platform families (bus and multi-hop ring), and budgets
-/// f ∈ {1, 2}, every cell scheduling **every** fault variant. CI asserts
-/// zero admissible violations here, including under `--combos`. The
-/// variant exclusions and the missing ring cell that used to pin this
-/// grid to a "clean" subspace were R-bound gaps, now fixed — see
-/// EXPERIMENTS.md "campaign findings — resolved".
+/// The default campaign grid: nine cells spanning four workload
+/// families, five platform families (bus, multi-hop ring, mesh, torus,
+/// fat-tree), and budgets f ∈ {1, 2}, every cell scheduling **every**
+/// fault variant. CI asserts zero admissible violations here, including
+/// under `--combos`. The variant exclusions and the missing ring cell
+/// that used to pin this grid to a "clean" subspace were R-bound gaps,
+/// now fixed — see EXPERIMENTS.md "campaign findings — resolved"; the
+/// mesh/torus/fat-tree cells and the second f=2 cell are the ROADMAP's
+/// "scale the grid" step riding on the btr-topo subsystem.
 pub fn default_grid() -> Vec<CellSpec> {
     vec![
         CellSpec {
@@ -314,6 +403,65 @@ pub fn default_grid() -> Vec<CellSpec> {
             r_bound: Duration::from_millis(150),
             variants: FaultVariant::ALL.to_vec(),
         },
+        // The ROADMAP-requested multi-hop grid growth: the same avionics
+        // workload on a 3x3 mesh (relayed flows, crash re-routing), the
+        // torus wrap variant, a 36-node k=4 fat-tree (host/switch
+        // asymmetry with redundant aggregation — k=2 was rejected: every
+        // switch is a single point of failure there, so one dead agg
+        // partitions its pod and forces structurally-unservable sheds
+        // the criticality oracle rightly flags), and a second f=2 cell
+        // on a multi-hop platform.
+        CellSpec {
+            workload: "avionics".into(),
+            topo: TopoSpec::Mesh {
+                rows: 3,
+                cols: 3,
+                bytes_per_ms: 100_000,
+                latency_us: 5,
+            },
+            f: 1,
+            r_bound: Duration::from_millis(150),
+            variants: FaultVariant::ALL.to_vec(),
+        },
+        CellSpec {
+            workload: "fusion-chain".into(),
+            topo: TopoSpec::Torus {
+                rows: 3,
+                cols: 3,
+                bytes_per_ms: 100_000,
+                latency_us: 5,
+            },
+            f: 1,
+            r_bound: Duration::from_millis(150),
+            variants: FaultVariant::ALL.to_vec(),
+        },
+        // Datacenter-class bandwidth: at CAN-bus rates the period-start
+        // heartbeat/evidence bursts queue ~1-3 ms on the shared relay
+        // lanes of the tree's aggregation layer, blowing through the
+        // schedule's producer-to-consumer slot gaps in fault-free runs.
+        CellSpec {
+            workload: "scada".into(),
+            topo: TopoSpec::FatTree {
+                k: 4,
+                bytes_per_ms: 1_000_000,
+                latency_us: 5,
+            },
+            f: 1,
+            r_bound: Duration::from_millis(400),
+            variants: FaultVariant::ALL.to_vec(),
+        },
+        CellSpec {
+            workload: "avionics".into(),
+            topo: TopoSpec::Mesh {
+                rows: 3,
+                cols: 3,
+                bytes_per_ms: 100_000,
+                latency_us: 5,
+            },
+            f: 2,
+            r_bound: Duration::from_millis(150),
+            variants: FaultVariant::ALL.to_vec(),
+        },
     ]
 }
 
@@ -348,6 +496,17 @@ mod tests {
                 bytes_per_ms: 150_000,
                 latency_us: 5,
             },
+            TopoSpec::Torus {
+                rows: 3,
+                cols: 4,
+                bytes_per_ms: 100_000,
+                latency_us: 5,
+            },
+            TopoSpec::FatTree {
+                k: 4,
+                bytes_per_ms: 1_000_000,
+                latency_us: 5,
+            },
         ];
         for s in specs {
             assert_eq!(
@@ -360,6 +519,14 @@ mod tests {
         }
         assert!(TopoSpec::parse("star5x1x1").is_none());
         assert!(TopoSpec::parse("bus9x100000").is_none());
+        // Degenerate or overflow-prone sizes must parse to None, not
+        // panic in the guard or in a later n_nodes() computation.
+        assert!(TopoSpec::parse("torus1x1x100x1").is_none());
+        assert!(TopoSpec::parse("torus4294967296x4294967297x1x1").is_none());
+        assert!(TopoSpec::parse("torus3000000000x3000000000x1x1").is_none());
+        assert!(TopoSpec::parse("fattree3x100x1").is_none());
+        assert!(TopoSpec::parse("fattree0x100x1").is_none());
+        assert!(TopoSpec::parse("fattree6000000x1x1").is_none());
     }
 
     #[test]

@@ -118,6 +118,16 @@ pub fn parse(tok: &str) -> Result<ReplaySpec, ReplayError> {
             topo.n_nodes()
         )));
     }
+    // Campaign cells top out at tens of nodes; a crafted token must not
+    // be able to ask the workload generator / planner for a
+    // multi-billion-node platform (allocation panic at best).
+    const MAX_REPLAY_NODES: usize = 4096;
+    if topo.n_nodes() > MAX_REPLAY_NODES {
+        return Err(ReplayError(format!(
+            "topology '{topo_tok}' has {} nodes; replay caps at {MAX_REPLAY_NODES}",
+            topo.n_nodes()
+        )));
+    }
     let n_nodes = topo.n_nodes() as u32;
     let f = num(&fields, "f")?;
     if f == 0 || f > u8::MAX as u64 {
@@ -335,6 +345,27 @@ mod tests {
             (
                 "w=avionics;t=bus9x1x1;f=1;r=1;h=0;s=1;fl=",
                 "must be positive",
+            ),
+            // Oversized platforms: crafted tokens must not reach the
+            // workload generator (allocation panic) — the overflow-prone
+            // torus/fattree guards parse to None, and in-range-but-huge
+            // sizes hit the replay node cap.
+            (
+                "w=scada;t=torus4294967296x4294967297x1x1;f=1;r=1;h=1;s=1;fl=",
+                "unparseable topology",
+            ),
+            (
+                "w=scada;t=torus3000000000x3000000000x1x1;f=1;r=1;h=1;s=1;fl=",
+                "unparseable topology",
+            ),
+            (
+                "w=scada;t=fattree6000000x1x1;f=1;r=1;h=1;s=1;fl=",
+                "unparseable topology",
+            ),
+            ("w=scada;t=bus100000x100x1;f=1;r=1;h=1;s=1;fl=", "caps at"),
+            (
+                "w=scada;t=torus1000x1000x100x1;f=1;r=1;h=1;s=1;fl=",
+                "caps at",
             ),
         ] {
             let err = parse(tok).expect_err(tok).to_string();

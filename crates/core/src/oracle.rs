@@ -16,7 +16,9 @@
 //! pattern are classified [`Verdict::Degraded`], and sinks that plan
 //! sheds are [`Verdict::Shed`] rather than missing.
 
-use btr_model::{sensor_value, task_value, Criticality, Duration, PeriodIdx, TaskId, Time, Value};
+use btr_model::{
+    sensor_value, task_value, Criticality, Duration, NodeId, PeriodIdx, TaskId, Time, Value,
+};
 use btr_sim::Actuation;
 use btr_workload::{TaskKind, Workload};
 use serde::{Deserialize, Serialize};
@@ -107,12 +109,18 @@ pub struct SinkVerdict {
 ///
 /// `degraded_shed` is the shed set of the plan the strategy prescribes
 /// for the injected fault pattern (empty when no faults are injected);
+/// `compromised` the adversary-controlled nodes — an actuation a
+/// compromised node performs at a sink the prescribed plan has shed is
+/// judged [`Verdict::Shed`], not [`Verdict::Wrong`]: the plan already
+/// gave that actuator up because its node is in the fault set, and no
+/// protocol can stop an adversary from driving hardware it owns;
 /// `deadline_slack` tolerates bounded clock skew in the on-time check.
 pub fn judge(
     w: &Workload,
     actuations: &[Actuation],
     periods: PeriodIdx,
     degraded_shed: &BTreeSet<TaskId>,
+    compromised: &BTreeSet<NodeId>,
     fault_at: Option<Time>,
     deadline_slack: Duration,
 ) -> Vec<SinkVerdict> {
@@ -139,6 +147,13 @@ pub fn judge(
                     } else {
                         Verdict::Missing
                     }
+                }
+                Some(a)
+                    if fault_active
+                        && degraded_shed.contains(&sink.id)
+                        && compromised.contains(&a.node) =>
+                {
+                    Verdict::Shed
                 }
                 Some(a) => {
                     let on_time = a.at <= deadline;
@@ -316,7 +331,15 @@ mod tests {
             act(&w, 1, 0xff, 15_000), // Wrong value.
             act(&w, 3, 0, 39_999),    // Right value but past 9 ms + slack.
         ];
-        let v = judge(&w, &acts, 4, &BTreeSet::new(), None, Duration(100));
+        let v = judge(
+            &w,
+            &acts,
+            4,
+            &BTreeSet::new(),
+            &BTreeSet::new(),
+            None,
+            Duration(100),
+        );
         assert_eq!(v[0].verdict, Verdict::Correct);
         assert_eq!(v[1].verdict, Verdict::Wrong);
         assert_eq!(v[2].verdict, Verdict::Missing); // Period 2 absent.
@@ -328,7 +351,15 @@ mod tests {
         let w = wl();
         let shed = BTreeSet::from([TaskId(2)]);
         // Missing before the fault -> Missing; after -> Shed.
-        let v = judge(&w, &[], 4, &shed, Some(Time(25_000)), Duration(100));
+        let v = judge(
+            &w,
+            &[],
+            4,
+            &shed,
+            &BTreeSet::new(),
+            Some(Time(25_000)),
+            Duration(100),
+        );
         assert_eq!(v[0].verdict, Verdict::Missing);
         assert_eq!(v[1].verdict, Verdict::Missing);
         assert_eq!(v[2].verdict, Verdict::Shed); // Period 2 overlaps fault.
@@ -349,6 +380,7 @@ mod tests {
             &acts,
             4,
             &BTreeSet::new(),
+            &BTreeSet::new(),
             Some(Time(12_000)),
             Duration(100),
         );
@@ -364,10 +396,73 @@ mod tests {
     fn fault_free_recovery_is_none() {
         let w = wl();
         let acts = vec![act(&w, 0, 0, 5_000)];
-        let v = judge(&w, &acts, 1, &BTreeSet::new(), None, Duration(100));
+        let v = judge(
+            &w,
+            &acts,
+            1,
+            &BTreeSet::new(),
+            &BTreeSet::new(),
+            None,
+            Duration(100),
+        );
         let r = RecoveryStats::from_verdicts(&w, &v, None);
         assert_eq!(r.recovery_time, None);
         assert_eq!(r.bad_window(), Duration::ZERO);
+    }
+
+    #[test]
+    fn compromised_actuation_at_shed_sink_is_shed_not_wrong() {
+        // A compromised node driving its own (plan-shed) actuator with
+        // garbage is a planned loss, not a protocol failure: no protocol
+        // can stop an adversary from actuating hardware it owns. The
+        // same garbage at a *kept* sink, or from a correct node, stays
+        // Wrong.
+        let w = wl();
+        let garbage = btr_sim::Actuation {
+            at: Time(15_000),
+            node: NodeId(1),
+            task: btr_model::TaskId(2),
+            period: 1,
+            value: 0xBAD,
+        };
+        let shed = BTreeSet::from([btr_model::TaskId(2)]);
+        let comp = BTreeSet::from([NodeId(1)]);
+        let fault = Some(Time(5_000));
+        let v = judge(&w, &[garbage], 2, &shed, &comp, fault, Duration(100));
+        assert_eq!(v[1].verdict, Verdict::Shed);
+        // Kept sink: still Wrong.
+        let v = judge(
+            &w,
+            &[garbage],
+            2,
+            &BTreeSet::new(),
+            &comp,
+            fault,
+            Duration(100),
+        );
+        assert_eq!(v[1].verdict, Verdict::Wrong);
+        // Correct node actuating garbage at a shed sink: still Wrong.
+        let v = judge(
+            &w,
+            &[garbage],
+            2,
+            &shed,
+            &BTreeSet::new(),
+            fault,
+            Duration(100),
+        );
+        assert_eq!(v[1].verdict, Verdict::Wrong);
+        // Before the fault manifests, the exemption must not apply.
+        let v = judge(
+            &w,
+            &[garbage],
+            2,
+            &shed,
+            &comp,
+            Some(Time(25_000)),
+            Duration(100),
+        );
+        assert_eq!(v[1].verdict, Verdict::Wrong);
     }
 
     #[test]
@@ -378,6 +473,7 @@ mod tests {
             &w,
             &acts,
             1,
+            &BTreeSet::new(),
             &BTreeSet::new(),
             Some(Time(1_000)),
             Duration(100),
@@ -390,7 +486,15 @@ mod tests {
     fn survival_tally() {
         let w = wl();
         let acts = vec![act(&w, 0, 0, 5_000), act(&w, 1, 7, 15_000)];
-        let v = judge(&w, &acts, 2, &BTreeSet::new(), None, Duration(100));
+        let v = judge(
+            &w,
+            &acts,
+            2,
+            &BTreeSet::new(),
+            &BTreeSet::new(),
+            None,
+            Duration(100),
+        );
         let s = survival_by_criticality(&v);
         assert!((s[&Criticality::Safety] - 0.5).abs() < 1e-9);
     }
@@ -453,7 +557,7 @@ mod prop_tests {
                 })
                 .collect();
             let v = judge(&w, &acts, 20, &std::collections::BTreeSet::new(),
-                          Some(Time(fault_at)), Duration(100));
+                          &std::collections::BTreeSet::new(), Some(Time(fault_at)), Duration(100));
             let r = RecoveryStats::from_verdicts(&w, &v, Some(Time(fault_at)));
             prop_assert_eq!(r.bad_outputs, bad_periods.len());
             match (r.first_bad, r.last_bad) {
@@ -489,7 +593,7 @@ mod prop_tests {
                     value: reference_value(&w, btr_model::TaskId(2), p),
                 })
                 .collect();
-            let v = judge(&w, &acts, 12, &std::collections::BTreeSet::new(), None, Duration(100));
+            let v = judge(&w, &acts, 12, &std::collections::BTreeSet::new(), &std::collections::BTreeSet::new(), None, Duration(100));
             prop_assert_eq!(v.len(), 12); // 1 sink x 12 periods.
             for sv in &v {
                 if present.contains(&sv.period) {

@@ -17,12 +17,32 @@ use std::sync::Arc;
 pub enum SystemError {
     /// The offline planner could not produce an admissible strategy.
     Planning(StrategyError),
+    /// A source/sink is pinned to a node the platform does not have.
+    /// Caught up front: the planner and runtime index node tables by
+    /// pinned id and would panic on a workload sized for a larger
+    /// platform (e.g. a 9-node workload dropped onto a 4-node bus).
+    PinnedNodeOutOfRange {
+        /// The offending task.
+        task: btr_model::TaskId,
+        /// The node it is pinned to.
+        node: NodeId,
+        /// Nodes the platform actually has.
+        n_nodes: usize,
+    },
 }
 
 impl std::fmt::Display for SystemError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SystemError::Planning(e) => write!(f, "planning failed: {e}"),
+            SystemError::PinnedNodeOutOfRange {
+                task,
+                node,
+                n_nodes,
+            } => write!(
+                f,
+                "{task} is pinned to {node} but the platform has only {n_nodes} node(s)"
+            ),
         }
     }
 }
@@ -110,6 +130,17 @@ impl BtrSystem {
         topo: Topology,
         cfg: PlannerConfig,
     ) -> Result<BtrSystem, SystemError> {
+        for t in workload.tasks() {
+            if let Some(node) = t.kind.pinned_node() {
+                if node.index() >= topo.node_count() {
+                    return Err(SystemError::PinnedNodeOutOfRange {
+                        task: t.id,
+                        node,
+                        n_nodes: topo.node_count(),
+                    });
+                }
+            }
+        }
         let (strategy, stats) =
             build_strategy(&workload, &topo, &cfg).map_err(SystemError::Planning)?;
         Ok(BtrSystem {
@@ -206,6 +237,22 @@ impl BtrSystem {
                 world.schedule_control(f.at, ControlAction::Crash(f.node));
             }
         }
+        // At scale the world selects the demand-driven routing backend;
+        // warm it with the plan-derived traffic matrix so the first
+        // period's flows don't each pay a BFS (purely a latency
+        // optimisation — rows are built deterministically on first use
+        // either way).
+        if world.routing_kind() == "demand" {
+            let plan = self.strategy.initial_plan();
+            let mut dsts = BTreeSet::new();
+            for i in 0..n as u32 {
+                let node = NodeId(i);
+                dsts.extend(
+                    btr_runtime::derive_view(node, plan, &self.workload).route_demand(node),
+                );
+            }
+            world.warm_routes(dsts);
+        }
         world
     }
 
@@ -226,11 +273,13 @@ impl BtrSystem {
         };
 
         let periods = horizon.as_micros() / self.workload.period.as_micros();
+        let compromised_set: BTreeSet<NodeId> = scenario.compromised().into_iter().collect();
         let verdicts = judge(
             &self.workload,
             world.actuations(),
             periods,
             &degraded_shed,
+            &compromised_set,
             scenario.first_manifestation(),
             Duration(1_000),
         );
@@ -285,6 +334,24 @@ mod tests {
         let mut cfg = PlannerConfig::new(f, Duration::from_millis(150));
         cfg.admit_best_effort = true;
         BtrSystem::plan(workload, topo, cfg).expect("plannable")
+    }
+
+    #[test]
+    fn oversized_workload_is_a_clean_error() {
+        // A workload generated for 9 nodes pins sinks up to NodeId(8);
+        // dropping it onto a 4-node platform must be a typed error, not
+        // an index panic deep in the planner.
+        let workload = btr_workload::generators::avionics(9);
+        let topo = Topology::bus(4, 100_000, Duration(5));
+        let mut cfg = PlannerConfig::new(1, Duration::from_millis(150));
+        cfg.admit_best_effort = true;
+        match BtrSystem::plan(workload, topo, cfg) {
+            Err(SystemError::PinnedNodeOutOfRange { node, n_nodes, .. }) => {
+                assert!(node.index() >= n_nodes);
+                assert_eq!(n_nodes, 4);
+            }
+            other => panic!("expected PinnedNodeOutOfRange, got {:?}", other.map(|_| ())),
+        }
     }
 
     #[test]

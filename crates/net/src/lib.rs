@@ -14,6 +14,10 @@
 //!
 //! * [`routing`] — static shortest-path routing over partial topologies,
 //!   with fault-avoiding recomputation.
+//! * [`demand`] — the at-scale routing backend: lazily-materialised
+//!   per-destination BFS rows in a byte-budgeted LRU cache, bit-identical
+//!   to the precomputed table, selected automatically by node count
+//!   through [`RouteBackend`].
 //! * [`guardian`] — per-(node, link) bandwidth guardians (the MAC-enforced
 //!   static allocation). Guardians bind *even Byzantine senders*, as the
 //!   paper argues hardware MACs do.
@@ -26,10 +30,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod demand;
 pub mod fec;
 pub mod guardian;
 pub mod routing;
 
+pub use demand::{
+    DemandRoutes, RouteBackend, Routes, DEMAND_CACHE_BUDGET, DEMAND_ROUTING_THRESHOLD,
+};
 pub use fec::{FecCodec, FecError};
 pub use guardian::{Guardian, GuardianVerdict};
 pub use routing::RoutingTable;

@@ -166,6 +166,7 @@ impl RoutingTable {
     }
 
     /// The next hop from `src` toward `dst` (None if unreachable or equal).
+    #[inline]
     pub fn next_hop(&self, src: NodeId, dst: NodeId) -> Option<NodeId> {
         if src == dst {
             return None;
@@ -177,6 +178,7 @@ impl RoutingTable {
     /// a borrow of the precomputed pool, O(1) and allocation-free.
     ///
     /// Returns `None` if no route exists.
+    #[inline]
     pub fn path(&self, src: NodeId, dst: NodeId) -> Option<&[NodeId]> {
         let span = self.spans[src.index() * self.n + dst.index()];
         if span.len == 0 {
@@ -188,6 +190,7 @@ impl RoutingTable {
 
     /// The path plus the link carrying each hop (`links.len() + 1 ==
     /// nodes.len()`). The simulator's per-message route lookup.
+    #[inline]
     pub fn path_and_links(&self, src: NodeId, dst: NodeId) -> Option<(&[NodeId], &[LinkId])> {
         let span = self.spans[src.index() * self.n + dst.index()];
         if span.len == 0 {
@@ -226,6 +229,16 @@ impl RoutingTable {
     /// Hop count from `src` to `dst` (0 for self, None if unreachable).
     pub fn hops(&self, src: NodeId, dst: NodeId) -> Option<u32> {
         self.path(src, dst).map(|p| (p.len() - 1) as u32)
+    }
+
+    /// Heap bytes resident for this table (next-hop matrix, spans, and
+    /// the materialised path pools) — O(n² · diameter), the number the
+    /// demand-driven backend exists to avoid at scale.
+    pub fn resident_bytes(&self) -> usize {
+        self.next_hop.capacity() * std::mem::size_of::<Option<NodeId>>()
+            + self.spans.capacity() * std::mem::size_of::<PathSpan>()
+            + self.node_pool.capacity() * std::mem::size_of::<NodeId>()
+            + self.link_pool.capacity() * std::mem::size_of::<LinkId>()
     }
 
     /// True if every pair of non-avoided nodes can reach each other.

@@ -48,6 +48,46 @@ pub struct PlanView {
     pub upstream_hosts: BTreeMap<TaskId, BTreeSet<NodeId>>,
 }
 
+impl PlanView {
+    /// The remote nodes this node's slice of the plan exchanges traffic
+    /// with: destinations of its output routes (consumers and checkers),
+    /// producers of its input flows, and — when it receives any remote
+    /// flow — itself (the row producers route *toward*).
+    ///
+    /// This is the plan-derived routing demand: the demand-driven
+    /// backend (`btr_net::DemandRoutes`) materialises one BFS row per
+    /// destination on first use, so warming exactly this set
+    /// (`btr_sim::World::warm_routes`) pre-builds every row the plan's
+    /// data plane will touch. Heartbeats and evidence floods reach all
+    /// peers and fill the remaining rows on demand.
+    pub fn route_demand(&self, me: NodeId) -> BTreeSet<NodeId> {
+        let mut out = BTreeSet::new();
+        for targets in self.out_routes.values() {
+            out.extend(targets.iter().copied());
+        }
+        let mut receives_remote = false;
+        for (u, _, pnode) in self.in_flows.values().flatten() {
+            if *pnode != me {
+                receives_remote = true;
+            }
+            // Consumers echo the first accepted copy of each input to
+            // its checker (equivocation detection), so the checker
+            // host's row is demanded as well.
+            if let Some(&chk) = self.checker_nodes.get(u) {
+                if chk != me {
+                    out.insert(chk);
+                }
+            }
+        }
+        // Checkers receive every checked lane's output, and remote
+        // producers route toward this node: its own row is demanded.
+        if receives_remote || !self.checkers.is_empty() {
+            out.insert(me);
+        }
+        out
+    }
+}
+
 /// Lane counts implied by a plan's placement.
 pub fn plan_lanes(plan: &Plan) -> BTreeMap<TaskId, u8> {
     let mut lanes: BTreeMap<TaskId, u8> = BTreeMap::new();
@@ -373,5 +413,23 @@ mod tests {
         assert!(v.entries.is_empty());
         assert!(v.out_routes.is_empty());
         assert!(v.checkers.is_empty());
+        assert!(v.route_demand(NodeId(7)).is_empty());
+    }
+
+    #[test]
+    fn route_demand_covers_plan_flows() {
+        let (w, plan) = setup();
+        // Node 0 hosts source+ctl lane 0: sends to the sink host (n2)
+        // and the checker (n3); consumes only locally, so its own row
+        // is not demanded.
+        let d0 = derive_view(NodeId(0), &plan, &w).route_demand(NodeId(0));
+        assert_eq!(d0, BTreeSet::from([NodeId(2), NodeId(3)]));
+        // Node 2 hosts the sink: receives the remote ctl lane (its own
+        // row is demanded by the producer) and echoes to the checker.
+        let d2 = derive_view(NodeId(2), &plan, &w).route_demand(NodeId(2));
+        assert!(d2.contains(&NodeId(2)) && d2.contains(&NodeId(3)), "{d2:?}");
+        // Node 3 hosts the checkers: every checked lane routes toward it.
+        let d3 = derive_view(NodeId(3), &plan, &w).route_demand(NodeId(3));
+        assert!(d3.contains(&NodeId(3)), "{d3:?}");
     }
 }

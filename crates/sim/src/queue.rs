@@ -1,0 +1,343 @@
+//! Event queues: the legacy inline heap and the arena-backed compact
+//! heap.
+//!
+//! The simulator's queue orders events by `(time, sequence)`. The
+//! original implementation moved the full event payload — an
+//! [`Envelope`] is ~180 bytes — through every `BinaryHeap` sift, which
+//! the ROADMAP flagged as the next per-delivery cost after the hot path
+//! went allocation-free. The arena-backed queue stores envelopes (and
+//! the rare boxed control actions) in free-listed arenas and keeps only
+//! a 16-byte compact event — a tag plus a 4-byte handle — in each heap
+//! entry, so sifts move 32-byte entries regardless of payload size.
+//!
+//! Ordering is by `(at, seq)` in both implementations and `seq` is
+//! unique, so pop order — and therefore every simulation — is
+//! bit-identical across the two. `SimConfig::legacy_hot_path` selects
+//! the legacy queue, preserving the pre-optimisation implementation as
+//! a live differential oracle (see `btr_bench::hotpath` and the A/B
+//! tests below).
+
+use crate::world::ControlAction;
+use crate::TimerId;
+use btr_model::{Envelope, NodeId, Time};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A simulator event, as dispatched by the world.
+pub(crate) enum Event {
+    /// Deliver an envelope to its destination.
+    Deliver {
+        /// Receiving node.
+        dst: NodeId,
+        /// The message.
+        env: Envelope,
+    },
+    /// Fire a behaviour timer.
+    Timer {
+        /// Owning node.
+        node: NodeId,
+        /// Behaviour-chosen timer id.
+        timer: TimerId,
+    },
+    /// Apply a control-plane intervention.
+    Control(ControlAction),
+}
+
+/// A free-listed arena of `T` keyed by dense `u32` handles.
+pub(crate) struct Arena<T> {
+    slots: Vec<Option<T>>,
+    free: Vec<u32>,
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Arena {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+}
+
+impl<T> Arena<T> {
+    fn insert(&mut self, value: T) -> u32 {
+        match self.free.pop() {
+            Some(h) => {
+                debug_assert!(self.slots[h as usize].is_none());
+                self.slots[h as usize] = Some(value);
+                h
+            }
+            None => {
+                self.slots.push(Some(value));
+                (self.slots.len() - 1) as u32
+            }
+        }
+    }
+
+    fn take(&mut self, h: u32) -> T {
+        let v = self.slots[h as usize].take().expect("live arena handle");
+        self.free.push(h);
+        v
+    }
+
+    fn live(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+}
+
+/// Legacy heap entry: the event payload rides the heap.
+pub(crate) struct LegacyScheduled {
+    at: Time,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for LegacyScheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for LegacyScheduled {}
+impl PartialOrd for LegacyScheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for LegacyScheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Compact event: a tag plus a handle into the side arenas.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum CompactEvent {
+    Deliver { dst: NodeId, env: u32 },
+    Timer { node: NodeId, timer: TimerId },
+    Control(u32),
+}
+
+/// Arena-mode heap entry: 32 bytes regardless of payload size.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CompactScheduled {
+    at: Time,
+    seq: u64,
+    ev: CompactEvent,
+}
+
+impl PartialEq for CompactScheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for CompactScheduled {}
+impl PartialOrd for CompactScheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for CompactScheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The world's event queue, in one of its two modes.
+pub(crate) enum EventQueue {
+    /// Pre-arena implementation: events (envelopes included) inline in
+    /// the heap. Kept behind `SimConfig::legacy_hot_path` as the
+    /// measured baseline and differential oracle.
+    Legacy(BinaryHeap<Reverse<LegacyScheduled>>),
+    /// Arena-backed: compact heap entries, payloads in free-listed
+    /// arenas.
+    Arena {
+        heap: BinaryHeap<Reverse<CompactScheduled>>,
+        envs: Arena<Envelope>,
+        controls: Arena<ControlAction>,
+    },
+}
+
+impl EventQueue {
+    /// An empty queue in the requested mode.
+    pub(crate) fn new(legacy: bool) -> EventQueue {
+        if legacy {
+            EventQueue::Legacy(BinaryHeap::new())
+        } else {
+            EventQueue::Arena {
+                heap: BinaryHeap::new(),
+                envs: Arena::default(),
+                controls: Arena::default(),
+            }
+        }
+    }
+
+    /// Schedule `event` at `(at, seq)`.
+    pub(crate) fn push(&mut self, at: Time, seq: u64, event: Event) {
+        match self {
+            EventQueue::Legacy(heap) => heap.push(Reverse(LegacyScheduled { at, seq, event })),
+            EventQueue::Arena {
+                heap,
+                envs,
+                controls,
+            } => {
+                let ev = match event {
+                    Event::Deliver { dst, env } => CompactEvent::Deliver {
+                        dst,
+                        env: envs.insert(env),
+                    },
+                    Event::Timer { node, timer } => CompactEvent::Timer { node, timer },
+                    Event::Control(action) => CompactEvent::Control(controls.insert(action)),
+                };
+                heap.push(Reverse(CompactScheduled { at, seq, ev }));
+            }
+        }
+    }
+
+    /// The timestamp of the next event, if any.
+    pub(crate) fn next_at(&self) -> Option<Time> {
+        match self {
+            EventQueue::Legacy(heap) => heap.peek().map(|Reverse(s)| s.at),
+            EventQueue::Arena { heap, .. } => heap.peek().map(|Reverse(s)| s.at),
+        }
+    }
+
+    /// Pop the earliest event. Pop order is identical across modes:
+    /// both heaps order by `(at, seq)` and `seq` is unique.
+    pub(crate) fn pop(&mut self) -> Option<(Time, Event)> {
+        match self {
+            EventQueue::Legacy(heap) => heap.pop().map(|Reverse(s)| (s.at, s.event)),
+            EventQueue::Arena {
+                heap,
+                envs,
+                controls,
+            } => heap.pop().map(|Reverse(s)| {
+                let event = match s.ev {
+                    CompactEvent::Deliver { dst, env } => Event::Deliver {
+                        dst,
+                        env: envs.take(env),
+                    },
+                    CompactEvent::Timer { node, timer } => Event::Timer { node, timer },
+                    CompactEvent::Control(h) => Event::Control(controls.take(h)),
+                };
+                (s.at, event)
+            }),
+        }
+    }
+
+    /// Events currently queued.
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            EventQueue::Legacy(heap) => heap.len(),
+            EventQueue::Arena { heap, .. } => heap.len(),
+        }
+    }
+
+    /// Envelopes currently parked in the arena (0 in legacy mode) —
+    /// must equal the queued `Deliver` count, pinned by tests.
+    pub(crate) fn envelopes_in_flight(&self) -> usize {
+        match self {
+            EventQueue::Legacy(_) => 0,
+            EventQueue::Arena { envs, .. } => envs.live(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btr_model::Payload;
+
+    fn env(tag: u8) -> Envelope {
+        Envelope::new(NodeId(0), NodeId(1), Time(0), Payload::Control(tag))
+    }
+
+    fn label(e: &Event) -> String {
+        match e {
+            Event::Deliver { dst, env } => format!("deliver:{dst}:{:?}", env.payload),
+            Event::Timer { node, timer } => format!("timer:{node}:{timer}"),
+            Event::Control(a) => format!("control:{a:?}"),
+        }
+    }
+
+    /// Deterministic scramble of pushes; both queue modes must pop the
+    /// identical sequence — the queue-level half of the legacy-vs-arena
+    /// differential oracle (the world-level half is the bit-identical
+    /// cross-mode runs in `btr_bench::hotpath`).
+    #[test]
+    fn arena_pops_exactly_like_legacy() {
+        let mut legacy = EventQueue::new(true);
+        let mut arena = EventQueue::new(false);
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        for seq in 0..500u64 {
+            // Clustered timestamps so ties on `at` are common and the
+            // seq tie-break is exercised.
+            let at = Time(next() % 50);
+            let ev = || match seq % 3 {
+                0 => Event::Deliver {
+                    dst: NodeId((seq % 7) as u32),
+                    env: env((seq % 251) as u8),
+                },
+                1 => Event::Timer {
+                    node: NodeId((seq % 5) as u32),
+                    timer: seq,
+                },
+                _ => Event::Control(ControlAction::Crash(NodeId((seq % 9) as u32))),
+            };
+            legacy.push(at, seq, ev());
+            arena.push(at, seq, ev());
+        }
+        assert_eq!(legacy.len(), arena.len());
+        let mut popped = 0;
+        loop {
+            let a = legacy.pop();
+            let b = arena.pop();
+            match (a, b) {
+                (None, None) => break,
+                (Some((ta, ea)), Some((tb, eb))) => {
+                    assert_eq!(ta, tb, "timestamps diverged at pop {popped}");
+                    assert_eq!(label(&ea), label(&eb), "events diverged at pop {popped}");
+                }
+                _ => panic!("queue lengths diverged at pop {popped}"),
+            }
+            popped += 1;
+        }
+        assert_eq!(popped, 500);
+        assert_eq!(arena.envelopes_in_flight(), 0, "arena leaked envelopes");
+    }
+
+    #[test]
+    fn arena_recycles_slots() {
+        let mut q = EventQueue::new(false);
+        for round in 0..10u64 {
+            for i in 0..16u64 {
+                q.push(
+                    Time(i),
+                    round * 16 + i,
+                    Event::Deliver {
+                        dst: NodeId(0),
+                        env: env(i as u8),
+                    },
+                );
+            }
+            assert_eq!(q.envelopes_in_flight(), 16);
+            while q.pop().is_some() {}
+            assert_eq!(q.envelopes_in_flight(), 0);
+        }
+        if let EventQueue::Arena { envs, .. } = &q {
+            assert_eq!(envs.slots.len(), 16, "slots must be recycled, not grown");
+        }
+    }
+
+    #[test]
+    fn compact_entries_are_small() {
+        // The point of the arena: heap sifts move fixed 32-byte entries,
+        // not whole envelopes.
+        assert!(std::mem::size_of::<CompactScheduled>() <= 32);
+        assert!(
+            std::mem::size_of::<LegacyScheduled>() > 4 * std::mem::size_of::<CompactScheduled>()
+        );
+    }
+}

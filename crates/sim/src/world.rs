@@ -1,5 +1,6 @@
 //! The simulation engine.
 
+use crate::queue::{Event, EventQueue};
 use crate::trace::{DropReason, SimMetrics, TraceEvent};
 use crate::{NodeBehavior, TimerId};
 use btr_crypto::{digest64, KeyStore, NodeKey, SigError, Signer, SplitMix64, Xoshiro256StarStar};
@@ -7,9 +8,8 @@ use btr_model::{
     Duration, Envelope, EvidenceFlaw, LinkId, NodeId, Payload, PeriodIdx, SignedOutput, TaskId,
     Time, Topology, Value,
 };
-use btr_net::{Nic, RoutingTable, SendError};
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use btr_net::{Nic, RouteBackend, Routes, SendError};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Simulation-wide configuration.
 #[derive(Debug, Clone)]
@@ -129,35 +129,6 @@ pub struct Actuation {
     pub value: Value,
 }
 
-enum Event {
-    Deliver { dst: NodeId, env: Envelope },
-    Timer { node: NodeId, timer: TimerId },
-    Control(ControlAction),
-}
-
-struct Scheduled {
-    at: Time,
-    seq: u64,
-    event: Event,
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
 struct NodeSlot {
     behavior: Option<Box<dyn NodeBehavior>>,
     signer: Signer,
@@ -176,9 +147,11 @@ pub struct World {
     topo: Topology,
     cfg: SimConfig,
     nics: Vec<Nic>,
-    routing: RoutingTable,
+    /// Precomputed all-pairs table below the scale threshold, demand-
+    /// driven BFS row cache at or above it (see `btr_net::RouteBackend`).
+    routing: RouteBackend,
     slots: Vec<NodeSlot>,
-    queue: BinaryHeap<Reverse<Scheduled>>,
+    queue: EventQueue,
     now: Time,
     seq: u64,
     /// Legacy loss sampler state: rolls consumed so far (hash-chain input).
@@ -209,7 +182,7 @@ impl World {
             .iter()
             .map(|l| Nic::new(l.clone(), cfg.period, &BTreeMap::new()))
             .collect();
-        let routing = RoutingTable::new(&topo);
+        let routing = RouteBackend::auto(&topo);
         let slots = (0..n)
             .map(|i| {
                 let id = i as u32;
@@ -233,13 +206,14 @@ impl World {
             })
             .collect();
         let loss_rng = Xoshiro256StarStar::from_parts(&[b"btr-loss", &cfg.seed.to_be_bytes()]);
+        let queue = EventQueue::new(cfg.legacy_hot_path);
         World {
             topo,
             cfg,
             nics,
             routing,
             slots,
-            queue: BinaryHeap::new(),
+            queue,
             now: Time::ZERO,
             seq: 0,
             loss_counter: 0,
@@ -305,6 +279,40 @@ impl World {
         self.truncated
     }
 
+    /// Heap bytes resident for routing state — O(n² · diameter) for the
+    /// precomputed table, near-linear for the demand-driven row cache.
+    /// The scale harness gates this sub-quadratic at n = 1000.
+    pub fn routing_resident_bytes(&self) -> usize {
+        self.routing.resident_bytes()
+    }
+
+    /// The selected routing backend ("precomputed" or "demand").
+    pub fn routing_kind(&self) -> &'static str {
+        self.routing.kind()
+    }
+
+    /// Events currently queued (diagnostics).
+    pub fn queued_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Envelopes parked in the event arena awaiting delivery (always 0
+    /// in legacy mode, which carries envelopes inline in the heap). Must
+    /// track the queued `Deliver` count exactly — a nonzero value after
+    /// the queue drains would be an arena leak.
+    pub fn envelopes_in_flight(&self) -> usize {
+        self.queue.envelopes_in_flight()
+    }
+
+    /// Pre-materialise routing state toward the given destinations (the
+    /// plan-derived traffic matrix; see `PlanView::route_demand`). A
+    /// no-op for the precomputed backend, which is always warm; purely a
+    /// latency optimisation for the demand backend — rows are built
+    /// deterministically on first use either way.
+    pub fn warm_routes<I: IntoIterator<Item = NodeId>>(&mut self, dsts: I) {
+        self.routing.warm(dsts);
+    }
+
     /// Borrow a node's behaviour for inspection (None while dispatching).
     pub fn behavior(&self, node: NodeId) -> Option<&dyn crate::NodeBehavior> {
         self.slots[node.index()].behavior.as_deref()
@@ -338,7 +346,7 @@ impl World {
     pub fn run_until(&mut self, t: Time) {
         assert!(self.started, "call start() first");
         loop {
-            let due = matches!(self.queue.peek(), Some(Reverse(s)) if s.at <= t);
+            let due = matches!(self.queue.next_at(), Some(at) if at <= t);
             if !due {
                 break;
             }
@@ -349,10 +357,10 @@ impl World {
                 self.truncated = true;
                 break;
             }
-            let Reverse(s) = self.queue.pop().expect("peeked");
-            self.now = s.at;
+            let (at, event) = self.queue.pop().expect("peeked");
+            self.now = at;
             self.metrics.events += 1;
-            match s.event {
+            match event {
                 Event::Deliver { dst, env } => self.dispatch_message(dst, env),
                 Event::Timer { node, timer } => self.dispatch_timer(node, timer),
                 Event::Control(action) => self.apply_control(action),
@@ -372,7 +380,7 @@ impl World {
     fn push(&mut self, at: Time, event: Event) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Scheduled { at, seq, event }));
+        self.queue.push(at, seq, event);
     }
 
     fn apply_control(&mut self, action: ControlAction) {
@@ -646,6 +654,10 @@ impl World {
     /// is dropped at the receiver (same attribution as before). On a bus
     /// (single shared link) this is a no-op, so crash-free runs and
     /// single-hop platforms are bit-identical to the pre-heal behaviour.
+    ///
+    /// Cost is backend-dependent: the precomputed table rebuilds all
+    /// pairs (O(n² · diameter)); the demand backend just installs the new
+    /// avoid set and drops its cached rows, re-materialising on demand.
     fn heal_routes(&mut self) {
         let crashed: BTreeSet<NodeId> = self
             .slots
@@ -654,7 +666,7 @@ impl World {
             .filter(|(_, s)| s.crashed)
             .map(|(i, _)| NodeId(i as u32))
             .collect();
-        self.routing = RoutingTable::avoiding_transit(&self.topo, &crashed);
+        self.routing.recompute(&self.topo, &crashed, true);
     }
 
     fn record_drop(&mut self, src: NodeId, dst: NodeId, reason: DropReason) {

@@ -10,6 +10,8 @@
 //! * [`model`] — time, ids, topology, messages, plans, strategies.
 //! * [`net`] — bandwidth-reserved links, guardians, routing, FEC.
 //! * [`sim`] — deterministic discrete-event simulator.
+//! * [`topo`] — parametric large-scale platform topologies (torus,
+//!   fat-tree, small-world, SCADA star-of-rings).
 //! * [`workload`] — periodic dataflow workloads and generators.
 //! * [`sched`] — schedule synthesis and schedulability analysis.
 //! * [`planner`] — the offline BTR planner (Section 4.1 of the paper).
@@ -38,4 +40,5 @@ pub use btr_planner as planner;
 pub use btr_runtime as runtime;
 pub use btr_sched as sched;
 pub use btr_sim as sim;
+pub use btr_topo as topo;
 pub use btr_workload as workload;
