@@ -20,6 +20,10 @@ use btr_bench::hotpath::{
 use btr_bench::scale::{
     self, ScaleMeasurement, SCALE_NODES, SCALE_ROUTING_BUDGET, SCALE_SMOKE_MSGS, SCALE_TARGET_MSGS,
 };
+use btr_bench::signed::{
+    self, SignedMeasurement, SIGNED_NODES, SIGNED_SPEEDUP_FLOOR, SIGNED_WITNESSES,
+};
+use btr_crypto::AuthSuite;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -88,7 +92,123 @@ fn measurement_json(label: &str, m: &HotPathMeasurement) -> String {
     )
 }
 
-fn run_bench(periods: u64, out_path: &str) {
+/// Measure the pinned signed-traffic scenario under one suite, warmup
+/// included, plus the direct sign+verify pair cost.
+fn measure_suite(seed: u64, suite: AuthSuite, periods: u64) -> (SignedMeasurement, f64) {
+    let _ = signed::measure_signed(seed, suite, periods / 10 + 1, &alloc_count);
+    let m = signed::measure_signed(seed, suite, periods, &alloc_count);
+    let pair_ns = signed::measure_pair_ns(suite, 20_000);
+    (m, pair_ns)
+}
+
+fn signed_suite_json(m: &SignedMeasurement, pair_ns: f64) -> String {
+    format!(
+        concat!(
+            "      \"{}\": {{\n",
+            "        \"msgs_delivered\": {},\n",
+            "        \"sigs_signed\": {},\n",
+            "        \"sigs_verified\": {},\n",
+            "        \"wall_ns\": {},\n",
+            "        \"msgs_per_sec\": {},\n",
+            "        \"ns_per_delivery\": {},\n",
+            "        \"sig_ops_per_sec\": {},\n",
+            "        \"pair_ns\": {},\n",
+            "        \"allocations\": {}\n",
+            "      }}"
+        ),
+        m.suite.name(),
+        m.msgs_delivered,
+        m.sigs_signed,
+        m.sigs_verified,
+        m.wall_ns,
+        json_f64(m.msgs_per_sec()),
+        json_f64(m.ns_per_delivery()),
+        json_f64(m.sig_ops_per_sec()),
+        json_f64(pair_ns),
+        m.allocations,
+    )
+}
+
+/// Run the signed-traffic suite A/B. Returns the JSON section and
+/// whether the SipHash suite met the sign+verify speedup floor.
+fn run_signed_bench(periods: u64) -> (String, bool) {
+    let seed = 7;
+    println!(
+        "signed-traffic A/B: {SIGNED_NODES}-node mesh, {periods} periods, \
+         {SIGNED_WITNESSES} witnesses/message, loss-free"
+    );
+    let (hmac, hmac_pair) = measure_suite(seed, AuthSuite::HmacSha256, periods);
+    let (sip, sip_pair) = measure_suite(seed, AuthSuite::SipHash24, periods);
+
+    let report = |m: &SignedMeasurement, pair: f64| {
+        println!(
+            "  {:<12} {:>11.0} msgs/s  {:>10.0} sig-ops/s  {:>7.0} ns/delivery  {:>7.0} ns/pair",
+            m.suite.name(),
+            m.msgs_per_sec(),
+            m.sig_ops_per_sec(),
+            m.ns_per_delivery(),
+            pair,
+        );
+    };
+    report(&hmac, hmac_pair);
+    report(&sip, sip_pair);
+    let e2e = if sip.wall_ns > 0 {
+        hmac.wall_ns as f64 / sip.wall_ns as f64
+    } else {
+        f64::NAN
+    };
+    let pair = if sip_pair > 0.0 {
+        hmac_pair / sip_pair
+    } else {
+        f64::NAN
+    };
+    println!("  speedup   {pair:.2}x sign+verify, {e2e:.2}x end-to-end (same scenario, same seed)");
+    let floor_ok = pair.is_finite() && pair >= SIGNED_SPEEDUP_FLOOR;
+    if !floor_ok {
+        eprintln!(
+            "error: siphash24 sign+verify speedup {pair:.2}x is below the {SIGNED_SPEEDUP_FLOOR}x floor"
+        );
+    }
+    if hmac.rejects != 0 || sip.rejects != 0 {
+        eprintln!(
+            "error: signed scenario rejected traffic (hmac {}, sip {})",
+            hmac.rejects, sip.rejects
+        );
+    }
+    let json = format!(
+        concat!(
+            "  \"signed\": {{\n",
+            "    \"scenario\": {{\n",
+            "      \"nodes\": {},\n",
+            "      \"topology\": \"mesh-4x5\",\n",
+            "      \"periods\": {},\n",
+            "      \"witnesses_per_message\": {},\n",
+            "      \"loss_ppm\": 0,\n",
+            "      \"seed\": {}\n",
+            "    }},\n",
+            "    \"suites\": {{\n",
+            "{},\n",
+            "{}\n",
+            "    }},\n",
+            "    \"speedup_sign_verify\": {},\n",
+            "    \"speedup_end_to_end\": {},\n",
+            "    \"speedup_floor\": {}\n",
+            "  }}"
+        ),
+        SIGNED_NODES,
+        periods,
+        SIGNED_WITNESSES,
+        seed,
+        signed_suite_json(&hmac, hmac_pair),
+        signed_suite_json(&sip, sip_pair),
+        json_f64(pair),
+        json_f64(e2e),
+        json_f64(SIGNED_SPEEDUP_FLOOR),
+    );
+    (json, floor_ok && hmac.rejects == 0 && sip.rejects == 0)
+}
+
+fn run_bench(periods: u64, signed: bool, out_path: &str) {
     println!(
         "hot-path A/B: {HOTPATH_NODES}-node mesh, {periods} periods, \
          loss {HOTPATH_LOSS_PPM} ppm/shard, FEC {HOTPATH_FEC:?}"
@@ -122,6 +242,15 @@ fn run_bench(periods: u64, out_path: &str) {
     report("optimized", &optimized);
     println!("  speedup   {speedup:.2}x (wall-clock, same scenario, same seed)");
 
+    // The signed-traffic suite A/B rides along when requested, adding a
+    // `signed` section and gating the sign+verify speedup floor.
+    let (signed_json, signed_ok) = if signed {
+        let (json, ok) = run_signed_bench(periods);
+        (format!(",\n{json}"), ok)
+    } else {
+        (String::new(), true)
+    };
+
     let json = format!(
         concat!(
             "{{\n",
@@ -138,7 +267,7 @@ fn run_bench(periods: u64, out_path: &str) {
             "{},\n",
             "{}\n",
             "  }},\n",
-            "  \"speedup\": {}\n",
+            "  \"speedup\": {}{}\n",
             "}}\n"
         ),
         HOTPATH_NODES,
@@ -154,6 +283,7 @@ fn run_bench(periods: u64, out_path: &str) {
         } else {
             "null".to_string()
         },
+        signed_json,
     );
     match std::fs::write(out_path, &json) {
         Ok(()) => println!("  wrote {out_path}"),
@@ -161,6 +291,9 @@ fn run_bench(periods: u64, out_path: &str) {
             eprintln!("  failed to write {out_path}: {e}");
             std::process::exit(1);
         }
+    }
+    if !signed_ok {
+        std::process::exit(1);
     }
 }
 
@@ -306,7 +439,10 @@ fn usage() {
          commands:\n\
          \x20 all                run the full experiment suite (e1..e10 a1 a2 r1)\n\
          \x20 e1 .. e10 a1 a2 r1 individual experiments (see --list)\n\
-         \x20 bench [periods]    simulator hot-path A/B (emits BENCH_sim.json)\n\
+         \x20 bench [periods] [--signed]\n\
+         \x20                    simulator hot-path A/B (emits BENCH_sim.json); --signed\n\
+         \x20                    adds the hmac-vs-siphash signed-traffic A/B and gates\n\
+         \x20                    the sign+verify speedup floor\n\
          \x20 scale [opts]       thousand-node torus sweep (emits BENCH_scale.json)\n\
          \x20 campaign [opts]    parallel fault-injection campaign (emits CAMPAIGN_btr.json)\n\
          \n\
@@ -321,6 +457,8 @@ fn usage() {
          \x20 --combos           sequential multi-fault schedules up to budget f\n\
          \x20 --over-budget      add f+1-fault schedules (inadmissible; exercises the shrinker)\n\
          \x20 --all-variants     every fault variant on every cell (alias of the default grid)\n\
+         \x20 --auth SUITE       hmac | sip force one authenticator suite on every cell;\n\
+         \x20                    both twins each cell with a `-sip` SipHash copy\n\
          \x20 --out PATH         report path (default CAMPAIGN_btr.json)\n\
          \x20 --replay TOKEN     re-execute one reproducer token and print its verdicts\n\
          \n\
@@ -416,6 +554,7 @@ fn run_campaign_cli(mut args: Vec<String>, threads: usize) {
     let combos = take_flag(&mut args, "--combos");
     let over_budget = take_flag(&mut args, "--over-budget");
     let all_variants = take_flag(&mut args, "--all-variants");
+    let auth: Option<String> = take_value(&mut args, "--auth");
     let out_path: String = take_value(&mut args, "--out").unwrap_or("CAMPAIGN_btr.json".into());
     if let Some(stray) = args.iter().find(|a| *a != "campaign") {
         eprintln!("error: unknown campaign argument '{stray}'");
@@ -429,9 +568,34 @@ fn run_campaign_cli(mut args: Vec<String>, threads: usize) {
     if all_variants {
         cfg.cells = campaign::all_variant_grid();
     }
+    // Authenticator-suite selection: force one suite on every cell, or
+    // sweep both (each cell twinned with `-sip`). Verdicts are
+    // suite-independent, so forced hmac/sip campaigns over the same
+    // grid must report the same runs_digest — the CI cross-suite check.
+    let auth_label = match auth.as_deref() {
+        None => "",
+        Some("both") => {
+            cfg.cells = campaign::auth_sweep(cfg.cells);
+            ", auth both"
+        }
+        Some(s) => match AuthSuite::parse(s) {
+            Some(AuthSuite::HmacSha256) => {
+                cfg.cells = campaign::with_auth(cfg.cells, AuthSuite::HmacSha256);
+                ", auth hmac"
+            }
+            Some(AuthSuite::SipHash24) => {
+                cfg.cells = campaign::with_auth(cfg.cells, AuthSuite::SipHash24);
+                ", auth sip"
+            }
+            None => {
+                eprintln!("error: --auth wants hmac, sip, or both (got '{s}')");
+                std::process::exit(2);
+            }
+        },
+    };
 
     println!(
-        "campaign: {} cells, target {} runs, seed {}, {} threads{}{}{}",
+        "campaign: {} cells, target {} runs, seed {}, {} threads{}{}{}{}",
         cfg.cells.len(),
         cfg.runs,
         cfg.seed,
@@ -439,6 +603,7 @@ fn run_campaign_cli(mut args: Vec<String>, threads: usize) {
         if combos { ", combos" } else { "" },
         if over_budget { ", over-budget" } else { "" },
         if all_variants { ", all-variants" } else { "" },
+        auth_label,
     );
     let outcome = match campaign::run_campaign(&cfg) {
         Ok(o) => o,
@@ -525,11 +690,13 @@ fn main() {
         println!("a1  plan-distance minimisation ablation");
         println!("a2  checker placement ablation");
         println!("r1  robustness to residual link loss");
-        println!("bench [periods]  simulator hot-path A/B (emits BENCH_sim.json)");
+        println!("bench [periods] [--signed]");
+        println!("                 simulator hot-path A/B, optionally plus the signed-traffic");
+        println!("                 hmac-vs-siphash A/B with its speedup gate (BENCH_sim.json)");
         println!("scale [--nodes N,..] [--seed S] [--smoke] [--out PATH]");
         println!("                 thousand-node torus sweep (emits BENCH_scale.json)");
         println!("campaign [--runs N] [--seed S] [--sim-seeds K] [--combos] [--over-budget]");
-        println!("         [--all-variants] [--out PATH] [--replay TOKEN]");
+        println!("         [--all-variants] [--auth hmac|sip|both] [--out PATH] [--replay TOKEN]");
         println!("                 parallel fault-injection campaign (emits CAMPAIGN_btr.json)");
         return;
     }
@@ -542,15 +709,17 @@ fn main() {
         return;
     }
     if args.iter().any(|a| a == "bench") {
-        // `bench [periods]`: an optional positional period count lets CI
-        // run a quick smoke pass.
+        // `bench [periods] [--signed]`: an optional positional period
+        // count lets CI run a quick smoke pass; `--signed` adds the
+        // signed-traffic suite A/B (and gates its speedup floor).
+        let signed = take_flag(&mut args, "--signed");
         let periods = args
             .iter()
             .skip_while(|a| *a != "bench")
             .nth(1)
             .and_then(|a| a.parse().ok())
             .unwrap_or(HOTPATH_PERIODS);
-        run_bench(periods, "BENCH_sim.json");
+        run_bench(periods, signed, "BENCH_sim.json");
         return;
     }
     let known = [

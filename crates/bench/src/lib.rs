@@ -12,6 +12,7 @@
 pub mod experiments;
 pub mod hotpath;
 pub mod scale;
+pub mod signed;
 pub mod table;
 
 pub use experiments::*;

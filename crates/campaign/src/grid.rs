@@ -12,6 +12,7 @@
 
 use crate::schedule::{FaultVariant, ScheduleParams};
 use btr_core::{BtrSystem, SystemError};
+use btr_crypto::AuthSuite;
 use btr_model::{Duration, Time, Topology};
 use btr_planner::PlannerConfig;
 use btr_workload::generators;
@@ -223,12 +224,18 @@ pub struct CellSpec {
     pub f: u8,
     /// The recovery bound R the cell is judged against.
     pub r_bound: Duration,
+    /// The authenticator suite the cell's deployment runs with
+    /// (HMAC-SHA-256 default; verdicts are suite-independent, so a
+    /// SipHash twin of a cell is a differential oracle, not new
+    /// coverage). Spelled `a=sip` in replay tokens, `-sip` in names.
+    pub auth: AuthSuite,
     /// The fault variants scheduled on this cell.
     pub variants: Vec<FaultVariant>,
 }
 
 impl CellSpec {
-    /// Short display name, e.g. `avionics9-bus-f1`.
+    /// Short display name, e.g. `avionics9-bus-f1` (`-sip` appended for
+    /// the non-default authenticator suite).
     pub fn name(&self) -> String {
         let family = match self.topo {
             TopoSpec::Bus { .. } => "bus",
@@ -238,11 +245,15 @@ impl CellSpec {
             TopoSpec::FatTree { .. } => "fattree",
         };
         format!(
-            "{}{}-{}-f{}",
+            "{}{}-{}-f{}{}",
             self.workload,
             self.topo.n_nodes(),
             family,
-            self.f
+            self.f,
+            match self.auth {
+                AuthSuite::HmacSha256 => "",
+                AuthSuite::SipHash24 => "-sip",
+            }
         )
     }
 
@@ -260,7 +271,9 @@ impl CellSpec {
         let workload = gen(n);
         let mut cfg = PlannerConfig::new(self.f, self.r_bound);
         cfg.admit_best_effort = true;
-        BtrSystem::plan(workload, self.topo.build(), cfg).map_err(CellError::Planning)
+        BtrSystem::plan(workload, self.topo.build(), cfg)
+            .map(|s| s.with_auth_suite(self.auth))
+            .map_err(CellError::Planning)
     }
 
     /// Schedule-generator parameters for this cell.
@@ -357,6 +370,7 @@ pub fn default_grid() -> Vec<CellSpec> {
             },
             f: 1,
             r_bound: Duration::from_millis(150),
+            auth: AuthSuite::HmacSha256,
             variants: FaultVariant::ALL.to_vec(),
         },
         CellSpec {
@@ -368,6 +382,7 @@ pub fn default_grid() -> Vec<CellSpec> {
             },
             f: 2,
             r_bound: Duration::from_millis(150),
+            auth: AuthSuite::HmacSha256,
             variants: FaultVariant::ALL.to_vec(),
         },
         CellSpec {
@@ -379,6 +394,7 @@ pub fn default_grid() -> Vec<CellSpec> {
             },
             f: 1,
             r_bound: Duration::from_millis(100),
+            auth: AuthSuite::HmacSha256,
             variants: FaultVariant::ALL.to_vec(),
         },
         CellSpec {
@@ -390,6 +406,7 @@ pub fn default_grid() -> Vec<CellSpec> {
             },
             f: 1,
             r_bound: Duration::from_millis(400),
+            auth: AuthSuite::HmacSha256,
             variants: FaultVariant::ALL.to_vec(),
         },
         CellSpec {
@@ -401,6 +418,7 @@ pub fn default_grid() -> Vec<CellSpec> {
             },
             f: 1,
             r_bound: Duration::from_millis(150),
+            auth: AuthSuite::HmacSha256,
             variants: FaultVariant::ALL.to_vec(),
         },
         // The ROADMAP-requested multi-hop grid growth: the same avionics
@@ -421,6 +439,7 @@ pub fn default_grid() -> Vec<CellSpec> {
             },
             f: 1,
             r_bound: Duration::from_millis(150),
+            auth: AuthSuite::HmacSha256,
             variants: FaultVariant::ALL.to_vec(),
         },
         CellSpec {
@@ -433,6 +452,7 @@ pub fn default_grid() -> Vec<CellSpec> {
             },
             f: 1,
             r_bound: Duration::from_millis(150),
+            auth: AuthSuite::HmacSha256,
             variants: FaultVariant::ALL.to_vec(),
         },
         // Datacenter-class bandwidth: at CAN-bus rates the period-start
@@ -448,6 +468,7 @@ pub fn default_grid() -> Vec<CellSpec> {
             },
             f: 1,
             r_bound: Duration::from_millis(400),
+            auth: AuthSuite::HmacSha256,
             variants: FaultVariant::ALL.to_vec(),
         },
         CellSpec {
@@ -460,6 +481,7 @@ pub fn default_grid() -> Vec<CellSpec> {
             },
             f: 2,
             r_bound: Duration::from_millis(150),
+            auth: AuthSuite::HmacSha256,
             variants: FaultVariant::ALL.to_vec(),
         },
     ]
@@ -471,6 +493,31 @@ pub fn default_grid() -> Vec<CellSpec> {
 /// scripts pass via `--all-variants`.
 pub fn all_variant_grid() -> Vec<CellSpec> {
     default_grid()
+}
+
+/// Force one authenticator suite on every cell of a grid (`harness
+/// campaign --auth hmac|sip`). Running the same grid under each suite
+/// and comparing `runs_digest` is the campaign-level cross-suite
+/// differential oracle — verdicts must be bit-identical.
+pub fn with_auth(mut cells: Vec<CellSpec>, suite: AuthSuite) -> Vec<CellSpec> {
+    for c in &mut cells {
+        c.auth = suite;
+    }
+    cells
+}
+
+/// Duplicate every cell with a SipHash twin (`harness campaign --auth
+/// both`): one campaign sweeps both suites side by side, twins
+/// distinguished by the `-sip` name suffix and the `a=sip` token field.
+pub fn auth_sweep(cells: Vec<CellSpec>) -> Vec<CellSpec> {
+    let mut out = Vec::with_capacity(cells.len() * 2);
+    for c in cells {
+        let mut twin = c.clone();
+        twin.auth = AuthSuite::SipHash24;
+        out.push(c);
+        out.push(twin);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -548,6 +595,26 @@ mod tests {
     }
 
     #[test]
+    fn auth_sweep_twins_every_cell() {
+        let base = default_grid();
+        let swept = auth_sweep(default_grid());
+        assert_eq!(swept.len(), 2 * base.len());
+        // Twins differ only in suite; names stay distinct grid-wide.
+        for pair in swept.chunks(2) {
+            assert_eq!(pair[0].auth, AuthSuite::HmacSha256);
+            assert_eq!(pair[1].auth, AuthSuite::SipHash24);
+            assert_eq!(pair[1].name(), format!("{}-sip", pair[0].name()));
+        }
+        let names: std::collections::BTreeSet<String> = swept.iter().map(CellSpec::name).collect();
+        assert_eq!(names.len(), swept.len());
+        // Forcing a suite touches every cell and plans with it.
+        let forced = with_auth(default_grid(), AuthSuite::SipHash24);
+        assert!(forced.iter().all(|c| c.auth == AuthSuite::SipHash24));
+        let sys = forced[0].plan().expect("plans");
+        assert_eq!(sys.auth_suite(), AuthSuite::SipHash24);
+    }
+
+    #[test]
     fn horizon_covers_latest_activation_plus_r() {
         for cell in default_grid() {
             let period = Duration::from_millis(10);
@@ -574,6 +641,7 @@ mod tests {
             },
             f: 1,
             r_bound: Duration::from_millis(100),
+            auth: AuthSuite::HmacSha256,
             variants: FaultVariant::ALL.to_vec(),
         };
         assert!(matches!(cell.plan(), Err(CellError::UnknownWorkload(_))));

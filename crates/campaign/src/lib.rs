@@ -38,7 +38,9 @@ pub mod schedule;
 pub mod shrink;
 pub mod verdict;
 
-pub use grid::{all_variant_grid, default_grid, CellError, CellSpec, TopoSpec};
+pub use grid::{
+    all_variant_grid, auth_sweep, default_grid, with_auth, CellError, CellSpec, TopoSpec,
+};
 pub use runner::{CampaignConfig, RunRecord};
 pub use schedule::{FaultSchedule, FaultVariant, ScheduleParams};
 pub use shrink::ShrinkOutcome;

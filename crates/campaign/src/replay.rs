@@ -12,12 +12,16 @@
 //! `r`, `h`, and fault activations are µs; `me` is the simulator event
 //! cap the campaign ran with (0 or absent = unlimited — pinned so a
 //! `Truncated` verdict reproduces); `fl` faults are
-//! `variant@at_us@n<node>` joined with `+` (empty `fl` = fault-free).
+//! `variant@at_us@n<node>` joined with `+` (empty `fl` = fault-free). An
+//! optional trailing `a=sip` selects the SipHash authenticator suite
+//! (absent = the default HMAC suite, so pre-suite tokens parse and
+//! re-render unchanged).
 
 use crate::grid::{CellError, CellSpec, TopoSpec};
 use crate::schedule::{FaultSchedule, FaultVariant};
 use crate::verdict::{score, Violation};
 use btr_core::FaultScenario;
+use btr_crypto::AuthSuite;
 use btr_model::{Duration, NodeId, Time};
 
 /// Render the canonical token for a run.
@@ -41,7 +45,7 @@ pub fn token(
         })
         .collect();
     format!(
-        "w={};t={};f={};r={};h={};me={};s={};fl={}",
+        "w={};t={};f={};r={};h={};me={};s={};fl={}{}",
         spec.workload,
         spec.topo.token(),
         spec.f,
@@ -49,7 +53,15 @@ pub fn token(
         horizon.as_micros(),
         max_events,
         sim_seed,
-        faults.join("+")
+        faults.join("+"),
+        // The authenticator suite rides at the end, and only when it is
+        // not the default: every token minted before suites existed
+        // stays byte-identical, and hmac cells keep minting the same
+        // tokens they always did.
+        match spec.auth {
+            AuthSuite::HmacSha256 => "",
+            AuthSuite::SipHash24 => ";a=sip",
+        }
     )
 }
 
@@ -185,12 +197,22 @@ pub fn parse(tok: &str) -> Result<ReplaySpec, ReplayError> {
         variants = FaultVariant::ALL.to_vec();
     }
 
+    // Authenticator suite: optional trailing field; tokens minted before
+    // suites existed (no `a=`) mean the default HMAC suite.
+    let auth = match field(&fields, "a") {
+        Err(_) => AuthSuite::default(),
+        Ok(v) => {
+            AuthSuite::parse(v).ok_or_else(|| ReplayError(format!("unknown auth suite '{v}'")))?
+        }
+    };
+
     Ok(ReplaySpec {
         cell: CellSpec {
             workload: field(&fields, "w")?.to_string(),
             topo,
             f: f as u8,
             r_bound: Duration(r),
+            auth,
             variants,
         },
         sim_seed: num(&fields, "s")?,
@@ -255,6 +277,7 @@ mod tests {
             },
             f: 1,
             r_bound: Duration::from_millis(150),
+            auth: AuthSuite::HmacSha256,
             variants: vec![FaultVariant::EQUIVOCATION],
         }
     }
@@ -300,6 +323,46 @@ mod tests {
         let tok = "w=avionics;t=bus9x100000x5;f=1;r=150000;h=500000;s=7;fl=";
         let parsed = parse(tok).expect("parses");
         assert_eq!(parsed.max_events, 0);
+        // Pre-suite tokens mean the default HMAC suite, and re-render
+        // without an `a=` field — byte-identical to what older campaigns
+        // minted.
+        assert_eq!(parsed.cell.auth, AuthSuite::HmacSha256);
+        assert!(!token(
+            &parsed.cell,
+            parsed.sim_seed,
+            parsed.horizon,
+            parsed.max_events,
+            &parsed.scenario
+        )
+        .contains(";a="));
+    }
+
+    #[test]
+    fn sip_suite_tokens_round_trip() {
+        let mut cell = spec();
+        cell.auth = AuthSuite::SipHash24;
+        let scenario = FaultScenario {
+            faults: vec![FaultVariant::CRASH.inject(NodeId(2), Time::from_millis(52))],
+        };
+        let tok = token(&cell, 9, Duration::from_millis(400), 0, &scenario);
+        assert!(tok.ends_with(";a=sip"), "{tok}");
+        let parsed = parse(&tok).expect("parses");
+        assert_eq!(parsed.cell.auth, AuthSuite::SipHash24);
+        assert_eq!(parsed.cell.name(), "avionics9-bus-f1-sip");
+        assert_eq!(
+            token(
+                &parsed.cell,
+                parsed.sim_seed,
+                parsed.horizon,
+                parsed.max_events,
+                &parsed.scenario
+            ),
+            tok
+        );
+        // Unknown suites are parse errors, not silent defaults.
+        let bad = tok.replace(";a=sip", ";a=rot13");
+        let err = parse(&bad).expect_err("rejects").to_string();
+        assert!(err.contains("unknown auth suite"), "{err}");
     }
 
     #[test]

@@ -167,6 +167,7 @@ mod tests {
     use crate::grid::{CellSpec, TopoSpec};
     use crate::runner::{plan_cells, CampaignConfig};
     use crate::schedule::FaultVariant;
+    use btr_crypto::AuthSuite;
     use btr_model::NodeId;
 
     /// A cell whose R is deliberately unachievable (1 ms), so any crash
@@ -192,6 +193,7 @@ mod tests {
                 },
                 f: 1,
                 r_bound: Duration::from_millis(1),
+                auth: AuthSuite::HmacSha256,
                 variants: vec![FaultVariant::CRASH],
             }],
         };

@@ -9,6 +9,7 @@
 
 use btr_campaign::schedule::{generate, FaultVariant, ScheduleParams};
 use btr_campaign::{report, run_campaign, CampaignConfig, CellSpec, TopoSpec};
+use btr_crypto::AuthSuite;
 use btr_model::{Duration, Time};
 use proptest::prelude::*;
 
@@ -27,6 +28,7 @@ fn small_config(threads: usize) -> CampaignConfig {
         },
         f: 2,
         r_bound: Duration::from_millis(150),
+        auth: AuthSuite::HmacSha256,
         variants: vec![
             FaultVariant::CRASH,
             FaultVariant::COMMISSION,

@@ -8,12 +8,16 @@
 //!
 //! * [`mod@sha256`] — a FIPS 180-4 SHA-256 implementation.
 //! * [`mod@hmac`] — HMAC-SHA-256 (RFC 2104).
-//! * [`Signer`] / [`KeyStore`] — per-node authenticators. Real deployments
-//!   would use asymmetric signatures; we substitute HMAC authenticators
-//!   with a pre-installed verification keystore (see DESIGN.md). Within
-//!   the simulation the substitution is sound because only the owner of a
-//!   key can produce a valid tag, and every correct node can verify every
-//!   other node's tags.
+//! * [`mod@siphash`] — SipHash-2-4 with 128-bit tags, the cheap
+//!   authenticator suite for statistical experiments.
+//! * [`Signer`] / [`KeyStore`] — per-node authenticators behind a
+//!   pluggable [`AuthSuite`] (HMAC-SHA-256 default, SipHash-2-4-128
+//!   alternative). Real deployments would use asymmetric signatures; we
+//!   substitute keyed MACs with a pre-installed verification keystore
+//!   (see DESIGN.md). Within the simulation the substitution is sound
+//!   because only the owner of a key can produce a valid tag, and every
+//!   correct node can verify every other node's tags. [`SigBatch`]
+//!   stages a message's whole evidence set for one verification pass.
 //! * [`chain`] — PeerReview-style tamper-evident hash chains for logs.
 //!
 //! No `unsafe` code is used anywhere in this crate.
@@ -26,12 +30,14 @@ pub mod hmac;
 pub mod rng;
 pub mod sha256;
 pub mod sign;
+pub mod siphash;
 
 pub use chain::{ChainEntry, HashChain};
 pub use hmac::{hmac_sha256, HmacKey, HmacState};
 pub use rng::{SplitMix64, Xoshiro256StarStar};
 pub use sha256::{sha256, Digest, Sha256};
-pub use sign::{KeyStore, NodeKey, SigError, Signature, Signer};
+pub use sign::{AuthSuite, KeyStore, NodeKey, SigBatch, SigError, Signature, Signer};
+pub use siphash::{SipKey, SipState};
 
 /// Convenience: hash a sequence of byte slices as one message.
 ///

@@ -51,11 +51,41 @@ impl Digest {
     pub fn short(&self) -> String {
         self.to_hex()[..8].to_string()
     }
+
+    /// Write the short 8-hex-character prefix straight into a formatter.
+    ///
+    /// Equivalent to `f.write_str(&self.short())` without the `String`:
+    /// `Debug` on digests and signatures runs once per message in
+    /// trace-enabled simulations, so it must not heap-allocate.
+    pub fn fmt_short(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for b in &self.0[..4] {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+
+    /// Constant-time equality.
+    ///
+    /// The derived `==` short-circuits at the first differing byte, which
+    /// leaks how much of a forged tag prefix was correct — the classic
+    /// byte-at-a-time MAC-forgery side channel. All tag comparisons (both
+    /// authenticator suites, single and batched verification) go through
+    /// this one accumulate-then-test loop instead.
+    #[inline]
+    pub fn ct_eq(&self, other: &Digest) -> bool {
+        let mut acc = 0u8;
+        for (a, b) in self.0.iter().zip(other.0.iter()) {
+            acc |= a ^ b;
+        }
+        acc == 0
+    }
 }
 
 impl std::fmt::Debug for Digest {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Digest({})", self.short())
+        f.write_str("Digest(")?;
+        self.fmt_short(f)?;
+        f.write_str(")")
     }
 }
 
@@ -322,6 +352,21 @@ mod tests {
         let d = sha256(b"x");
         assert_eq!(format!("{d}").len(), 64);
         assert!(format!("{d:?}").starts_with("Digest("));
+        // The allocation-free short form matches the allocating one.
+        assert_eq!(format!("{d:?}"), format!("Digest({})", d.short()));
+    }
+
+    #[test]
+    fn ct_eq_matches_derived_eq() {
+        let a = sha256(b"a");
+        let b = sha256(b"b");
+        assert!(a.ct_eq(&a));
+        assert!(!a.ct_eq(&b));
+        // Differences only in the last byte must still be caught.
+        let mut c = a;
+        c.0[31] ^= 1;
+        assert!(!a.ct_eq(&c));
+        assert_eq!(a.ct_eq(&b), a == b);
     }
 
     proptest! {

@@ -5,15 +5,35 @@
 //! nodes (Section 4.2: compromised nodes "can try to confuse the detector
 //! ... by making false statements about the actions of other nodes").
 //!
-//! We substitute HMAC authenticators for asymmetric signatures: every node
-//! `i` holds a secret key `k_i`, and every node holds a [`KeyStore`] with
-//! the *verification* material for all nodes. Inside the simulation this
+//! We substitute keyed MACs for asymmetric signatures: every node `i`
+//! holds a secret key `k_i`, and every node holds a [`KeyStore`] with the
+//! *verification* material for all nodes. Inside the simulation this
 //! gives exactly the unforgeability property the protocol needs, because
 //! the simulator never leaks `k_i` to any behaviour other than node `i`'s.
 //! See DESIGN.md ("Substitutions") for the full argument.
+//!
+//! Two [`AuthSuite`]s implement the MAC behind the same `Signer`/
+//! `KeyStore` API:
+//!
+//! * [`AuthSuite::HmacSha256`] — the default: HMAC-SHA-256 with cached
+//!   midstates. This is the suite whose behaviour every pre-existing
+//!   golden pins; it plays the same A/B-oracle role for the signed path
+//!   that `SimConfig::legacy_hot_path` plays for the event queue.
+//! * [`AuthSuite::SipHash24`] — SipHash-2-4 with a 128-bit tag: the same
+//!   can't-forge-other-nodes property against the simulated adversary at
+//!   a small fraction of the cost, for statistical experiments that do
+//!   not need the cryptographic-strength argument (see DESIGN.md).
+//!
+//! Tags of both suites travel in the fixed 32-byte [`Signature::tag`]
+//! field (SipHash tags are zero-padded), so the two suites are
+//! wire-compatible: message sizes, and therefore link timings, are
+//! bit-identical across suites and only the CPU cost differs. Tag
+//! equality goes through [`Digest::ct_eq`] — one constant-time comparison
+//! shared by both suites and by single and batched verification.
 
 use crate::hmac::HmacKey;
 use crate::sha256::Digest;
+use crate::siphash::SipKey;
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a signing principal (one per node).
@@ -22,18 +42,72 @@ use serde::{Deserialize, Serialize};
 /// crypto crate stays at the bottom of the dependency graph.
 pub type KeyId = u32;
 
+/// Which MAC construction backs the `Signer`/`KeyStore` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AuthSuite {
+    /// HMAC-SHA-256 (RFC 2104) with cached midstates. The default and
+    /// the pinned baseline.
+    #[default]
+    HmacSha256,
+    /// SipHash-2-4 with a 128-bit tag and per-node 128-bit keys.
+    SipHash24,
+}
+
+impl AuthSuite {
+    /// Every suite, in a stable order (sweeps iterate this).
+    pub const ALL: [AuthSuite; 2] = [AuthSuite::HmacSha256, AuthSuite::SipHash24];
+
+    /// Canonical long name (used in benchmark reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            AuthSuite::HmacSha256 => "hmac-sha256",
+            AuthSuite::SipHash24 => "siphash24",
+        }
+    }
+
+    /// Short spelling for replay tokens and CLI flags.
+    pub fn token(self) -> &'static str {
+        match self {
+            AuthSuite::HmacSha256 => "hmac",
+            AuthSuite::SipHash24 => "sip",
+        }
+    }
+
+    /// Parse either spelling.
+    pub fn parse(s: &str) -> Option<AuthSuite> {
+        match s {
+            "hmac" | "hmac-sha256" => Some(AuthSuite::HmacSha256),
+            "sip" | "siphash24" => Some(AuthSuite::SipHash24),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for AuthSuite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// A message authenticator produced by [`Signer::sign`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Signature {
     /// Which key produced this signature.
     pub key: KeyId,
-    /// The HMAC tag.
+    /// The MAC tag. HMAC fills all 32 bytes; SipHash fills the first 16
+    /// and zero-pads (the padding is covered by verification, so a
+    /// non-canonical tag never verifies).
     pub tag: Digest,
 }
 
 impl std::fmt::Debug for Signature {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Sig(k{},{})", self.key, self.tag.short())
+        // Allocation-free: trace-enabled runs format one of these per
+        // message, which must not cost a heap round trip (Digest::short
+        // builds two Strings).
+        write!(f, "Sig(k{},", self.key)?;
+        self.tag.fmt_short(f)?;
+        f.write_str(")")
     }
 }
 
@@ -57,34 +131,103 @@ impl std::fmt::Display for SigError {
 
 impl std::error::Error for SigError {}
 
+/// Suite-specific key material (secret and verification material are the
+/// same bytes under the MAC substitution; only `verify` is exposed on the
+/// store side).
+#[derive(Clone)]
+enum Material {
+    Hmac(HmacKey),
+    Sip(SipKey),
+}
+
+impl Material {
+    fn derive(system_seed: u64, id: KeyId, suite: AuthSuite) -> Material {
+        match suite {
+            AuthSuite::HmacSha256 => {
+                // Unchanged from the original derivation so every pinned
+                // HMAC tag stays bit-identical.
+                let material = crate::sha256_concat(&[
+                    b"btr-node-key",
+                    &system_seed.to_be_bytes(),
+                    &id.to_be_bytes(),
+                ]);
+                Material::Hmac(HmacKey::new(&material.0))
+            }
+            AuthSuite::SipHash24 => {
+                // Distinct domain tag: the two suites never share key
+                // bytes even for the same (seed, id).
+                let material = crate::sha256_concat(&[
+                    b"btr-node-key-sip",
+                    &system_seed.to_be_bytes(),
+                    &id.to_be_bytes(),
+                ]);
+                let mut key = [0u8; 16];
+                key.copy_from_slice(&material.0[..16]);
+                Material::Sip(SipKey::new(&key))
+            }
+        }
+    }
+
+    fn suite(&self) -> AuthSuite {
+        match self {
+            Material::Hmac(_) => AuthSuite::HmacSha256,
+            Material::Sip(_) => AuthSuite::SipHash24,
+        }
+    }
+
+    /// Compute the 32-byte tag field for a message given as parts.
+    fn tag_parts(&self, parts: &[&[u8]]) -> Digest {
+        match self {
+            Material::Hmac(k) => k.mac_parts(parts),
+            Material::Sip(k) => {
+                let tag = k.mac_parts(parts);
+                let mut out = [0u8; 32];
+                out[..16].copy_from_slice(&tag);
+                Digest(out)
+            }
+        }
+    }
+
+    /// Compute the tag over one contiguous slice (the batched path).
+    fn tag_slice(&self, msg: &[u8]) -> Digest {
+        self.tag_parts(&[msg])
+    }
+}
+
 /// A node's secret key material.
 #[derive(Clone)]
 pub struct NodeKey {
     id: KeyId,
-    key: HmacKey,
+    material: Material,
 }
 
 impl NodeKey {
-    /// Deterministically derive a node key from a system-wide seed.
+    /// Deterministically derive a node key from a system-wide seed, for
+    /// the default (HMAC-SHA-256) suite.
     ///
     /// Deterministic derivation keeps simulations reproducible; the seed
     /// plays the role of the out-of-band key-provisioning step that a real
     /// CPS deployment performs before the system goes live.
     pub fn derive(system_seed: u64, id: KeyId) -> Self {
-        let material = crate::sha256_concat(&[
-            b"btr-node-key",
-            &system_seed.to_be_bytes(),
-            &id.to_be_bytes(),
-        ]);
+        Self::derive_suite(system_seed, id, AuthSuite::default())
+    }
+
+    /// Derive a node key for a specific authenticator suite.
+    pub fn derive_suite(system_seed: u64, id: KeyId, suite: AuthSuite) -> Self {
         NodeKey {
             id,
-            key: HmacKey::new(&material.0),
+            material: Material::derive(system_seed, id, suite),
         }
     }
 
     /// The key's principal id.
     pub fn id(&self) -> KeyId {
         self.id
+    }
+
+    /// The suite this key belongs to.
+    pub fn suite(&self) -> AuthSuite {
+        self.material.suite()
     }
 }
 
@@ -104,7 +247,7 @@ impl Signer {
     pub fn sign_parts(&self, parts: &[&[u8]]) -> Signature {
         Signature {
             key: self.key.id,
-            tag: self.key.key.mac_parts(parts),
+            tag: self.key.material.tag_parts(parts),
         }
     }
 
@@ -117,32 +260,129 @@ impl Signer {
     pub fn id(&self) -> KeyId {
         self.key.id
     }
+
+    /// The signer's authenticator suite.
+    pub fn suite(&self) -> AuthSuite {
+        self.key.suite()
+    }
+}
+
+/// One staged entry of a [`SigBatch`].
+#[derive(Clone, Copy)]
+struct BatchItem {
+    key: KeyId,
+    start: usize,
+    end: usize,
+    tag: Digest,
+    /// The caller already knows this item cannot verify (e.g. the
+    /// claimed key id contradicts the record's producer field); it is
+    /// carried so per-item results stay index-aligned, but no MAC is
+    /// computed for it.
+    prefailed: bool,
+}
+
+/// A batch of (message, signature) pairs staged for one verification
+/// pass.
+///
+/// All messages share one contiguous scratch buffer: callers append each
+/// message's canonical bytes via [`SigBatch::push_with`], then hand the
+/// whole batch to [`KeyStore::verify_batch`], which MACs every staged
+/// range in a single keyed pass. Compared to per-item
+/// `KeyStore::verify`, this amortises the per-message setup — no
+/// per-item buffer allocation or clearing, and one cache-friendly sweep
+/// over contiguous bytes. The simulator uses it wherever a message
+/// carries an evidence *set* (a task output plus its witnesses).
+#[derive(Default)]
+pub struct SigBatch {
+    buf: Vec<u8>,
+    items: Vec<BatchItem>,
+}
+
+impl SigBatch {
+    /// An empty batch. Reuse one batch across messages: `clear` keeps
+    /// the buffer capacity, so steady-state staging is allocation-free.
+    pub fn new() -> SigBatch {
+        SigBatch::default()
+    }
+
+    /// Drop all staged items, keeping capacity.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.items.clear();
+    }
+
+    /// Stage one pair: `write` appends the message's canonical bytes to
+    /// the shared buffer, and `sig` is the tag to verify over them.
+    pub fn push_with(&mut self, sig: &Signature, write: impl FnOnce(&mut Vec<u8>)) {
+        let start = self.buf.len();
+        write(&mut self.buf);
+        self.items.push(BatchItem {
+            key: sig.key,
+            start,
+            end: self.buf.len(),
+            tag: sig.tag,
+            prefailed: false,
+        });
+    }
+
+    /// Stage an item the caller has already rejected (keeps per-item
+    /// results index-aligned with the inputs).
+    pub fn push_prefailed(&mut self) {
+        self.items.push(BatchItem {
+            key: 0,
+            start: 0,
+            end: 0,
+            tag: Digest::ZERO,
+            prefailed: true,
+        });
+    }
+
+    /// Staged item count.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl std::fmt::Debug for SigBatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SigBatch({} items, {} bytes)",
+            self.items.len(),
+            self.buf.len()
+        )
+    }
 }
 
 /// Verification keystore installed on every node.
 ///
-/// Holds verification material for all `n` principals. With the HMAC
+/// Holds verification material for all `n` principals. With the MAC
 /// substitution the verification material *is* the key, but the API only
 /// exposes `verify`, mirroring what an asymmetric scheme would offer.
 #[derive(Clone)]
 pub struct KeyStore {
-    keys: Vec<HmacKey>,
+    suite: AuthSuite,
+    keys: Vec<Material>,
 }
 
 impl KeyStore {
-    /// Build a keystore for principals `0..n`, all derived from `seed`.
+    /// Build a keystore for principals `0..n`, all derived from `seed`,
+    /// for the default (HMAC-SHA-256) suite.
     pub fn derive(system_seed: u64, n: usize) -> Self {
+        Self::derive_suite(system_seed, n, AuthSuite::default())
+    }
+
+    /// Build a keystore for a specific authenticator suite.
+    pub fn derive_suite(system_seed: u64, n: usize, suite: AuthSuite) -> Self {
         let keys = (0..n as KeyId)
-            .map(|id| {
-                let material = crate::sha256_concat(&[
-                    b"btr-node-key",
-                    &system_seed.to_be_bytes(),
-                    &id.to_be_bytes(),
-                ]);
-                HmacKey::new(&material.0)
-            })
+            .map(|id| Material::derive(system_seed, id, suite))
             .collect();
-        KeyStore { keys }
+        KeyStore { suite, keys }
     }
 
     /// Number of principals known to this store.
@@ -155,13 +395,18 @@ impl KeyStore {
         self.keys.is_empty()
     }
 
+    /// The store's authenticator suite.
+    pub fn suite(&self) -> AuthSuite {
+        self.suite
+    }
+
     /// Verify `sig` over `parts`.
     pub fn verify_parts(&self, sig: &Signature, parts: &[&[u8]]) -> Result<(), SigError> {
         let key = self
             .keys
             .get(sig.key as usize)
             .ok_or(SigError::UnknownKey(sig.key))?;
-        if key.mac_parts(parts) == sig.tag {
+        if key.tag_parts(parts).ct_eq(&sig.tag) {
             Ok(())
         } else {
             Err(SigError::BadTag(sig.key))
@@ -172,11 +417,50 @@ impl KeyStore {
     pub fn verify(&self, sig: &Signature, msg: &[u8]) -> Result<(), SigError> {
         self.verify_parts(sig, &[msg])
     }
+
+    /// Verify every staged pair of `batch` in one pass over its shared
+    /// buffer, appending one `bool` per item to `ok` (index-aligned with
+    /// the staging order). Returns the number of items that verified.
+    pub fn verify_batch(&self, batch: &SigBatch, ok: &mut Vec<bool>) -> usize {
+        let mut valid = 0;
+        for item in &batch.items {
+            let good = !item.prefailed
+                && match self.keys.get(item.key as usize) {
+                    None => false,
+                    Some(key) => {
+                        let msg = &batch.buf[item.start..item.end];
+                        key.tag_slice(msg).ct_eq(&item.tag)
+                    }
+                };
+            ok.push(good);
+            valid += usize::from(good);
+        }
+        valid
+    }
+
+    /// Like [`KeyStore::verify_batch`], but failing fast: `Ok` only when
+    /// every staged pair verifies.
+    pub fn verify_batch_all(&self, batch: &SigBatch) -> Result<(), SigError> {
+        for item in &batch.items {
+            if item.prefailed {
+                return Err(SigError::BadTag(item.key));
+            }
+            let key = self
+                .keys
+                .get(item.key as usize)
+                .ok_or(SigError::UnknownKey(item.key))?;
+            let msg = &batch.buf[item.start..item.end];
+            if !key.tag_slice(msg).ct_eq(&item.tag) {
+                return Err(SigError::BadTag(item.key));
+            }
+        }
+        Ok(())
+    }
 }
 
 impl std::fmt::Debug for KeyStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "KeyStore({} keys)", self.keys.len())
+        write!(f, "KeyStore({} keys, {})", self.keys.len(), self.suite)
     }
 }
 
@@ -185,35 +469,45 @@ mod tests {
     use super::*;
 
     fn setup(n: usize) -> (Vec<Signer>, KeyStore) {
+        setup_suite(n, AuthSuite::HmacSha256)
+    }
+
+    fn setup_suite(n: usize, suite: AuthSuite) -> (Vec<Signer>, KeyStore) {
         let signers = (0..n as KeyId)
-            .map(|i| Signer::new(NodeKey::derive(42, i)))
+            .map(|i| Signer::new(NodeKey::derive_suite(42, i, suite)))
             .collect();
-        (signers, KeyStore::derive(42, n))
+        (signers, KeyStore::derive_suite(42, n, suite))
     }
 
     #[test]
     fn sign_verify_round_trip() {
-        let (signers, store) = setup(4);
-        for s in &signers {
-            let sig = s.sign(b"measurement 17");
-            assert_eq!(store.verify(&sig, b"measurement 17"), Ok(()));
+        for suite in AuthSuite::ALL {
+            let (signers, store) = setup_suite(4, suite);
+            for s in &signers {
+                let sig = s.sign(b"measurement 17");
+                assert_eq!(store.verify(&sig, b"measurement 17"), Ok(()), "{suite}");
+            }
         }
     }
 
     #[test]
     fn tampered_message_rejected() {
-        let (signers, store) = setup(2);
-        let sig = signers[0].sign(b"open valve");
-        assert_eq!(store.verify(&sig, b"close valve"), Err(SigError::BadTag(0)));
+        for suite in AuthSuite::ALL {
+            let (signers, store) = setup_suite(2, suite);
+            let sig = signers[0].sign(b"open valve");
+            assert_eq!(store.verify(&sig, b"close valve"), Err(SigError::BadTag(0)));
+        }
     }
 
     #[test]
     fn wrong_claimed_signer_rejected() {
-        let (signers, store) = setup(3);
-        let mut sig = signers[1].sign(b"hello");
-        // A Byzantine node relabels the signature as coming from node 2.
-        sig.key = 2;
-        assert_eq!(store.verify(&sig, b"hello"), Err(SigError::BadTag(2)));
+        for suite in AuthSuite::ALL {
+            let (signers, store) = setup_suite(3, suite);
+            let mut sig = signers[1].sign(b"hello");
+            // A Byzantine node relabels the signature as coming from node 2.
+            sig.key = 2;
+            assert_eq!(store.verify(&sig, b"hello"), Err(SigError::BadTag(2)));
+        }
     }
 
     #[test]
@@ -226,17 +520,21 @@ mod tests {
 
     #[test]
     fn different_seeds_do_not_cross_verify() {
-        let signer = Signer::new(NodeKey::derive(1, 0));
-        let store = KeyStore::derive(2, 1);
-        let sig = signer.sign(b"msg");
-        assert!(store.verify(&sig, b"msg").is_err());
+        for suite in AuthSuite::ALL {
+            let signer = Signer::new(NodeKey::derive_suite(1, 0, suite));
+            let store = KeyStore::derive_suite(2, 1, suite);
+            let sig = signer.sign(b"msg");
+            assert!(store.verify(&sig, b"msg").is_err());
+        }
     }
 
     #[test]
     fn parts_equivalent_to_concat() {
-        let (signers, store) = setup(1);
-        let sig = signers[0].sign_parts(&[b"ab", b"cd"]);
-        assert_eq!(store.verify(&sig, b"abcd"), Ok(()));
+        for suite in AuthSuite::ALL {
+            let (signers, store) = setup_suite(1, suite);
+            let sig = signers[0].sign_parts(&[b"ab", b"cd"]);
+            assert_eq!(store.verify(&sig, b"abcd"), Ok(()));
+        }
     }
 
     #[test]
@@ -245,5 +543,129 @@ mod tests {
         assert_eq!(store.len(), 5);
         assert!(!store.is_empty());
         assert!(KeyStore::derive(7, 0).is_empty());
+    }
+
+    #[test]
+    fn hmac_tags_are_bit_stable() {
+        // The default suite's derivation and tag layout are pinned: this
+        // exact tag predates the AuthSuite refactor, so any change to
+        // the HMAC derivation chain breaks the golden.
+        let s = Signer::new(NodeKey::derive(42, 0));
+        let sig = s.sign(b"measurement 17");
+        assert_eq!(
+            sig.tag.to_hex(),
+            "3c827d397eb7b445afb231e415fec1839db0c40f898733b7702d57668c1848fc"
+        );
+    }
+
+    #[test]
+    fn suites_are_selected_and_disjoint() {
+        let hmac = Signer::new(NodeKey::derive_suite(42, 0, AuthSuite::HmacSha256));
+        let sip = Signer::new(NodeKey::derive_suite(42, 0, AuthSuite::SipHash24));
+        assert_eq!(hmac.suite(), AuthSuite::HmacSha256);
+        assert_eq!(sip.suite(), AuthSuite::SipHash24);
+        let a = hmac.sign(b"msg");
+        let b = sip.sign(b"msg");
+        assert_ne!(a.tag, b.tag);
+        // SipHash tags are 16 bytes, zero-padded into the 32-byte field.
+        assert_eq!(&b.tag.0[16..], &[0u8; 16]);
+        assert_ne!(&b.tag.0[..16], &[0u8; 16]);
+        // A suite's store rejects the other suite's tags.
+        let hmac_ks = KeyStore::derive_suite(42, 1, AuthSuite::HmacSha256);
+        let sip_ks = KeyStore::derive_suite(42, 1, AuthSuite::SipHash24);
+        assert!(hmac_ks.verify(&b, b"msg").is_err());
+        assert!(sip_ks.verify(&a, b"msg").is_err());
+        assert_eq!(sip_ks.suite(), AuthSuite::SipHash24);
+    }
+
+    #[test]
+    fn sip_padding_is_canonical() {
+        // A tag whose zero padding was tampered with must not verify,
+        // even though the 16 tag bytes are right.
+        let (signers, store) = setup_suite(1, AuthSuite::SipHash24);
+        let mut sig = signers[0].sign(b"msg");
+        sig.tag.0[31] = 1;
+        assert_eq!(store.verify(&sig, b"msg"), Err(SigError::BadTag(0)));
+    }
+
+    #[test]
+    fn suite_names_round_trip() {
+        for suite in AuthSuite::ALL {
+            assert_eq!(AuthSuite::parse(suite.name()), Some(suite));
+            assert_eq!(AuthSuite::parse(suite.token()), Some(suite));
+        }
+        assert_eq!(AuthSuite::parse("rot13"), None);
+        assert_eq!(AuthSuite::default(), AuthSuite::HmacSha256);
+        assert_eq!(format!("{}", AuthSuite::SipHash24), "siphash24");
+    }
+
+    #[test]
+    fn batch_matches_single_verification() {
+        for suite in AuthSuite::ALL {
+            let (signers, store) = setup_suite(4, suite);
+            let msgs: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i; 16 + i as usize]).collect();
+            let sigs: Vec<Signature> = msgs.iter().zip(&signers).map(|(m, s)| s.sign(m)).collect();
+
+            let mut batch = SigBatch::new();
+            for (m, sig) in msgs.iter().zip(&sigs) {
+                batch.push_with(sig, |buf| buf.extend_from_slice(m));
+            }
+            assert_eq!(batch.len(), 4);
+            let mut ok = Vec::new();
+            assert_eq!(store.verify_batch(&batch, &mut ok), 4, "{suite}");
+            assert!(ok.iter().all(|&b| b));
+            assert_eq!(store.verify_batch_all(&batch), Ok(()));
+
+            // Corrupt one message: exactly that item fails, positions
+            // stay aligned.
+            batch.clear();
+            assert!(batch.is_empty());
+            for (i, (m, sig)) in msgs.iter().zip(&sigs).enumerate() {
+                batch.push_with(sig, |buf| {
+                    buf.extend_from_slice(m);
+                    if i == 2 {
+                        buf.push(0xff);
+                    }
+                });
+            }
+            ok.clear();
+            assert_eq!(store.verify_batch(&batch, &mut ok), 3);
+            assert_eq!(ok, vec![true, true, false, true]);
+            assert!(store.verify_batch_all(&batch).is_err());
+        }
+    }
+
+    #[test]
+    fn batch_prefailed_items_stay_aligned() {
+        let (signers, store) = setup(2);
+        let sig = signers[1].sign(b"fine");
+        let mut batch = SigBatch::new();
+        batch.push_prefailed();
+        batch.push_with(&sig, |buf| buf.extend_from_slice(b"fine"));
+        let mut ok = Vec::new();
+        assert_eq!(store.verify_batch(&batch, &mut ok), 1);
+        assert_eq!(ok, vec![false, true]);
+        assert!(store.verify_batch_all(&batch).is_err());
+        assert_eq!(format!("{batch:?}"), "SigBatch(2 items, 4 bytes)");
+    }
+
+    #[test]
+    fn batch_rejects_unknown_keys() {
+        let (signers, store) = setup(1);
+        let mut sig = signers[0].sign(b"x");
+        sig.key = 9;
+        let mut batch = SigBatch::new();
+        batch.push_with(&sig, |buf| buf.extend_from_slice(b"x"));
+        let mut ok = Vec::new();
+        assert_eq!(store.verify_batch(&batch, &mut ok), 0);
+        assert_eq!(store.verify_batch_all(&batch), Err(SigError::UnknownKey(9)));
+    }
+
+    #[test]
+    fn signature_debug_is_stable() {
+        let s = Signer::new(NodeKey::derive(5, 3));
+        let sig = s.sign(b"dbg");
+        let rendered = format!("{sig:?}");
+        assert_eq!(rendered, format!("Sig(k3,{})", sig.tag.short()));
     }
 }

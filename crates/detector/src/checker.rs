@@ -8,7 +8,7 @@
 //! No quorum is needed for detection — this is exactly why detection is
 //! cheaper than masking (f+1 vs 2f+1 replicas).
 
-use btr_crypto::{KeyStore, Signature};
+use btr_crypto::Signature;
 use btr_model::evidence::WorkloadView;
 use btr_model::{
     inputs_digest, sensor_value, task_value, EvidenceRecord, NodeId, PeriodIdx, ReplicaIdx,
@@ -110,14 +110,17 @@ impl ReplicaChecker {
 
     /// Check one replica output against its own witnesses.
     ///
+    /// `witness_ok[i]` is the signature-verification result for
+    /// `witnesses[i]`, computed by the caller's batched pass (see
+    /// `Detector::observe_output`) so no witness is MAC-checked twice.
     /// Returns at most one bad-computation proof (plus nothing else; the
     /// caller runs the equivocation pool and timing watch separately).
     pub fn observe(
         &mut self,
-        ks: &KeyStore,
         _view: &dyn WorkloadView,
         output: SignedOutput,
         witnesses: &[SignedOutput],
+        witness_ok: &[bool],
         envelope: Option<(Time, Signature)>,
     ) -> Vec<EvidenceRecord> {
         let mut out = Vec::new();
@@ -145,8 +148,8 @@ impl ReplicaChecker {
         // signature (BadWitness), closing the garbage-commitment escape.
         let mut witness_flaw = false;
         let mut vals: Vec<(TaskId, Value)> = Vec::with_capacity(witnesses.len());
-        for w in witnesses {
-            if w.verify(ks).is_err() || w.period != output.period {
+        for (i, w) in witnesses.iter().enumerate() {
+            if !witness_ok.get(i).copied().unwrap_or(false) || w.period != output.period {
                 witness_flaw = true;
             }
             vals.push((w.task, w.value));
@@ -212,7 +215,7 @@ impl ReplicaChecker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use btr_crypto::{NodeKey, Signer};
+    use btr_crypto::{KeyStore, NodeKey, Signer};
 
     struct View;
     impl WorkloadView for View {
@@ -236,6 +239,11 @@ mod tests {
     }
     fn ks() -> KeyStore {
         KeyStore::derive(21, 6)
+    }
+
+    /// What the detector's batched pass hands the checker.
+    fn oks(ws: &[SignedOutput]) -> Vec<bool> {
+        ws.iter().map(|w| w.verify(&ks()).is_ok()).collect()
     }
 
     fn cfg() -> CheckerConfig {
@@ -301,7 +309,8 @@ mod tests {
             inputs_digest(&vals),
             NodeId(5),
         );
-        assert!(chk.observe(&ks(), &View, o, &[w], None).is_empty());
+        let ws = [w];
+        assert!(chk.observe(&View, o, &ws, &oks(&ws), None).is_empty());
     }
 
     #[test]
@@ -311,7 +320,8 @@ mod tests {
         // Producer commits to garbage: checker refuses to judge (no
         // unsound proof), leaving it to omission/timing handling.
         let o = SignedOutput::sign(&signer(1), TaskId(1), 0, 1, 0xbad, 0x1234, NodeId(1));
-        assert!(chk.observe(&ks(), &View, o, &[w], None).is_empty());
+        let ws = [w];
+        assert!(chk.observe(&View, o, &ws, &oks(&ws), None).is_empty());
     }
 
     #[test]
@@ -329,7 +339,8 @@ mod tests {
             inputs_digest(&vals),
             NodeId(2),
         );
-        chk.observe(&ks(), &View, o, &[w], None);
+        let ws = [w];
+        chk.observe(&View, o, &ws, &oks(&ws), None);
         assert_eq!(chk.missing_lanes(7), vec![(0, NodeId(1))]);
     }
 
@@ -344,7 +355,7 @@ mod tests {
             seed: 3,
         });
         let honest = input(4);
-        assert!(chk.observe(&ks(), &View, honest, &[], None).is_empty());
+        assert!(chk.observe(&View, honest, &[], &[], None).is_empty());
         let lying = SignedOutput::sign(
             &signer(0),
             TaskId(0),
@@ -354,7 +365,7 @@ mod tests {
             inputs_digest(&[]),
             NodeId(0),
         );
-        let evs = chk.observe(&ks(), &View, lying, &[], None);
+        let evs = chk.observe(&View, lying, &[], &[], None);
         assert_eq!(evs.len(), 1);
         assert_eq!(evs[0].verify(&ks(), &View), Ok(()));
     }
@@ -373,6 +384,7 @@ mod tests {
             inputs_digest(&vals),
             NodeId(1),
         );
-        assert!(chk.observe(&ks(), &View, o, &[stale], None).is_empty());
+        let ws = [stale];
+        assert!(chk.observe(&View, o, &ws, &oks(&ws), None).is_empty());
     }
 }

@@ -32,7 +32,7 @@ pub use checker::{CheckerConfig, OutputPool, ReplicaChecker};
 pub use omission::OmissionTracker;
 pub use timing::{HeartbeatMonitor, TimingWatch};
 
-use btr_crypto::{KeyStore, Signature, Signer};
+use btr_crypto::{KeyStore, SigBatch, Signature, Signer};
 use btr_model::evidence::WorkloadView;
 use btr_model::{EvidenceId, EvidenceRecord, NodeId, PeriodIdx, SignedOutput, TaskId, Time};
 use std::collections::{BTreeMap, BTreeSet};
@@ -50,6 +50,12 @@ pub struct Detector {
     omission: OmissionTracker,
     /// Records already emitted (dedup so retransmits don't double-count).
     emitted: BTreeSet<EvidenceId>,
+    /// Reusable staging for batched signature verification: an arriving
+    /// output and all its witnesses are MAC-checked in one keyed pass
+    /// over this scratch instead of one allocating verify per record.
+    batch: SigBatch,
+    /// Per-item results of the last batch pass (index-aligned).
+    batch_ok: Vec<bool>,
     /// Nodes exonerated from missing-output blame: the node itself
     /// declared an upstream path problem for that period, so its silence
     /// was a cascade. Maps to the *root* producer/task being blamed, so
@@ -69,6 +75,8 @@ impl Detector {
             heartbeats: HeartbeatMonitor::new(heartbeat_miss_threshold),
             omission: OmissionTracker::new(omission_threshold),
             emitted: BTreeSet::new(),
+            batch: SigBatch::new(),
+            batch_ok: Vec::new(),
             exonerated: BTreeMap::new(),
         }
     }
@@ -113,17 +121,35 @@ impl Detector {
         envelope: Option<(Time, Signature)>,
     ) -> Vec<EvidenceRecord> {
         let mut out = Vec::new();
-        // Signature gate: unverifiable outputs are dropped silently (the
-        // envelope layer already attributes traffic).
-        if output.verify(ks).is_err() {
+        // Signature gate: the output alone first, so forged spam is
+        // dropped after one MAC (a sender attaching a maximal witness
+        // set to a garbage-tagged output must not buy W extra MACs);
+        // unverifiable outputs are dropped silently — the envelope
+        // layer already attributes traffic.
+        self.batch.clear();
+        self.batch_ok.clear();
+        output.stage_for_verify(&mut self.batch);
+        ks.verify_batch(&self.batch, &mut self.batch_ok);
+        if !self.batch_ok[0] {
             return out;
         }
-        // Equivocation pool over the output and each witness.
+        // Then the witness set, batched: one staging buffer, one keyed
+        // pass (amortising per-record setup; the per-record allocating
+        // `verify` this replaces dominated the audit cost). The results
+        // are index-aligned with `witnesses` and reused by the checker
+        // below, so each witness is MAC-checked exactly once.
+        self.batch.clear();
+        self.batch_ok.clear();
+        for w in witnesses {
+            w.stage_for_verify(&mut self.batch);
+        }
+        ks.verify_batch(&self.batch, &mut self.batch_ok);
+        // Equivocation pool over the output and each valid witness.
         if let Some(ev) = self.pool.insert_checked(&output) {
             out.push(ev);
         }
-        for w in witnesses {
-            if w.verify(ks).is_ok() {
+        for (w, &ok) in witnesses.iter().zip(&self.batch_ok) {
+            if ok {
                 if let Some(ev) = self.pool.insert_checked(w) {
                     out.push(ev);
                 }
@@ -138,9 +164,10 @@ impl Detector {
                 out.push(ev);
             }
         }
-        // Commission checking, if this node checks the task.
+        // Commission checking, if this node checks the task — reusing
+        // the batch results instead of re-verifying every witness.
         if let Some(chk) = self.checkers.get_mut(&output.task) {
-            out.extend(chk.observe(ks, view, output, witnesses, envelope));
+            out.extend(chk.observe(view, output, witnesses, &self.batch_ok, envelope));
         }
         self.dedup(out)
     }
@@ -392,6 +419,37 @@ mod tests {
         assert_eq!(evs.len(), 1);
         assert_eq!(evs[0].convicts(), Some(NodeId(1)));
         assert_eq!(evs[0].verify(&ks(), &View), Ok(()));
+    }
+
+    #[test]
+    fn batched_gate_drops_forged_outputs_and_skips_forged_witnesses() {
+        let mut d = Detector::new(NodeId(3), 3, 3);
+        let s = signer(3);
+        // A forged output (tag does not match content) is dropped whole.
+        let (mut forged, w) = lane_out(1, 0, 1, 0);
+        forged.value ^= 1;
+        let evs = d.observe_output(&ks(), &s, &View, forged, &w, Time(0), None, None);
+        assert!(evs.is_empty());
+        // A relabelled output (valid tag under the signer's own key, but
+        // claiming another producer) is equally dropped: the batch path
+        // must keep the key-id/producer consistency gate.
+        let (mut relabelled, w) = lane_out(1, 0, 1, 0);
+        relabelled.producer = NodeId(5);
+        let evs = d.observe_output(&ks(), &s, &View, relabelled, &w, Time(0), None, None);
+        assert!(evs.is_empty());
+        // A valid output with one forged witness: the witness is skipped
+        // (it cannot seed the equivocation pool) but the output lands.
+        let (good, mut w) = lane_out(2, 0, 1, 0);
+        w[0].value ^= 0xff; // Tag no longer matches.
+        let evs = d.observe_output(&ks(), &s, &View, good.clone(), &w, Time(0), None, None);
+        assert!(evs.is_empty());
+        // The same witness, validly signed with a *conflicting* value,
+        // now meets the pool for the first time: no equivocation proof
+        // can cite the forged copy, proving it was never admitted.
+        let (again, w2) = lane_out(2, 0, 1, 0);
+        let evs = d.observe_output(&ks(), &s, &View, again, &w2, Time(1), None, None);
+        assert!(evs.is_empty(), "forged witness must not have been pooled");
+        let _ = good;
     }
 
     #[test]

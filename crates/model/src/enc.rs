@@ -58,6 +58,15 @@ impl<'a> Enc<'a> {
     /// scratch makes encoding allocation-free in steady state.
     pub fn over(buf: &'a mut Vec<u8>, domain: &str) -> Enc<'a> {
         buf.clear();
+        Self::append(buf, domain)
+    }
+
+    /// Start an encoding *appended* to a caller-owned buffer, without
+    /// clearing it first. This is the batched-verification staging path:
+    /// many messages' canonical bytes share one scratch buffer (see
+    /// `btr_crypto::SigBatch`), each encoding starting where the previous
+    /// one ended.
+    pub fn append(buf: &'a mut Vec<u8>, domain: &str) -> Enc<'a> {
         let mut e = Enc {
             out: Out::Borrowed(buf),
         };
@@ -195,6 +204,29 @@ mod tests {
         }
         assert!(scratch.capacity() >= cap.min(scratch.len()));
         assert_ne!(scratch, expected);
+    }
+
+    #[test]
+    fn append_stacks_encodings_without_clearing() {
+        let mut one = Enc::new("t");
+        one.u32(1);
+        let first = one.finish();
+        let mut two = Enc::new("t");
+        two.u64(2);
+        let second = two.finish();
+
+        let mut buf = Vec::new();
+        {
+            let mut e = Enc::append(&mut buf, "t");
+            e.u32(1);
+        }
+        let split = buf.len();
+        {
+            let mut e = Enc::append(&mut buf, "t");
+            e.u64(2);
+        }
+        assert_eq!(&buf[..split], &first[..]);
+        assert_eq!(&buf[split..], &second[..]);
     }
 
     #[test]

@@ -107,6 +107,36 @@ impl SignedOutput {
             .u32(producer.0);
     }
 
+    /// Append this output's signing bytes to a shared buffer without
+    /// clearing it — the staging primitive for batched verification
+    /// (`btr_crypto::SigBatch` carries many outputs' bytes in one
+    /// scratch). Byte-identical to [`SignedOutput::signing_bytes`].
+    pub fn append_signing_bytes(&self, buf: &mut Vec<u8>) {
+        let mut e = Enc::append(buf, "btr-output");
+        e.u32(self.task.0)
+            .u8(self.replica)
+            .u64(self.period)
+            .u64(self.value)
+            .u64(self.inputs_digest)
+            .u32(self.producer.0);
+    }
+
+    /// Stage this output into a verification batch, carrying the same
+    /// key-id/producer consistency gate as [`SignedOutput::verify_with`]
+    /// (a tag made under the *sender's* key over bytes naming a
+    /// different producer is a valid MAC but a forged attribution — it
+    /// is staged pre-failed so no MAC is spent on it). This is the one
+    /// place the gate lives for the batched path; after
+    /// `KeyStore::verify_batch`, `ok[i]` equals what `verify_with`
+    /// would have returned for the i-th staged output.
+    pub fn stage_for_verify(&self, batch: &mut btr_crypto::SigBatch) {
+        if self.sig.key != self.producer.0 {
+            batch.push_prefailed();
+        } else {
+            batch.push_with(&self.sig, |buf| self.append_signing_bytes(buf));
+        }
+    }
+
     /// Produce a signed output (called by the producing node).
     #[allow(clippy::too_many_arguments)]
     pub fn sign(
@@ -118,7 +148,42 @@ impl SignedOutput {
         inputs_digest: u64,
         producer: NodeId,
     ) -> SignedOutput {
-        let bytes = Self::signing_bytes(task, replica, period, value, inputs_digest, producer);
+        let mut scratch = Vec::new();
+        Self::sign_with(
+            signer,
+            task,
+            replica,
+            period,
+            value,
+            inputs_digest,
+            producer,
+            &mut scratch,
+        )
+    }
+
+    /// Like [`SignedOutput::sign`], writing the signing bytes into a
+    /// reusable scratch buffer instead of allocating (the signed-traffic
+    /// hot path signs one of these per task release).
+    #[allow(clippy::too_many_arguments)]
+    pub fn sign_with(
+        signer: &Signer,
+        task: TaskId,
+        replica: ReplicaIdx,
+        period: PeriodIdx,
+        value: Value,
+        inputs_digest: u64,
+        producer: NodeId,
+        scratch: &mut Vec<u8>,
+    ) -> SignedOutput {
+        Self::write_signing_bytes(
+            task,
+            replica,
+            period,
+            value,
+            inputs_digest,
+            producer,
+            scratch,
+        );
         SignedOutput {
             task,
             replica,
@@ -126,7 +191,7 @@ impl SignedOutput {
             value,
             inputs_digest,
             producer,
-            sig: signer.sign(&bytes),
+            sig: signer.sign(scratch),
         }
     }
 
@@ -770,6 +835,57 @@ mod tests {
         let mut reference = Enc::new("outer");
         reference.bytes(&out.canonical_id_bytes());
         assert_eq!(e.finish(), reference.finish());
+    }
+
+    #[test]
+    fn append_signing_bytes_matches_owned() {
+        let s = signer(3);
+        let out = SignedOutput::sign(&s, TaskId(2), 1, 5, 77, 0xfeed, NodeId(3));
+        let owned = SignedOutput::signing_bytes(
+            out.task,
+            out.replica,
+            out.period,
+            out.value,
+            out.inputs_digest,
+            out.producer,
+        );
+        // Appending after existing content must leave it intact and
+        // reproduce the owned encoding after it.
+        let mut buf = vec![9u8, 9, 9];
+        out.append_signing_bytes(&mut buf);
+        assert_eq!(&buf[..3], &[9, 9, 9]);
+        assert_eq!(&buf[3..], &owned[..]);
+    }
+
+    #[test]
+    fn stage_for_verify_matches_single_verify() {
+        let s = signer(3);
+        let good = SignedOutput::sign(&s, TaskId(2), 0, 5, 1, 2, NodeId(3));
+        let mut forged = good.clone();
+        forged.value ^= 1;
+        let mut relabelled = good.clone();
+        relabelled.producer = NodeId(5); // Valid MAC, forged attribution.
+        let outputs = [good, forged, relabelled];
+        let mut batch = btr_crypto::SigBatch::new();
+        for o in &outputs {
+            o.stage_for_verify(&mut batch);
+        }
+        let mut ok = Vec::new();
+        keystore().verify_batch(&batch, &mut ok);
+        for (o, got) in outputs.iter().zip(&ok) {
+            assert_eq!(*got, o.verify(&keystore()).is_ok(), "{o:?}");
+        }
+        assert_eq!(ok, vec![true, false, false]);
+    }
+
+    #[test]
+    fn sign_with_equals_sign() {
+        let s = signer(3);
+        let mut scratch = vec![0xffu8; 7];
+        let a = SignedOutput::sign(&s, TaskId(2), 0, 5, 1, 2, NodeId(3));
+        let b = SignedOutput::sign_with(&s, TaskId(2), 0, 5, 1, 2, NodeId(3), &mut scratch);
+        assert_eq!(a, b);
+        assert_eq!(b.verify(&keystore()), Ok(()));
     }
 
     #[test]

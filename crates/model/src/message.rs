@@ -228,7 +228,12 @@ pub struct Envelope {
 
 /// Fixed per-envelope header bytes on the wire.
 pub const ENVELOPE_HEADER_BYTES: u32 = 28;
-/// Wire bytes for an envelope signature.
+/// Wire bytes for an envelope signature: a 4-byte key id plus the fixed
+/// 32-byte authenticator field. Both authenticator suites share the
+/// field (SipHash-2-4 tags are zero-padded; see `btr_crypto::AuthSuite`),
+/// so message sizes — and therefore link serialisation timings — are
+/// bit-identical across suites and only CPU cost differs. The
+/// cross-suite differential oracles rely on this.
 pub const SIGNATURE_BYTES: u32 = 36;
 
 impl Envelope {

@@ -3,7 +3,9 @@
 use crate::queue::{Event, EventQueue};
 use crate::trace::{DropReason, SimMetrics, TraceEvent};
 use crate::{NodeBehavior, TimerId};
-use btr_crypto::{digest64, KeyStore, NodeKey, SigError, Signer, SplitMix64, Xoshiro256StarStar};
+use btr_crypto::{
+    digest64, AuthSuite, KeyStore, NodeKey, SigError, Signer, SplitMix64, Xoshiro256StarStar,
+};
 use btr_model::{
     Duration, Envelope, EvidenceFlaw, LinkId, NodeId, Payload, PeriodIdx, SignedOutput, TaskId,
     Time, Topology, Value,
@@ -51,6 +53,13 @@ pub struct SimConfig {
     /// stall a worker thread; a truncated run is deterministic like any
     /// other, so the cap does not break reproducibility.
     pub max_events: u64,
+    /// Which authenticator suite every node's `Signer` and the shared
+    /// `KeyStore` use: HMAC-SHA-256 (default, the pinned baseline) or
+    /// SipHash-2-4 128-bit tags (same unforgeability inside the
+    /// simulation, a fraction of the CPU). Wire sizes are identical
+    /// across suites, so two runs differing only in suite are
+    /// bit-identical in everything but tag bytes.
+    pub auth_suite: AuthSuite,
 }
 
 impl SimConfig {
@@ -65,6 +74,7 @@ impl SimConfig {
             fec: None,
             legacy_hot_path: false,
             max_events: 0,
+            auth_suite: AuthSuite::default(),
         }
     }
 }
@@ -176,7 +186,7 @@ impl World {
     /// behaviour; install real ones with [`World::set_behavior`].
     pub fn new(topo: Topology, cfg: SimConfig) -> World {
         let n = topo.node_count();
-        let keystore = KeyStore::derive(cfg.seed, n);
+        let keystore = KeyStore::derive_suite(cfg.seed, n, cfg.auth_suite);
         let nics = topo
             .links()
             .iter()
@@ -192,7 +202,7 @@ impl World {
                     - cfg.max_clock_skew.as_micros() as i64;
                 NodeSlot {
                     behavior: Some(Box::new(crate::IdleBehavior)),
-                    signer: Signer::new(NodeKey::derive(cfg.seed, id)),
+                    signer: Signer::new(NodeKey::derive_suite(cfg.seed, id, cfg.auth_suite)),
                     crashed: false,
                     clock_offset: skew,
                     forward: ForwardPolicy::Forward,
@@ -242,6 +252,11 @@ impl World {
     /// The shared verification keystore.
     pub fn keystore(&self) -> &KeyStore {
         &self.keystore
+    }
+
+    /// The authenticator suite this world's signers and keystore use.
+    pub fn auth_suite(&self) -> AuthSuite {
+        self.cfg.auth_suite
     }
 
     /// Current simulation time.
@@ -1052,6 +1067,30 @@ mod tests {
         w.start();
         w.run_until(Time::from_millis(10));
         assert_eq!(w.actuations()[0].value, 1, "signature must verify");
+    }
+
+    #[test]
+    fn siphash_suite_signs_and_verifies_end_to_end() {
+        struct Verify;
+        impl NodeBehavior for Verify {
+            fn on_start(&mut self, _c: &mut NodeCtx<'_>) {}
+            fn on_message(&mut self, ctx: &mut NodeCtx<'_>, env: Envelope) {
+                let ok = ctx.verify_env(&env).is_ok();
+                ctx.actuate(TaskId(9), 0, ok as u64);
+            }
+            fn on_timer(&mut self, _c: &mut NodeCtx<'_>, _t: TimerId) {}
+        }
+        let topo = Topology::bus(2, 10_000, Duration(10));
+        let mut cfg = SimConfig::new(1);
+        cfg.auth_suite = AuthSuite::SipHash24;
+        let mut w = World::new(topo, cfg);
+        assert_eq!(w.auth_suite(), AuthSuite::SipHash24);
+        assert_eq!(w.keystore().suite(), AuthSuite::SipHash24);
+        w.set_behavior(NodeId(0), Box::new(Starter { sent: false }));
+        w.set_behavior(NodeId(1), Box::new(Verify));
+        w.start();
+        w.run_until(Time::from_millis(10));
+        assert_eq!(w.actuations()[0].value, 1, "sip tag must verify");
     }
 
     #[test]
