@@ -17,6 +17,7 @@ use btr_bench::experiments as exp;
 use btr_bench::hotpath::{
     self, HotPathMeasurement, HOTPATH_FEC, HOTPATH_LOSS_PPM, HOTPATH_NODES, HOTPATH_PERIODS,
 };
+use btr_bench::live::{self, LiveMeasurement, LIVE_PACE, LIVE_SEED, LIVE_SMOKE_PACE};
 use btr_bench::scale::{
     self, ScaleMeasurement, SCALE_NODES, SCALE_ROUTING_BUDGET, SCALE_SMOKE_MSGS, SCALE_TARGET_MSGS,
 };
@@ -77,7 +78,8 @@ fn measurement_json(label: &str, m: &HotPathMeasurement) -> String {
             "      \"msgs_per_sec\": {},\n",
             "      \"ns_per_delivery\": {},\n",
             "      \"allocations\": {},\n",
-            "      \"allocs_per_delivery\": {}\n",
+            "      \"allocs_per_delivery\": {},\n",
+            "      \"truncated\": {}\n",
             "    }}"
         ),
         label,
@@ -89,6 +91,7 @@ fn measurement_json(label: &str, m: &HotPathMeasurement) -> String {
         json_f64(m.ns_per_delivery()),
         m.allocations,
         json_f64(m.allocs_per_delivery()),
+        m.truncated,
     )
 }
 
@@ -113,7 +116,8 @@ fn signed_suite_json(m: &SignedMeasurement, pair_ns: f64) -> String {
             "        \"ns_per_delivery\": {},\n",
             "        \"sig_ops_per_sec\": {},\n",
             "        \"pair_ns\": {},\n",
-            "        \"allocations\": {}\n",
+            "        \"allocations\": {},\n",
+            "        \"truncated\": {}\n",
             "      }}"
         ),
         m.suite.name(),
@@ -126,6 +130,7 @@ fn signed_suite_json(m: &SignedMeasurement, pair_ns: f64) -> String {
         json_f64(m.sig_ops_per_sec()),
         json_f64(pair_ns),
         m.allocations,
+        m.truncated,
     )
 }
 
@@ -175,6 +180,9 @@ fn run_signed_bench(periods: u64) -> (String, bool) {
             hmac.rejects, sip.rejects
         );
     }
+    if hmac.truncated || sip.truncated {
+        eprintln!("error: a signed measurement hit the event-cap safety valve (truncated)");
+    }
     let json = format!(
         concat!(
             "  \"signed\": {{\n",
@@ -205,7 +213,10 @@ fn run_signed_bench(periods: u64) -> (String, bool) {
         json_f64(e2e),
         json_f64(SIGNED_SPEEDUP_FLOOR),
     );
-    (json, floor_ok && hmac.rejects == 0 && sip.rejects == 0)
+    (
+        json,
+        floor_ok && hmac.rejects == 0 && sip.rejects == 0 && !hmac.truncated && !sip.truncated,
+    )
 }
 
 fn run_bench(periods: u64, signed: bool, out_path: &str) {
@@ -292,6 +303,13 @@ fn run_bench(periods: u64, signed: bool, out_path: &str) {
             std::process::exit(1);
         }
     }
+    // A truncated measurement is not the pinned scenario: the safety
+    // valve fired and the numbers cover a prefix. Publish the flag in
+    // the JSON (above) and fail the gate.
+    if legacy.truncated || optimized.truncated {
+        eprintln!("error: a hot-path measurement hit the event-cap safety valve (truncated)");
+        std::process::exit(1);
+    }
     if !signed_ok {
         std::process::exit(1);
     }
@@ -363,6 +381,13 @@ fn run_scale_cli(mut args: Vec<String>) {
             );
             over_budget = true;
         }
+        if m.truncated {
+            eprintln!(
+                "error: n={} hit the event-cap safety valve (truncated measurement)",
+                m.nodes
+            );
+            over_budget = true;
+        }
         points.push(m);
     }
 
@@ -382,7 +407,8 @@ fn run_scale_cli(mut args: Vec<String>) {
                 "      \"allocations\": {},\n",
                 "      \"routing_kind\": \"{}\",\n",
                 "      \"routing_resident_bytes\": {},\n",
-                "      \"drops_forward\": {}\n",
+                "      \"drops_forward\": {},\n",
+                "      \"truncated\": {}\n",
                 "    }}"
             ),
             m.nodes,
@@ -399,6 +425,7 @@ fn run_scale_cli(mut args: Vec<String>) {
             m.routing_kind,
             m.routing_resident_bytes,
             m.drops_forward,
+            m.truncated,
         )
     };
     let json = format!(
@@ -432,6 +459,247 @@ fn run_scale_cli(mut args: Vec<String>) {
     }
 }
 
+fn json_opt_u64(v: Option<u64>) -> String {
+    match v {
+        Some(v) => v.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+fn live_scenario_json(m: &LiveMeasurement) -> String {
+    format!(
+        concat!(
+            "      {{\n",
+            "        \"name\": \"{}\",\n",
+            "        \"nodes\": {},\n",
+            "        \"horizon_us\": {},\n",
+            "        \"fault\": \"{}\",\n",
+            "        \"trace_match\": {},\n",
+            "        \"actuations\": {},\n",
+            "        \"healthy\": {},\n",
+            "        \"panics\": {},\n",
+            "        \"overruns\": {},\n",
+            "        \"converged\": {},\n",
+            "        \"recovery_us\": {},\n",
+            "        \"r_bound_us\": {},\n",
+            "        \"within_r\": {},\n",
+            "        \"fault_wall_us\": {},\n",
+            "        \"switch_wall_us\": {},\n",
+            "        \"recovery_wall_us\": {},\n",
+            "        \"within_r_wall\": {},\n",
+            "        \"msgs_sent\": {},\n",
+            "        \"mailbox_full\": {},\n",
+            "        \"wall_ms\": {}\n",
+            "      }}"
+        ),
+        m.name,
+        m.nodes,
+        m.horizon_us,
+        m.fault,
+        m.trace_match,
+        m.actuations,
+        m.healthy,
+        m.panics,
+        m.overruns,
+        m.converged,
+        m.recovery_us,
+        m.r_bound_us,
+        m.within_r,
+        json_opt_u64(m.fault_wall_us),
+        json_opt_u64(m.switch_wall_us),
+        json_opt_u64(m.recovery_wall_us),
+        m.within_r_wall,
+        m.msgs_sent,
+        m.mailbox_full,
+        m.wall_ms,
+    )
+}
+
+/// Insert or replace the `"live"` section in the JSON report at `path`.
+/// The harness owns both writers — `bench` emits the base object and
+/// `live` is always appended as the last key — so replacement is a
+/// text-level truncate-and-append, not a JSON parse.
+fn merge_live_section(path: &str, live_json: &str) -> std::io::Result<()> {
+    let base = match std::fs::read_to_string(path) {
+        Ok(s) => match s.find(",\n  \"live\":") {
+            Some(i) => s[..i].to_string(),
+            None => match s.trim_end().strip_suffix('}') {
+                Some(t) => t.trim_end().to_string(),
+                // Missing or foreign content: start a fresh object.
+                None => "{".to_string(),
+            },
+        },
+        Err(_) => "{".to_string(),
+    };
+    let comma = if base.trim_end().ends_with('{') {
+        ""
+    } else {
+        ","
+    };
+    std::fs::write(path, format!("{base}{comma}\n{live_json}\n}}\n"))
+}
+
+/// Replay a campaign reproducer token on the live runtime: plan the
+/// cell, run the schedule on real threads, and hold the live trace
+/// against the simulator oracle.
+fn run_live_replay(token: &str, pace: f64) {
+    use btr_campaign as campaign;
+    use btr_node::supervisor::{run_live, LiveConfig};
+
+    let spec = match campaign::replay::parse(token) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let system = match spec.cell.plan() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if spec.max_events != 0 {
+        println!(
+            "note: live replay ignores the token's simulator event cap (me={})",
+            spec.max_events
+        );
+    }
+    println!(
+        "live replay: {} fault(s) on {} (f={}, R={}, seed {}, pace {pace})",
+        spec.scenario.faults.len(),
+        spec.cell.name(),
+        spec.cell.f,
+        spec.cell.r_bound,
+        spec.sim_seed
+    );
+    let reference = live::sim_trace(&system, &spec.scenario, spec.horizon, spec.sim_seed);
+    let mut cfg = LiveConfig::new(spec.sim_seed);
+    cfg.pace = pace;
+    let report = run_live(&system, &spec.scenario, spec.horizon, &cfg);
+    let judgment = system.judge_actuations(&spec.scenario, spec.horizon, &report.trace.events);
+    println!(
+        "  trace {} simulator ({} actuations), bad window {:.1} ms (R = {:.1} ms), converged: {}",
+        if report.trace.digest() == reference.digest() {
+            "matches"
+        } else {
+            "DIVERGES from"
+        },
+        report.trace.len(),
+        judgment.recovery.bad_window().as_micros() as f64 / 1e3,
+        spec.cell.r_bound.as_micros() as f64 / 1e3,
+        report.converged,
+    );
+    if let Some(w) = report.last_switch_wall_us() {
+        println!("  last mode switch at wall {:.1} ms", w as f64 / 1e3);
+    }
+    // Arbitrary tokens include over-budget and byzantine-flood schedules
+    // where divergence or R violation is the finding, not a harness bug;
+    // only process health gates the exit code here.
+    if !report.healthy() {
+        eprintln!(
+            "error: live replay unhealthy (panics: {:?}, overruns: {:?})",
+            report.panics, report.deadline_overruns
+        );
+        std::process::exit(1);
+    }
+}
+
+fn run_live_cli(mut args: Vec<String>) {
+    let smoke = take_flag(&mut args, "--smoke");
+    let seed = take_value(&mut args, "--seed").unwrap_or(LIVE_SEED);
+    let pace: f64 =
+        take_value(&mut args, "--pace").unwrap_or(if smoke { LIVE_SMOKE_PACE } else { LIVE_PACE });
+    if pace <= 0.0 || !pace.is_finite() {
+        eprintln!("error: --pace must be positive, got {pace}");
+        std::process::exit(2);
+    }
+    let out_path: String = take_value(&mut args, "--out").unwrap_or("BENCH_sim.json".into());
+    let replay: Option<String> = take_value(&mut args, "--replay");
+    if let Some(stray) = args.iter().find(|a| *a != "live") {
+        eprintln!("error: unknown live argument '{stray}'");
+        std::process::exit(2);
+    }
+    if let Some(token) = replay {
+        run_live_replay(&token, pace);
+        return;
+    }
+
+    let specs = live::pinned_scenarios(smoke);
+    println!(
+        "live runtime: {} pinned scenario(s), seed {seed}, pace {pace}{}",
+        specs.len(),
+        if smoke { " (smoke)" } else { "" }
+    );
+    let mut measurements: Vec<LiveMeasurement> = Vec::new();
+    let mut system: Option<(usize, btr_core::BtrSystem)> = None;
+    for spec in &specs {
+        // Scenario sets share one platform size; plan it once.
+        if system.as_ref().map(|(n, _)| *n) != Some(spec.nodes) {
+            system = Some((spec.nodes, live::live_system(spec.nodes)));
+        }
+        let sys = &system.as_ref().expect("planned above").1;
+        let m = live::measure_live(sys, spec, seed, pace);
+        println!(
+            "  {:<14} {:>4} actuations  trace {}  recovery {:>7.1} ms (R {:.0} ms)  wall {}  [{}]",
+            m.name,
+            m.actuations,
+            if m.trace_match { "ok" } else { "DIVERGED" },
+            m.recovery_us as f64 / 1e3,
+            m.r_bound_us as f64 / 1e3,
+            match m.recovery_wall_us {
+                Some(w) => format!("{:>7.1} ms", w as f64 / 1e3),
+                None => "      —".to_string(),
+            },
+            if m.ok() { "ok" } else { "FAIL" },
+        );
+        if !m.healthy {
+            eprintln!(
+                "error: {}: {} panic(s), {} deadline overrun(s)",
+                m.name, m.panics, m.overruns
+            );
+        }
+        measurements.push(m);
+    }
+    let json = format!(
+        concat!(
+            "  \"live\": {{\n",
+            "    \"seed\": {},\n",
+            "    \"pace\": {},\n",
+            "    \"smoke\": {},\n",
+            "    \"wall_slack_us\": {},\n",
+            "    \"scenarios\": [\n{}\n    ]\n",
+            "  }}"
+        ),
+        seed,
+        pace,
+        smoke,
+        live::LIVE_WALL_SLACK_US,
+        measurements
+            .iter()
+            .map(live_scenario_json)
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    );
+    match merge_live_section(&out_path, &json) {
+        Ok(()) => println!("  wrote {out_path} (live section)"),
+        Err(e) => {
+            eprintln!("error: failed to write {out_path}: {e}");
+            std::process::exit(2);
+        }
+    }
+    let failed: Vec<&str> = measurements
+        .iter()
+        .filter(|m| !m.ok())
+        .map(|m| m.name)
+        .collect();
+    if !failed.is_empty() {
+        eprintln!("error: live scenario gate failed: {}", failed.join(", "));
+        std::process::exit(1);
+    }
+}
+
 fn usage() {
     eprintln!(
         "usage: harness [--threads N] [--list] <command>...\n\
@@ -444,6 +712,9 @@ fn usage() {
          \x20                    adds the hmac-vs-siphash signed-traffic A/B and gates\n\
          \x20                    the sign+verify speedup floor\n\
          \x20 scale [opts]       thousand-node torus sweep (emits BENCH_scale.json)\n\
+         \x20 live [opts]        pinned fault scenarios on the live thread-per-node\n\
+         \x20                    runtime, simulator as trace oracle (live section in\n\
+         \x20                    BENCH_sim.json)\n\
          \x20 campaign [opts]    parallel fault-injection campaign (emits CAMPAIGN_btr.json)\n\
          \n\
          global options:\n\
@@ -466,7 +737,14 @@ fn usage() {
          \x20 --nodes N,N,...    sweep sizes (default 20,100,400,1000)\n\
          \x20 --seed S           simulator seed (default 7)\n\
          \x20 --smoke            ~10x fewer messages per point (CI budget)\n\
-         \x20 --out PATH         report path (default BENCH_scale.json)"
+         \x20 --out PATH         report path (default BENCH_scale.json)\n\
+         \n\
+         live options:\n\
+         \x20 --smoke            small fleet, short horizons, double speed (CI budget)\n\
+         \x20 --seed S           run seed (default 7)\n\
+         \x20 --pace X           wall-us per logical-us (default 1.0; 0.5 under --smoke)\n\
+         \x20 --out PATH         report to merge into (default BENCH_sim.json)\n\
+         \x20 --replay TOKEN     run one campaign reproducer token on the live runtime"
     );
 }
 
@@ -695,6 +973,9 @@ fn main() {
         println!("                 hmac-vs-siphash A/B with its speedup gate (BENCH_sim.json)");
         println!("scale [--nodes N,..] [--seed S] [--smoke] [--out PATH]");
         println!("                 thousand-node torus sweep (emits BENCH_scale.json)");
+        println!("live [--smoke] [--seed S] [--pace X] [--out PATH] [--replay TOKEN]");
+        println!("                 pinned fault scenarios on the live thread-per-node runtime,");
+        println!("                 simulator as trace oracle (live section in BENCH_sim.json)");
         println!("campaign [--runs N] [--seed S] [--sim-seeds K] [--combos] [--over-budget]");
         println!("         [--all-variants] [--auth hmac|sip|both] [--out PATH] [--replay TOKEN]");
         println!("                 parallel fault-injection campaign (emits CAMPAIGN_btr.json)");
@@ -706,6 +987,10 @@ fn main() {
     }
     if args.iter().any(|a| a == "scale") {
         run_scale_cli(args);
+        return;
+    }
+    if args.iter().any(|a| a == "live") {
+        run_live_cli(args);
         return;
     }
     if args.iter().any(|a| a == "bench") {

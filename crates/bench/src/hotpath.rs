@@ -128,6 +128,9 @@ pub struct HotPathMeasurement {
     /// Heap allocations during the run (0 if no counting allocator is
     /// installed; the harness binary installs one).
     pub allocations: u64,
+    /// True if the run hit the event-cap safety valve before the
+    /// horizon — the measurement covers a prefix, not the scenario.
+    pub truncated: bool,
 }
 
 impl HotPathMeasurement {
@@ -182,6 +185,7 @@ pub fn measure_hotpath(
         events: m.events,
         wall_ns,
         allocations,
+        truncated: w.truncated(),
     }
 }
 

@@ -11,6 +11,7 @@
 
 pub mod experiments;
 pub mod hotpath;
+pub mod live;
 pub mod scale;
 pub mod signed;
 pub mod table;

@@ -111,6 +111,9 @@ pub struct ScaleMeasurement {
     /// Envelopes still parked in the event arena after the run (must be
     /// 0: the queue drained).
     pub envelopes_leaked: usize,
+    /// True if the run hit the event-cap safety valve before the
+    /// horizon — the sweep point covers a prefix, not the scenario.
+    pub truncated: bool,
 }
 
 impl ScaleMeasurement {
@@ -201,6 +204,7 @@ pub fn measure_scale(
         routing_kind: w.routing_kind(),
         drops_forward: m.drops_forward,
         envelopes_leaked: w.envelopes_in_flight(),
+        truncated: w.truncated(),
     }
 }
 

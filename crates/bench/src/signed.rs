@@ -180,6 +180,9 @@ pub struct SignedMeasurement {
     pub wall_ns: u128,
     /// Heap allocations during the run (0 without a counting allocator).
     pub allocations: u64,
+    /// True if the run hit the event-cap safety valve before the
+    /// horizon — the measurement covers a prefix, not the scenario.
+    pub truncated: bool,
 }
 
 impl SignedMeasurement {
@@ -258,6 +261,7 @@ pub fn measure_signed(
         rejects,
         wall_ns,
         allocations,
+        truncated: w.truncated(),
     }
 }
 

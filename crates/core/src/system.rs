@@ -71,6 +71,21 @@ pub struct BtrSystem {
     auth_suite: btr_crypto::AuthSuite,
 }
 
+/// Verdicts for an actuation stream, however it was produced — by the
+/// simulator ([`BtrSystem::run`]) or by the live thread-per-node runtime
+/// (`btr-node`), which uses the simulator as its trace oracle.
+#[derive(Debug, Clone)]
+pub struct ActuationJudgment {
+    /// Judged output slots ((sink, period) classification).
+    pub verdicts: Vec<SinkVerdict>,
+    /// Recovery window measurement.
+    pub recovery: RecoveryStats,
+    /// Fraction of acceptable slots per criticality level.
+    pub survival: BTreeMap<Criticality, f64>,
+    /// Number of fully judged periods.
+    pub periods: u64,
+}
+
 /// Everything measured in one run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -212,6 +227,32 @@ impl BtrSystem {
         &self.workload
     }
 
+    /// Shared handle to the workload (the live thread-per-node runtime
+    /// spawns its actors off the same `Arc` the simulator uses).
+    pub fn workload_arc(&self) -> Arc<Workload> {
+        Arc::clone(&self.workload)
+    }
+
+    /// Shared handle to the computed strategy.
+    pub fn strategy_arc(&self) -> Arc<Strategy> {
+        Arc::clone(&self.strategy)
+    }
+
+    /// The per-node runtime configuration runs are built with.
+    pub fn node_config(&self) -> &BtrConfig {
+        &self.node_cfg
+    }
+
+    /// Settle time appended after the horizon before judging.
+    pub fn grace(&self) -> Duration {
+        self.grace
+    }
+
+    /// The residual message-loss rate (ppm) runs are built with.
+    pub fn loss_ppm(&self) -> u32 {
+        self.loss_ppm
+    }
+
     /// The platform.
     pub fn topology(&self) -> &Topology {
         &self.topo
@@ -277,12 +318,17 @@ impl BtrSystem {
         world
     }
 
-    /// Run a fault scenario for `horizon` and judge the outputs.
-    pub fn run(&self, scenario: &FaultScenario, horizon: Duration, seed: u64) -> RunReport {
-        let mut world = self.build_world(scenario, seed);
-        world.start();
-        world.run_until(Time::ZERO + horizon + self.grace);
-
+    /// Judge an externally produced actuation stream (e.g. the live
+    /// thread-per-node runtime's) with exactly the pipeline
+    /// [`BtrSystem::run`] applies to the simulator's actuations: same
+    /// shed-aware reference values, same compromised-node exclusions,
+    /// same recovery accounting.
+    pub fn judge_actuations(
+        &self,
+        scenario: &FaultScenario,
+        horizon: Duration,
+        actuations: &[btr_sim::Actuation],
+    ) -> ActuationJudgment {
         // The degraded plan the strategy prescribes for the injected
         // pattern (what "legitimate degradation" means for the oracle).
         let injected: FaultSet = scenario.compromised().into_iter().collect();
@@ -297,7 +343,7 @@ impl BtrSystem {
         let compromised_set: BTreeSet<NodeId> = scenario.compromised().into_iter().collect();
         let verdicts = judge(
             &self.workload,
-            world.actuations(),
+            actuations,
             periods,
             &degraded_shed,
             &compromised_set,
@@ -307,6 +353,26 @@ impl BtrSystem {
         let recovery =
             RecoveryStats::from_verdicts(&self.workload, &verdicts, scenario.first_manifestation());
         let survival = survival_by_criticality(&verdicts);
+        ActuationJudgment {
+            verdicts,
+            recovery,
+            survival,
+            periods,
+        }
+    }
+
+    /// Run a fault scenario for `horizon` and judge the outputs.
+    pub fn run(&self, scenario: &FaultScenario, horizon: Duration, seed: u64) -> RunReport {
+        let mut world = self.build_world(scenario, seed);
+        world.start();
+        world.run_until(Time::ZERO + horizon + self.grace);
+
+        let ActuationJudgment {
+            verdicts,
+            recovery,
+            survival,
+            periods,
+        } = self.judge_actuations(scenario, horizon, world.actuations());
 
         let compromised = scenario.compromised();
         let mut node_stats = Vec::new();

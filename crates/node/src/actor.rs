@@ -1,0 +1,691 @@
+//! The per-node actor: one OS thread running one `NodeBehavior`.
+//!
+//! Each node owns a logical clock, a timer wheel, and a mailbox. All
+//! *protocol-visible* time is logical — envelope timestamps, timer
+//! deadlines, actuation stamps — so a fault-free live run produces the
+//! same canonical actuation trace as the discrete-event simulator, and
+//! the wall clock only determines how long the run physically takes
+//! (and how real the measured recovery latencies are).
+//!
+//! Two gates sit in front of every dispatch:
+//!
+//! * **Causal gate** (correctness): conservative parallel
+//!   discrete-event execution in the Chandy–Misra–Bryant style. Each
+//!   node publishes a frontier through the transport — a lower bound on
+//!   the arrival time of anything it may still send, which is its next
+//!   dispatchable instant plus the topology's minimum link delay
+//!   (lookahead). A node dispatches an event at logical `t` only once
+//!   every peer's frontier has passed `t`, so an OS thread descheduled
+//!   for ten milliseconds delays the run but can never reorder it. The
+//!   protocol's schedules pack producer-emit → consumer-slot gaps at
+//!   microsecond scale, far below thread jitter; without this gate a
+//!   live run misses inputs and hallucinates faults.
+//! * **Wall gate** (pacing): logical `t` does not dispatch before wall
+//!   instant `epoch + pace · t`, which is what makes measured recovery
+//!   latencies real.
+//!
+//! Event order within an actor is `(logical time, class, tie)` with
+//! timers (class 0, ordered by arm sequence) before parked messages
+//! (class 1, ordered by transport `(sender, send seq)`); the causal
+//! gate admits timers at the frontier bound (they win ties) and
+//! messages strictly below it. The simulator orders same-instant events
+//! by global push sequence instead; the two conventions only differ for
+//! exact logical-time ties, which the pinned differential tests cover.
+
+use crate::transport::{LiveMsg, Loopback, Port};
+use crate::wheel::TimerWheel;
+use btr_crypto::{digest64, AuthSuite, KeyStore, NodeKey, SigError, Signer, SplitMix64};
+use btr_model::{
+    Duration, Envelope, EvidenceFlaw, NodeId, Payload, PeriodIdx, SignedOutput, TaskId, Time, Value,
+};
+use btr_runtime::BtrNode;
+use btr_sim::{Actuation, CtxBackend, NodeBehavior, NodeCtx, TimerId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Maps logical time onto the shared wall clock: logical `t` µs may not
+/// dispatch before `epoch + pace · t` µs of wall time. `pace` > 1 slows
+/// the run down (more slack for scheduling jitter); it never changes
+/// logical outcomes, only wall-clock fidelity.
+#[derive(Debug, Clone, Copy)]
+pub struct Pacer {
+    epoch: Instant,
+    pace: f64,
+}
+
+impl Pacer {
+    /// A pacer whose logical zero is `epoch`.
+    pub fn new(epoch: Instant, pace: f64) -> Pacer {
+        assert!(pace > 0.0, "pace must be positive");
+        Pacer { epoch, pace }
+    }
+
+    /// The wall instant before which logical `at` must not dispatch.
+    pub fn wall_for(&self, at: Time) -> Instant {
+        let ns = at.as_micros() as f64 * self.pace * 1_000.0;
+        self.epoch + std::time::Duration::from_nanos(ns as u64)
+    }
+
+    /// Wall µs elapsed since the logical-zero epoch (0 before it).
+    pub fn elapsed_us(&self) -> u64 {
+        Instant::now()
+            .checked_duration_since(self.epoch)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0)
+    }
+}
+
+/// What a node reports to the supervisor, stamped in both time bases.
+#[derive(Debug, Clone)]
+pub struct RuntimeEvent {
+    /// The reporting node.
+    pub node: NodeId,
+    /// Its logical clock at the event.
+    pub logical: Time,
+    /// Wall µs since the run epoch.
+    pub wall_us: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The kinds of runtime events a node can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// The actor thread is up and `on_start` ran.
+    Started,
+    /// The actor reached the horizon and exited cleanly.
+    Finished,
+    /// The node fail-stopped (its thread is dying for real).
+    Crashed,
+    /// The node's runtime completed a mode switch (cumulative count).
+    SwitchCompleted {
+        /// The node's total switches so far.
+        count: u64,
+    },
+    /// The behaviour panicked; the supervisor attributes and reports it.
+    Panicked(String),
+}
+
+/// A message parked until its logical arrival time.
+#[derive(Debug)]
+struct Parked {
+    at: Time,
+    from: NodeId,
+    seq: u64,
+    env: Envelope,
+}
+
+impl Parked {
+    fn key(&self) -> (Time, NodeId, u64) {
+        (self.at, self.from, self.seq)
+    }
+}
+
+impl PartialEq for Parked {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for Parked {}
+impl PartialOrd for Parked {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Parked {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+/// The live, single-node counterpart of the simulator's `World`: the
+/// [`CtxBackend`] a behaviour acts through when it runs on its own
+/// thread. Skew, signer, RNG stream, and envelope timestamps are
+/// derived exactly as the simulator derives them, which is what makes
+/// the two substrates trace-equivalent.
+pub struct LiveCtx {
+    node: NodeId,
+    logical: Time,
+    clock_offset: i64,
+    period: Duration,
+    signer: Signer,
+    keystore: Arc<KeyStore>,
+    scratch: Vec<u8>,
+    rng: SplitMix64,
+    port: Port,
+    wheel: TimerWheel,
+    timer_seq: u64,
+    actuations: Vec<Actuation>,
+    crashed: bool,
+}
+
+impl LiveCtx {
+    /// Build the context for `node`, deriving skew, keys, and the RNG
+    /// stream from `(seed, node)` with the simulator's constructions.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        node: NodeId,
+        seed: u64,
+        period: Duration,
+        max_clock_skew: Duration,
+        suite: AuthSuite,
+        keystore: Arc<KeyStore>,
+        port: Port,
+        start: Time,
+    ) -> LiveCtx {
+        let span = 2 * max_clock_skew.as_micros() + 1;
+        let skew = (digest64(&[b"btr-skew", &seed.to_be_bytes(), &node.0.to_be_bytes()]) % span)
+            as i64
+            - max_clock_skew.as_micros() as i64;
+        LiveCtx {
+            node,
+            logical: start,
+            clock_offset: skew,
+            period,
+            signer: Signer::new(NodeKey::derive_suite(seed, node.0, suite)),
+            keystore,
+            scratch: Vec::new(),
+            rng: SplitMix64::from_parts(&[
+                b"btr-node-rng",
+                &seed.to_be_bytes(),
+                &node.0.to_be_bytes(),
+            ]),
+            port,
+            wheel: TimerWheel::new(),
+            timer_seq: 0,
+            actuations: Vec::new(),
+            crashed: false,
+        }
+    }
+
+    /// The node this context belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The node's current logical time.
+    pub fn logical(&self) -> Time {
+        self.logical
+    }
+
+    /// True once the behaviour called `crash_self`.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+}
+
+impl CtxBackend for LiveCtx {
+    fn now(&self) -> Time {
+        self.logical
+    }
+
+    fn local_now(&self, _node: NodeId) -> Time {
+        let t = self.logical.as_micros() as i64 + self.clock_offset;
+        Time(t.max(0) as u64)
+    }
+
+    fn period(&self) -> Duration {
+        self.period
+    }
+
+    fn signer(&self, _node: NodeId) -> &Signer {
+        &self.signer
+    }
+
+    fn keystore(&self) -> &KeyStore {
+        &self.keystore
+    }
+
+    fn send(&mut self, src: NodeId, dst: NodeId, payload: Payload) {
+        let env = Envelope::new(src, dst, self.local_now(src), payload);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let env = env.signed_with(&self.signer, &mut scratch);
+        self.scratch = scratch;
+        self.port.send(self.logical, env);
+    }
+
+    fn send_env(&mut self, _src: NodeId, env: Envelope) {
+        self.port.send(self.logical, env);
+    }
+
+    fn verify_env(&mut self, env: &Envelope) -> Result<(), SigError> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let r = env.verify_with(&self.keystore, &mut scratch);
+        self.scratch = scratch;
+        r
+    }
+
+    fn verify_output(&mut self, output: &SignedOutput) -> Result<(), EvidenceFlaw> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let r = output.verify_with(&self.keystore, &mut scratch);
+        self.scratch = scratch;
+        r
+    }
+
+    fn set_timer_at(&mut self, _node: NodeId, at: Time, timer: TimerId) {
+        let at = at.max(self.logical);
+        self.timer_seq += 1;
+        self.wheel.arm(at, self.timer_seq, timer);
+    }
+
+    fn actuate(&mut self, node: NodeId, task: TaskId, period: PeriodIdx, value: Value) {
+        self.actuations.push(Actuation {
+            at: self.logical,
+            node,
+            task,
+            period,
+            value,
+        });
+    }
+
+    fn crash_self(&mut self, _node: NodeId) {
+        self.crashed = true;
+    }
+
+    fn rng_u64(&mut self, _node: NodeId) -> u64 {
+        self.rng.next_u64()
+    }
+}
+
+/// What an actor thread hands back when it exits.
+pub struct ActorOutcome {
+    /// The node.
+    pub node: NodeId,
+    /// The behaviour, for post-run inspection (stats, plan, fault set).
+    pub behavior: Box<dyn NodeBehavior + Send>,
+    /// Every actuation the node performed, logically stamped.
+    pub actuations: Vec<Actuation>,
+    /// True if the node fail-stopped (vs. reaching the horizon).
+    pub crashed: bool,
+    /// Logical time the thread stopped dispatching.
+    pub stopped_at: Time,
+}
+
+/// One node's event loop: behaviour + context + mailbox, run to a
+/// logical horizon under a wall-clock pacer.
+pub struct NodeActor {
+    node: NodeId,
+    behavior: Box<dyn NodeBehavior + Send>,
+    ctx: LiveCtx,
+    rx: Receiver<LiveMsg>,
+    pending: BinaryHeap<Reverse<Parked>>,
+    net: Loopback,
+    last_switch_count: u64,
+}
+
+enum Next {
+    Timer(Time),
+    Message(Time),
+}
+
+impl NodeActor {
+    /// Assemble an actor (does not start it; call [`NodeActor::run`] on
+    /// its thread).
+    pub fn new(
+        node: NodeId,
+        behavior: Box<dyn NodeBehavior + Send>,
+        ctx: LiveCtx,
+        rx: Receiver<LiveMsg>,
+        net: Loopback,
+    ) -> NodeActor {
+        NodeActor {
+            node,
+            behavior,
+            ctx,
+            rx,
+            pending: BinaryHeap::new(),
+            net,
+            last_switch_count: 0,
+        }
+    }
+
+    /// The node this actor animates.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    fn park(&mut self, m: LiveMsg) {
+        self.pending.push(Reverse(Parked {
+            at: m.at,
+            from: m.from,
+            seq: m.seq,
+            env: m.env,
+        }));
+    }
+
+    fn drain(&mut self) {
+        while let Ok(m) = self.rx.try_recv() {
+            self.park(m);
+        }
+    }
+
+    /// Block briefly on the mailbox: an arrival wakes us immediately;
+    /// peer frontier updates carry no wakeup, so cap the wait and
+    /// re-evaluate. (`Disconnected` still sleeps — a closed channel must
+    /// not turn the causal wait into a busy spin.)
+    fn wait_briefly(&mut self) {
+        const POLL: std::time::Duration = std::time::Duration::from_micros(100);
+        match self.rx.recv_timeout(POLL) {
+            Ok(m) => self.park(m),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => std::thread::sleep(POLL),
+        }
+    }
+
+    /// Timers before messages at equal logical time (see module docs).
+    fn next_event(&self) -> Option<Next> {
+        let timer = self.ctx.wheel.peek().map(|(at, _)| at);
+        let msg = self.pending.peek().map(|Reverse(p)| p.at);
+        match (timer, msg) {
+            (None, None) => None,
+            (Some(t), None) => Some(Next::Timer(t)),
+            (None, Some(m)) => Some(Next::Message(m)),
+            (Some(t), Some(m)) => {
+                if t <= m {
+                    Some(Next::Timer(t))
+                } else {
+                    Some(Next::Message(m))
+                }
+            }
+        }
+    }
+
+    fn emit(&self, events: &Sender<RuntimeEvent>, pacer: &Pacer, kind: EventKind) {
+        // The supervisor may have stopped listening (deadline overrun
+        // teardown); a dead event channel must not kill the actor.
+        let _ = events.send(RuntimeEvent {
+            node: self.node,
+            logical: self.ctx.logical(),
+            wall_us: pacer.elapsed_us(),
+            kind,
+        });
+    }
+
+    fn post_dispatch(&mut self, events: &Sender<RuntimeEvent>, pacer: &Pacer) {
+        if let Some(b) = self
+            .behavior
+            .as_any()
+            .and_then(|a| a.downcast_ref::<BtrNode>())
+        {
+            let count = b.switch_count();
+            if count > self.last_switch_count {
+                self.last_switch_count = count;
+                self.emit(events, pacer, EventKind::SwitchCompleted { count });
+            }
+        }
+    }
+
+    /// Run the actor until logical `end` (inclusive, matching the
+    /// simulator's `run_until`), a crash, or — for a behaviour armed with
+    /// nothing — mailbox silence past the horizon. Emits `Started`, then
+    /// `SwitchCompleted`s, then exactly one terminal `Finished`/`Crashed`
+    /// event *before* returning, so the supervisor can join without a
+    /// timeout once it has seen the terminal event.
+    pub fn run(mut self, end: Time, pacer: Pacer, events: Sender<RuntimeEvent>) -> ActorOutcome {
+        {
+            let mut ctx = NodeCtx::new(&mut self.ctx, self.node);
+            self.behavior.on_start(&mut ctx);
+        }
+        self.emit(&events, &pacer, EventKind::Started);
+        let terminal = loop {
+            if self.ctx.is_crashed() {
+                break EventKind::Crashed;
+            }
+            // Publish our anchor — the earliest event we could dispatch.
+            // The fold returns our cell's inflight floor: if it is below
+            // our known next event, a message delivered since our drain
+            // is already in the mailbox (delivery precedes the floor
+            // update), so drain again until the picture is stable.
+            let next = loop {
+                self.drain();
+                let next = self.next_event();
+                let next_at = match &next {
+                    Some(Next::Timer(at)) | Some(Next::Message(at)) => *at,
+                    None => Time(u64::MAX),
+                };
+                if self.net.publish_anchor(self.node, next_at) >= next_at {
+                    break next;
+                }
+            };
+            let bound = self.net.frontier_bound(self.node);
+            let Some(next) = next else {
+                // Nothing armed: done once no in-flight message can
+                // still arrive inside the horizon.
+                if bound > end {
+                    break EventKind::Finished;
+                }
+                self.wait_briefly();
+                continue;
+            };
+            let at = match next {
+                Next::Timer(at) | Next::Message(at) => at,
+            };
+            if at > end {
+                if bound > end {
+                    break EventKind::Finished;
+                }
+                self.wait_briefly();
+                continue;
+            }
+            // Causal gate: timers may dispatch at the bound (they win
+            // ties), messages only strictly below it (an in-flight
+            // message could tie and order ahead by `(from, seq)`).
+            let causal_ok = match next {
+                Next::Timer(_) => at <= bound,
+                Next::Message(_) => at < bound,
+            };
+            if !causal_ok {
+                self.wait_briefly();
+                continue;
+            }
+            // Wall gate: park arrivals until the event's wall instant,
+            // then re-select (a new arrival may precede the choice).
+            let target = pacer.wall_for(at);
+            let now = Instant::now();
+            if now < target {
+                match self.rx.recv_timeout(target - now) {
+                    Ok(m) => self.park(m),
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => {
+                        let left = target.saturating_duration_since(Instant::now());
+                        std::thread::sleep(left);
+                    }
+                }
+                continue;
+            }
+            match next {
+                Next::Timer(_) => {
+                    let (at, _, timer) = self.ctx.wheel.pop().expect("peeked timer");
+                    self.ctx.logical = self.ctx.logical.max(at);
+                    let mut ctx = NodeCtx::new(&mut self.ctx, self.node);
+                    self.behavior.on_timer(&mut ctx, timer);
+                }
+                Next::Message(_) => {
+                    let Reverse(p) = self.pending.pop().expect("peeked message");
+                    self.ctx.logical = self.ctx.logical.max(p.at);
+                    let mut ctx = NodeCtx::new(&mut self.ctx, self.node);
+                    self.behavior.on_message(&mut ctx, p.env);
+                }
+            }
+            self.post_dispatch(&events, &pacer);
+        };
+        // Terminal either way: this node will never send again, so no
+        // peer may wait on it.
+        self.net.set_terminal(self.node);
+        let crashed = matches!(terminal, EventKind::Crashed);
+        if crashed {
+            // Fail-stop for real: detach the mailbox and reroute around
+            // this node before the thread dies.
+            self.net.crash(self.node);
+        }
+        self.emit(&events, &pacer, terminal);
+        ActorOutcome {
+            node: self.node,
+            behavior: self.behavior,
+            actuations: std::mem::take(&mut self.ctx.actuations),
+            crashed,
+            stopped_at: self.ctx.logical(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::mailbox;
+    use btr_model::Topology;
+
+    fn harness(n: usize) -> (Loopback, Arc<KeyStore>) {
+        let topo = Topology::bus(n, 100_000, Duration(5));
+        let net = Loopback::new(topo, 1, 0);
+        let ks = Arc::new(KeyStore::derive_suite(1, n, AuthSuite::default()));
+        (net, ks)
+    }
+
+    fn ctx_for(node: NodeId, net: &Loopback, ks: &Arc<KeyStore>) -> LiveCtx {
+        LiveCtx::new(
+            node,
+            1,
+            Duration::from_millis(10),
+            Duration(20),
+            AuthSuite::default(),
+            Arc::clone(ks),
+            net.port(node),
+            Time::ZERO,
+        )
+    }
+
+    #[test]
+    fn live_ctx_matches_simulator_derivations() {
+        // Skew, signer identity, and the RNG stream must be exactly the
+        // simulator's for the same (seed, node) — the substance of the
+        // trace-equivalence claim.
+        let (net, ks) = harness(3);
+        let mut live = ctx_for(NodeId(2), &net, &ks);
+        let topo = Topology::bus(3, 100_000, Duration(5));
+        let mut world = btr_sim::World::new(topo, btr_sim::SimConfig::new(1));
+        assert_eq!(live.local_now(NodeId(2)), world.local_now(NodeId(2)));
+        for _ in 0..8 {
+            assert_eq!(
+                CtxBackend::rng_u64(&mut live, NodeId(2)),
+                CtxBackend::rng_u64(&mut world, NodeId(2))
+            );
+        }
+        // A signed envelope from the live signer verifies against the
+        // world's keystore and vice versa.
+        let env = Envelope::new(NodeId(2), NodeId(0), Time(7), Payload::Control(9));
+        let mut scratch = Vec::new();
+        let signed = env.signed_with(CtxBackend::signer(&live, NodeId(2)), &mut scratch);
+        assert!(CtxBackend::verify_env(&mut world, &signed).is_ok());
+    }
+
+    /// Arms a timer chain and sends one message per firing.
+    struct Pinger {
+        fired: u64,
+    }
+    impl NodeBehavior for Pinger {
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+            ctx.set_timer(Duration(100), 1);
+        }
+        fn on_message(&mut self, _ctx: &mut NodeCtx<'_>, _env: Envelope) {}
+        fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, timer: TimerId) {
+            self.fired += 1;
+            ctx.send(NodeId(1), Payload::Control(self.fired as u8));
+            ctx.actuate(TaskId(0), self.fired, self.fired);
+            if self.fired < 5 {
+                ctx.set_timer(Duration(100), timer);
+            }
+        }
+    }
+
+    #[test]
+    fn actor_runs_timer_chain_to_horizon() {
+        let (net, ks) = harness(2);
+        let (tx, rx) = mailbox(64);
+        net.register(NodeId(0), tx);
+        let (tx1, rx1) = mailbox(64);
+        net.register(NodeId(1), tx1);
+        // Node 1 has no actor in this test: release its causal frontier
+        // so node 0's gate never waits on it.
+        net.set_terminal(NodeId(1));
+        let (ev_tx, ev_rx) = std::sync::mpsc::channel();
+        let actor = NodeActor::new(
+            NodeId(0),
+            Box::new(Pinger { fired: 0 }),
+            ctx_for(NodeId(0), &net, &ks),
+            rx,
+            net.clone(),
+        );
+        let pacer = Pacer::new(Instant::now(), 0.001); // ~free-running
+        let out = actor.run(Time::from_millis(2), pacer, ev_tx);
+        assert!(!out.crashed);
+        assert_eq!(out.actuations.len(), 5);
+        assert_eq!(out.actuations[0].at, Time(100));
+        assert_eq!(out.actuations[4].at, Time(500));
+        // All five sends reached node 1's mailbox with logical stamps.
+        let mut got = 0;
+        while let Ok(m) = rx1.try_recv() {
+            assert!(m.at > Time(100 * (got as u64)));
+            got += 1;
+        }
+        assert_eq!(got, 5);
+        // Started first, Finished last.
+        let evs: Vec<RuntimeEvent> = ev_rx.try_iter().collect();
+        assert_eq!(
+            evs.first().map(|e| e.kind.clone()),
+            Some(EventKind::Started)
+        );
+        assert_eq!(
+            evs.last().map(|e| e.kind.clone()),
+            Some(EventKind::Finished)
+        );
+    }
+
+    /// Crashes itself on the first timer.
+    struct Suicidal;
+    impl NodeBehavior for Suicidal {
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+            ctx.set_timer(Duration(50), 1);
+        }
+        fn on_message(&mut self, _ctx: &mut NodeCtx<'_>, _env: Envelope) {}
+        fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _timer: TimerId) {
+            ctx.crash_self();
+        }
+    }
+
+    #[test]
+    fn crash_is_terminal_and_detaches_mailbox() {
+        let (net, ks) = harness(2);
+        let (tx, rx) = mailbox(64);
+        net.register(NodeId(0), tx);
+        net.set_terminal(NodeId(1));
+        let (ev_tx, ev_rx) = std::sync::mpsc::channel();
+        let actor = NodeActor::new(
+            NodeId(0),
+            Box::new(Suicidal),
+            ctx_for(NodeId(0), &net, &ks),
+            rx,
+            net.clone(),
+        );
+        let out = actor.run(
+            Time::from_millis(10),
+            Pacer::new(Instant::now(), 0.001),
+            ev_tx,
+        );
+        assert!(out.crashed);
+        assert_eq!(out.stopped_at, Time(50));
+        let evs: Vec<RuntimeEvent> = ev_rx.try_iter().collect();
+        assert_eq!(evs.last().map(|e| e.kind.clone()), Some(EventKind::Crashed));
+        // Post-crash, the network refuses traffic to the dead node.
+        let mut port = net.port(NodeId(1));
+        assert!(port
+            .send(
+                Time(60),
+                Envelope::new(NodeId(1), NodeId(0), Time(60), Payload::Control(1))
+            )
+            .is_none());
+    }
+}

@@ -1,0 +1,42 @@
+//! btr-node: a live thread-per-node BTR runtime.
+//!
+//! The simulator (`btr-sim`) substitutes for the paper's hardware
+//! testbed; this crate substitutes for its *deployment*: every node is
+//! an independently scheduled actor on its own OS thread with a bounded
+//! mailbox, a wall-clock-paced timer wheel, and an in-process loopback
+//! transport mirroring the `btr_net` link parameters. Crashes are real
+//! thread deaths; recovery is measured on the wall clock against the
+//! paper's R bound; and the simulator is the *trace oracle*: all
+//! protocol-visible time is logical, so a fault-free live run must be
+//! bit-identical to the simulated one on its canonical actuation trace
+//! (`LogicalTrace`), and every pinned fault scenario must recover live
+//! exactly as it recovers simulated.
+//!
+//! Layering:
+//!
+//! * [`transport`] — loopback network: routes, per-hop delays,
+//!   deterministic loss, bounded mailboxes, crash/restore.
+//! * [`wheel`] — hashed timer wheel keyed by the runtime's packed
+//!   timer-id encodings.
+//! * [`actor`] — [`actor::LiveCtx`] (the live `CtxBackend`) and the
+//!   per-node event loop, paced against the wall clock.
+//! * [`faulty`] — [`faulty::FaultyNode`] splices scripted faults into
+//!   live behaviour; [`faulty::Rejoin`] re-synchronises restarts.
+//! * [`supervisor`] — spawns the fleet, watches for panics, crashes,
+//!   and deadline overruns, restarts scripted crash victims, and
+//!   assembles the [`supervisor::LiveReport`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod actor;
+pub mod faulty;
+pub mod supervisor;
+pub mod transport;
+pub mod wheel;
+
+pub use actor::{ActorOutcome, EventKind, LiveCtx, NodeActor, Pacer, RuntimeEvent};
+pub use faulty::{FaultyNode, Rejoin, CRASH_TIMER};
+pub use supervisor::{run_live, DropTotals, LiveConfig, LiveReport};
+pub use transport::{LiveMsg, Loopback, Port};
+pub use wheel::TimerWheel;

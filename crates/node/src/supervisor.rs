@@ -1,0 +1,408 @@
+//! The node supervisor: spawn, watch, restart, and account for a fleet
+//! of live node threads.
+//!
+//! `run_live` takes the same inputs as `BtrSystem::run` — a planned
+//! system, a fault scenario, a horizon — and executes them on real OS
+//! threads instead of the discrete-event queue. Each node reports
+//! [`RuntimeEvent`]s over a channel; the supervisor:
+//!
+//! * joins a node thread **only after** seeing its terminal event
+//!   (`Finished`/`Crashed`/`Panicked`), so a wedged node can never hang
+//!   the supervisor — nodes that miss the wall-clock deadline are
+//!   recorded as overruns and their threads detached;
+//! * catches behaviour panics, attributes them to the node id, and
+//!   detaches the dead node from the network (its peers see the same
+//!   silence a crash produces);
+//! * optionally restarts crashed nodes after a scripted downtime with a
+//!   fresh runtime wrapped in [`Rejoin`](crate::faulty::Rejoin), which
+//!   is the live analogue of the paper's bounded-time recovery loop.
+//!
+//! The report carries the canonical [`LogicalTrace`] (the simulator is
+//! the oracle: a fault-free live run must digest-match the simulated
+//! one) plus wall-clock-stamped events for real latency measurements.
+
+use crate::actor::{ActorOutcome, EventKind, LiveCtx, NodeActor, Pacer, RuntimeEvent};
+use crate::faulty::{FaultyNode, Rejoin};
+use crate::transport::{mailbox, Loopback};
+use btr_core::{BtrSystem, FaultScenario};
+use btr_crypto::KeyStore;
+use btr_model::{Duration, NodeId, PlanId, Time};
+use btr_runtime::{BtrNode, NodeStats};
+use btr_sim::{LogicalTrace, NodeBehavior, SimConfig};
+use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc};
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+/// Knobs for a live run.
+#[derive(Debug, Clone)]
+pub struct LiveConfig {
+    /// Seed for keys, skews, RNG streams, and transmission loss — the
+    /// same derivations the simulator makes from its seed.
+    pub seed: u64,
+    /// Wall-µs per logical-µs (1.0 = real time; larger = slower run
+    /// with more scheduling slack; logical outcomes are unaffected).
+    pub pace: f64,
+    /// Bounded mailbox depth per node (overflow = counted drops).
+    pub mailbox_cap: usize,
+    /// Logical downtime before a crashed node is restarted
+    /// (`Duration::ZERO` = crashed nodes stay down).
+    pub restart_after: Duration,
+    /// Extra wall time past the paced horizon before non-terminal nodes
+    /// are declared deadline overruns and detached.
+    pub join_grace: std::time::Duration,
+}
+
+impl LiveConfig {
+    /// Defaults: real-time pace, 4096-deep mailboxes, no restarts.
+    pub fn new(seed: u64) -> LiveConfig {
+        LiveConfig {
+            seed,
+            pace: 1.0,
+            mailbox_cap: 4096,
+            restart_after: Duration::ZERO,
+            join_grace: std::time::Duration::from_millis(500),
+        }
+    }
+}
+
+/// Transport drop/send totals for the whole run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DropTotals {
+    /// Bounded-mailbox backpressure drops.
+    pub mailbox_full: u64,
+    /// Sends to crashed / not-yet-restarted nodes.
+    pub receiver_down: u64,
+    /// Deterministic transmission loss.
+    pub transmission_loss: u64,
+    /// No route (partition after crashes).
+    pub no_route: u64,
+    /// Messages that entered the network.
+    pub sent: u64,
+}
+
+/// Everything a live run produces.
+#[derive(Debug)]
+pub struct LiveReport {
+    /// The canonical logical actuation trace (compare against
+    /// `World::logical_trace()` — the simulator is the oracle).
+    pub trace: LogicalTrace,
+    /// Per-node runtime stats, final plan, fault-set size (correct,
+    /// never-crashed nodes only — same exclusions as `RunReport`).
+    pub node_stats: Vec<(NodeId, NodeStats, PlanId, usize)>,
+    /// True if all such nodes agree on fault set and plan.
+    pub converged: bool,
+    /// Every runtime event, logically and wall-clock stamped.
+    pub events: Vec<RuntimeEvent>,
+    /// Panics caught on node threads, attributed to their node.
+    pub panics: Vec<(NodeId, String)>,
+    /// Nodes whose threads missed the wall deadline and were detached.
+    pub deadline_overruns: Vec<NodeId>,
+    /// Transport counters.
+    pub drops: DropTotals,
+    /// Wall time for the whole run (spawn to last join).
+    pub wall: std::time::Duration,
+}
+
+impl LiveReport {
+    /// No panics, no deadline overruns.
+    pub fn healthy(&self) -> bool {
+        self.panics.is_empty() && self.deadline_overruns.is_empty()
+    }
+
+    /// Mode-switch completions, in arrival order.
+    pub fn switch_events(&self) -> Vec<&RuntimeEvent> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::SwitchCompleted { .. }))
+            .collect()
+    }
+
+    /// The wall µs (since run epoch) of the *last* switch completion —
+    /// the live system's observable mode-change instant, to hold
+    /// against the paper's wall-clock R bound.
+    pub fn last_switch_wall_us(&self) -> Option<u64> {
+        self.switch_events().iter().map(|e| e.wall_us).max()
+    }
+}
+
+fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run an actor, converting a behaviour panic into a `Panicked` event
+/// (the thread's terminal event either way — see the join discipline).
+pub(crate) fn run_guarded(
+    actor: NodeActor,
+    end: Time,
+    pacer: Pacer,
+    ev: mpsc::Sender<RuntimeEvent>,
+) -> Option<ActorOutcome> {
+    let node = actor.node();
+    let inner_ev = ev.clone();
+    match catch_unwind(AssertUnwindSafe(move || actor.run(end, pacer, inner_ev))) {
+        Ok(outcome) => Some(outcome),
+        Err(payload) => {
+            let _ = ev.send(RuntimeEvent {
+                node,
+                logical: Time::ZERO,
+                wall_us: pacer.elapsed_us(),
+                kind: EventKind::Panicked(panic_message(payload)),
+            });
+            None
+        }
+    }
+}
+
+/// Execute `scenario` on the live thread-per-node runtime.
+pub fn run_live(
+    system: &BtrSystem,
+    scenario: &FaultScenario,
+    horizon: Duration,
+    cfg: &LiveConfig,
+) -> LiveReport {
+    let run_start = Instant::now();
+    let topo = system.topology().clone();
+    let n = topo.node_count();
+    let end = Time::ZERO + horizon + system.grace();
+    // Pull skew span (and any future clock parameters) from the same
+    // defaults the simulator uses, so derivations line up bit-for-bit.
+    let sim_defaults = SimConfig::new(cfg.seed);
+    let max_skew = sim_defaults.max_clock_skew;
+    let suite = system.auth_suite();
+    let period = system.workload().period;
+    let keystore = Arc::new(KeyStore::derive_suite(cfg.seed, n, suite));
+    let net = Loopback::new(topo, cfg.seed, system.loss_ppm());
+    let workload = system.workload_arc();
+    let strategy = system.strategy_arc();
+    let (ev_tx, ev_rx) = mpsc::channel::<RuntimeEvent>();
+    // Logical zero opens a beat after spawn so no thread starts behind
+    // the wall schedule.
+    let pacer = Pacer::new(
+        Instant::now() + std::time::Duration::from_millis(25),
+        cfg.pace,
+    );
+
+    let mut handles: Vec<Option<JoinHandle<Option<ActorOutcome>>>> = (0..n).map(|_| None).collect();
+    // Whether the *current* thread for a node has emitted its terminal
+    // event (join is only safe/prompt once this is true).
+    let mut thread_done = vec![false; n];
+    let mut ever_crashed = vec![false; n];
+    let mut restarted = vec![false; n];
+    let mut outcomes: Vec<ActorOutcome> = Vec::new();
+    let mut events: Vec<RuntimeEvent> = Vec::new();
+    let mut panics: Vec<(NodeId, String)> = Vec::new();
+
+    for i in 0..n as u32 {
+        let node = NodeId(i);
+        let (tx, rx) = mailbox(cfg.mailbox_cap);
+        net.register(node, tx);
+        let mut node_cfg = system.node_config().clone();
+        node_cfg.attack = scenario.attack_for(node);
+        let fault = scenario.faults.iter().find(|f| f.node == node);
+        let behavior: Box<dyn NodeBehavior + Send> = match fault {
+            Some(f) => Box::new(FaultyNode::make(
+                node,
+                Arc::clone(&workload),
+                Arc::clone(&strategy),
+                n,
+                node_cfg,
+                f,
+            )),
+            None => Box::new(BtrNode::new(
+                node,
+                Arc::clone(&workload),
+                Arc::clone(&strategy),
+                n,
+                node_cfg,
+            )),
+        };
+        let ctx = LiveCtx::new(
+            node,
+            cfg.seed,
+            period,
+            max_skew,
+            suite,
+            Arc::clone(&keystore),
+            net.port(node),
+            Time::ZERO,
+        );
+        let actor = NodeActor::new(node, behavior, ctx, rx, net.clone());
+        let ev = ev_tx.clone();
+        let h = thread::Builder::new()
+            .name(format!("btr-{node}"))
+            .spawn(move || run_guarded(actor, end, pacer, ev))
+            .expect("spawn node thread");
+        handles[i as usize] = Some(h);
+    }
+
+    let deadline = pacer.wall_for(end) + cfg.join_grace;
+    let mut live_threads = n;
+    while live_threads > 0 {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        let e = match ev_rx.recv_timeout(deadline - now) {
+            Ok(e) => e,
+            Err(_) => break,
+        };
+        let idx = e.node.index();
+        match &e.kind {
+            EventKind::Started | EventKind::SwitchCompleted { .. } => {}
+            EventKind::Finished => {
+                thread_done[idx] = true;
+                live_threads -= 1;
+            }
+            EventKind::Panicked(msg) => {
+                thread_done[idx] = true;
+                live_threads -= 1;
+                panics.push((e.node, msg.clone()));
+                ever_crashed[idx] = true;
+                // Peers see the same silence a crash produces; the
+                // panicked thread never published a terminal frontier,
+                // so release its causal hold here.
+                net.crash(e.node);
+                net.set_terminal(e.node);
+            }
+            EventKind::Crashed => {
+                thread_done[idx] = true;
+                live_threads -= 1;
+                ever_crashed[idx] = true;
+                let restart_at = e.logical + cfg.restart_after;
+                if cfg.restart_after > Duration::ZERO && !restarted[idx] && restart_at < end {
+                    restarted[idx] = true;
+                    // The terminal event precedes the thread's return by
+                    // instants; this join is prompt.
+                    if let Some(h) = handles[idx].take() {
+                        if let Ok(Some(out)) = h.join() {
+                            outcomes.push(out);
+                        }
+                    }
+                    thread_done[idx] = false;
+                    live_threads += 1;
+                    // Pull the dead thread's terminal frontier back down:
+                    // the restarted incarnation sends nothing before
+                    // `restart_at`, and peers are wall-paced well behind
+                    // that instant when this runs, so the window between
+                    // the crash and this store cannot be outrun.
+                    net.reset_frontier(e.node, restart_at);
+                    let node = e.node;
+                    let ev = ev_tx.clone();
+                    let net2 = net.clone();
+                    let ks = Arc::clone(&keystore);
+                    let wl = Arc::clone(&workload);
+                    let st = Arc::clone(&strategy);
+                    let node_cfg = system.node_config().clone();
+                    let cap = cfg.mailbox_cap;
+                    let seed = cfg.seed;
+                    let h = thread::Builder::new()
+                        .name(format!("btr-{node}-r"))
+                        .spawn(move || {
+                            // Sit out the scripted downtime, then rejoin:
+                            // a down node must miss the traffic of its
+                            // downtime, so the mailbox is only attached
+                            // on wake.
+                            let wake = pacer.wall_for(restart_at);
+                            let now = Instant::now();
+                            if wake > now {
+                                thread::sleep(wake - now);
+                            }
+                            let (tx, rx) = mailbox(cap);
+                            net2.restore(node);
+                            net2.register(node, tx);
+                            let fresh = BtrNode::new(node, wl, st, n, node_cfg);
+                            let behavior: Box<dyn NodeBehavior + Send> =
+                                Box::new(Rejoin::new(fresh));
+                            let ctx = LiveCtx::new(
+                                node,
+                                seed,
+                                period,
+                                max_skew,
+                                suite,
+                                ks,
+                                net2.port(node),
+                                restart_at,
+                            );
+                            let actor = NodeActor::new(node, behavior, ctx, rx, net2.clone());
+                            run_guarded(actor, end, pacer, ev)
+                        })
+                        .expect("spawn restart thread");
+                    handles[idx] = Some(h);
+                }
+            }
+        }
+        events.push(e);
+    }
+    // All terminal events are enqueued before their threads return, so
+    // anything still in the channel belongs to this run.
+    while let Ok(e) = ev_rx.try_recv() {
+        events.push(e);
+    }
+
+    let mut deadline_overruns = Vec::new();
+    for idx in 0..n {
+        let Some(h) = handles[idx].take() else {
+            continue;
+        };
+        if thread_done[idx] {
+            if let Ok(Some(out)) = h.join() {
+                outcomes.push(out);
+            }
+        } else {
+            // Never block on a wedged node: record and detach.
+            deadline_overruns.push(NodeId(idx as u32));
+            drop(h);
+        }
+    }
+
+    let compromised: BTreeSet<NodeId> = scenario.compromised().into_iter().collect();
+    let mut node_stats: Vec<(NodeId, NodeStats, PlanId, usize)> = Vec::new();
+    let mut sets: BTreeSet<(Vec<NodeId>, PlanId)> = BTreeSet::new();
+    let mut actuations = Vec::new();
+    for out in &mut outcomes {
+        actuations.append(&mut out.actuations);
+    }
+    outcomes.sort_by_key(|o| o.node);
+    for out in &outcomes {
+        if compromised.contains(&out.node) || ever_crashed[out.node.index()] {
+            continue;
+        }
+        if let Some(b) = out
+            .behavior
+            .as_any()
+            .and_then(|a| a.downcast_ref::<BtrNode>())
+        {
+            node_stats.push((out.node, b.stats(), b.current_plan(), b.fault_set().len()));
+            sets.insert((b.fault_set().iter().collect(), b.current_plan()));
+        }
+    }
+
+    let c = net.counters();
+    let drops = DropTotals {
+        mailbox_full: c.mailbox_full.load(Ordering::Relaxed),
+        receiver_down: c.receiver_down.load(Ordering::Relaxed),
+        transmission_loss: c.transmission_loss.load(Ordering::Relaxed),
+        no_route: c.no_route.load(Ordering::Relaxed),
+        sent: c.sent.load(Ordering::Relaxed),
+    };
+
+    LiveReport {
+        trace: LogicalTrace::from_actuations(&actuations),
+        node_stats,
+        converged: sets.len() <= 1,
+        events,
+        panics,
+        deadline_overruns,
+        drops,
+        wall: run_start.elapsed(),
+    }
+}

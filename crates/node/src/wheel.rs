@@ -1,0 +1,220 @@
+//! A hashed timer wheel for the live node runtime.
+//!
+//! Entries are bucketed by due time into fixed-granularity slots, the
+//! classic hashed-wheel layout; arms beyond the wheel horizon park in an
+//! overflow list and are promoted as the cursor advances. Timer *ids*
+//! are the opaque `u64` encodings from `btr_runtime::timers`
+//! (`[kind:4][version:8][idx:12][period:40]`) — the wheel never
+//! interprets them, so the live runtime and the simulator arm bit-for-bit
+//! identical ids and `FaultyNode` can reserve a sentinel id outside the
+//! encoding space for its crash trigger.
+//!
+//! A live node holds at most a few dozen armed timers (a period
+//! boundary, per-slot start/emit pairs, an activation probe), so slot
+//! scans are trivially cheap; what the wheel buys over a binary heap is
+//! O(1) arming and cheap in-order expiry without re-heapification on the
+//! dispatch path.
+
+use btr_model::Time;
+use btr_sim::TimerId;
+
+/// Slot width in µs. Fine enough that one slot rarely holds more than a
+/// couple of timers for a 10 ms period system.
+const GRANULARITY_US: u64 = 256;
+/// Wheel length in slots (horizon = 256 · 256 µs ≈ 65 ms, several
+/// periods; later arms overflow and promote on advance).
+const WHEEL_SLOTS: usize = 256;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    at: Time,
+    seq: u64,
+    timer: TimerId,
+}
+
+/// The wheel. Total order of expiry is `(at, seq)` where `seq` is the
+/// caller-supplied arm sequence — the live actor feeds its per-node
+/// creation counter so same-instant timers fire in arm order, matching
+/// the simulator's global event sequence restricted to one node.
+#[derive(Debug)]
+pub struct TimerWheel {
+    slots: Vec<Vec<Entry>>,
+    overflow: Vec<Entry>,
+    /// Absolute slot index the wheel has advanced to (inclusive).
+    cursor: u64,
+    len: usize,
+}
+
+impl Default for TimerWheel {
+    fn default() -> Self {
+        TimerWheel::new()
+    }
+}
+
+impl TimerWheel {
+    /// An empty wheel positioned at time zero.
+    pub fn new() -> TimerWheel {
+        TimerWheel {
+            slots: vec![Vec::new(); WHEEL_SLOTS],
+            overflow: Vec::new(),
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    /// Armed timers not yet fired.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is armed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn abs_slot(&self, at: Time) -> u64 {
+        (at.as_micros() / GRANULARITY_US).max(self.cursor)
+    }
+
+    /// Arm `timer` at absolute time `at` with arm-order `seq`.
+    pub fn arm(&mut self, at: Time, seq: u64, timer: TimerId) {
+        let e = Entry { at, seq, timer };
+        let slot = self.abs_slot(at);
+        if slot < self.cursor + WHEEL_SLOTS as u64 {
+            self.slots[(slot % WHEEL_SLOTS as u64) as usize].push(e);
+        } else {
+            self.overflow.push(e);
+        }
+        self.len += 1;
+    }
+
+    /// Move overflow entries that now fit the wheel horizon into slots.
+    fn promote(&mut self) {
+        if self.overflow.is_empty() {
+            return;
+        }
+        let horizon = self.cursor + WHEEL_SLOTS as u64;
+        let mut i = 0;
+        while i < self.overflow.len() {
+            let slot = self.abs_slot(self.overflow[i].at);
+            if slot < horizon {
+                let e = self.overflow.swap_remove(i);
+                self.slots[(slot % WHEEL_SLOTS as u64) as usize].push(e);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Locate the minimum entry by `(at, seq)`: scan slots in time order
+    /// from the cursor (entries hash to slots by due time, so earlier
+    /// slots hold earlier deadlines), falling back to the overflow list,
+    /// which by construction holds only entries past the wheel horizon.
+    fn find_min(&self) -> Option<(usize, usize, Entry)> {
+        for off in 0..WHEEL_SLOTS as u64 {
+            let idx = ((self.cursor + off) % WHEEL_SLOTS as u64) as usize;
+            let slot = &self.slots[idx];
+            if slot.is_empty() {
+                continue;
+            }
+            let (j, e) = slot
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| (e.at, e.seq))
+                .map(|(j, e)| (j, *e))
+                .expect("non-empty slot");
+            return Some((idx, j, e));
+        }
+        self.overflow
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| (e.at, e.seq))
+            .map(|(j, e)| (usize::MAX, j, *e))
+    }
+
+    /// The next timer's `(due, seq)` without removing it.
+    pub fn peek(&self) -> Option<(Time, u64)> {
+        self.find_min().map(|(_, _, e)| (e.at, e.seq))
+    }
+
+    /// Remove and return the next timer as `(due, seq, id)`.
+    pub fn pop(&mut self) -> Option<(Time, u64, TimerId)> {
+        let (slot, j, e) = self.find_min()?;
+        if slot == usize::MAX {
+            self.overflow.swap_remove(j);
+        } else {
+            self.slots[slot].swap_remove(j);
+        }
+        self.len -= 1;
+        let new_cursor = e.at.as_micros() / GRANULARITY_US;
+        if new_cursor > self.cursor {
+            self.cursor = new_cursor;
+            self.promote();
+        }
+        Some((e.at, e.seq, e.timer))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_time_order() {
+        let mut w = TimerWheel::new();
+        w.arm(Time(300), 0, 3);
+        w.arm(Time(100), 1, 1);
+        w.arm(Time(200), 2, 2);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.pop(), Some((Time(100), 1, 1)));
+        assert_eq!(w.pop(), Some((Time(200), 2, 2)));
+        assert_eq!(w.pop(), Some((Time(300), 0, 3)));
+        assert_eq!(w.pop(), None);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn equal_times_fire_in_arm_order() {
+        let mut w = TimerWheel::new();
+        w.arm(Time(50), 7, 70);
+        w.arm(Time(50), 3, 30);
+        assert_eq!(w.pop(), Some((Time(50), 3, 30)));
+        assert_eq!(w.pop(), Some((Time(50), 7, 70)));
+    }
+
+    #[test]
+    fn overflow_promotes_across_horizon() {
+        let mut w = TimerWheel::new();
+        // Far beyond the 65 ms wheel horizon.
+        w.arm(Time::from_millis(500), 0, 99);
+        w.arm(Time::from_millis(1), 1, 1);
+        assert_eq!(w.peek(), Some((Time::from_millis(1), 1)));
+        assert_eq!(w.pop(), Some((Time::from_millis(1), 1, 1)));
+        // Cursor advanced; the far timer is still reachable.
+        assert_eq!(w.pop(), Some((Time::from_millis(500), 0, 99)));
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn interleaved_arm_and_pop() {
+        let mut w = TimerWheel::new();
+        w.arm(Time(1_000), 0, 10);
+        assert_eq!(w.pop(), Some((Time(1_000), 0, 10)));
+        // Re-arm in the past relative to the cursor: clamps into the
+        // cursor slot instead of wrapping a full wheel turn.
+        w.arm(Time(500), 1, 5);
+        assert_eq!(w.pop(), Some((Time(500), 1, 5)));
+        // Periodic re-arm pattern across many wheel turns.
+        let mut due = 0u64;
+        for i in 0..1_000u64 {
+            due += 777;
+            w.arm(Time(due), i + 2, due);
+        }
+        let mut last = Time(0);
+        while let Some((at, _, id)) = w.pop() {
+            assert!(at >= last);
+            assert_eq!(id, at.as_micros());
+            last = at;
+        }
+    }
+}

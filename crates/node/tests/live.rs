@@ -1,0 +1,159 @@
+//! Pinned differential tests: the simulator is the live runtime's
+//! trace oracle.
+//!
+//! These run the same planned system on both substrates — the
+//! discrete-event `World` and the thread-per-node live runtime — and
+//! compare canonical logical actuation traces by digest. Wall-clock
+//! jitter must not leak into logical outcomes; these tests are the
+//! enforcement.
+
+use btr_core::{BtrSystem, FaultScenario};
+use btr_model::{Duration, FaultKind, NodeId, Time, Topology};
+use btr_node::supervisor::{run_live, LiveConfig};
+use btr_node::EventKind;
+use btr_planner::PlannerConfig;
+
+const SEED: u64 = 7;
+
+fn system(f: u8) -> BtrSystem {
+    let workload = btr_workload::generators::avionics(9);
+    let topo = Topology::bus(9, 100_000, Duration(5));
+    let mut cfg = PlannerConfig::new(f, Duration::from_millis(150));
+    cfg.admit_best_effort = true;
+    BtrSystem::plan(workload, topo, cfg).expect("plannable")
+}
+
+fn sim_trace(
+    sys: &BtrSystem,
+    scenario: &FaultScenario,
+    horizon: Duration,
+) -> btr_sim::LogicalTrace {
+    let mut world = sys.build_world(scenario, SEED);
+    world.start();
+    world.run_until(Time::ZERO + horizon + sys.grace());
+    world.logical_trace()
+}
+
+/// Test pace: 0.5 wall-µs per logical-µs keeps a 400 ms scenario near
+/// 200 ms of wall time while leaving sub-millisecond scheduling jitter
+/// far inside the protocol's logical margins.
+fn live_cfg() -> LiveConfig {
+    let mut cfg = LiveConfig::new(SEED);
+    cfg.pace = 0.5;
+    cfg
+}
+
+#[test]
+fn fault_free_live_run_is_trace_identical_to_simulator() {
+    let sys = system(1);
+    let horizon = Duration::from_millis(120);
+    let scenario = FaultScenario::none();
+    let reference = sim_trace(&sys, &scenario, horizon);
+    let live = run_live(&sys, &scenario, horizon, &live_cfg());
+    assert!(
+        live.healthy(),
+        "panics: {:?}, overruns: {:?}",
+        live.panics,
+        live.deadline_overruns
+    );
+    assert!(!reference.is_empty());
+    assert_eq!(
+        live.trace.digest(),
+        reference.digest(),
+        "live diverged from simulator: {:?}",
+        live.trace.first_divergence(&reference)
+    );
+    // The per-node runtime counters must agree too — same messages
+    // sent, same evidence flow, on both substrates.
+    let report = sys.run(&scenario, horizon, SEED);
+    assert_eq!(live.node_stats, report.node_stats, "node stats diverged");
+    assert!(live.converged);
+}
+
+#[test]
+fn live_crash_scenario_matches_sim_and_recovers_within_r() {
+    let sys = system(1);
+    let horizon = Duration::from_millis(400);
+    let scenario = FaultScenario::single(NodeId(6), FaultKind::Crash, Time::from_millis(42));
+    let reference = sim_trace(&sys, &scenario, horizon);
+    let live = run_live(&sys, &scenario, horizon, &live_cfg());
+    assert!(
+        live.healthy(),
+        "panics: {:?}, overruns: {:?}",
+        live.panics,
+        live.deadline_overruns
+    );
+    assert_eq!(
+        live.trace.digest(),
+        reference.digest(),
+        "live diverged from simulator: {:?}",
+        live.trace.first_divergence(&reference)
+    );
+    // The dead node really crashed (thread exit, not simulation flag) …
+    assert!(live
+        .events
+        .iter()
+        .any(|e| e.node == NodeId(6) && e.kind == EventKind::Crashed));
+    // … the survivors completed a real mode switch …
+    assert!(!live.switch_events().is_empty(), "no live mode switch seen");
+    assert!(live.converged, "survivors did not converge");
+    // … and the judged recovery window honours the planned R bound.
+    let judgment = sys.judge_actuations(&scenario, horizon, &live.trace.events);
+    assert!(
+        judgment.recovery.bad_window() <= sys.strategy().r_bound,
+        "live recovery {:?} exceeded R = {:?}",
+        judgment.recovery.bad_window(),
+        sys.strategy().r_bound
+    );
+    // Wall-clock recovery: the last switch completed after the fault
+    // was activated on the wall clock (sanity of the measured latency).
+    let fault_wall_us = (42_000.0 * 0.5) as u64;
+    let switch_wall = live.last_switch_wall_us().expect("switch events");
+    assert!(
+        switch_wall > fault_wall_us,
+        "switch at {switch_wall}µs before fault activation {fault_wall_us}µs"
+    );
+}
+
+#[test]
+fn crashed_node_restarts_rejoins_and_stays_healthy() {
+    let sys = system(1);
+    let horizon = Duration::from_millis(400);
+    let scenario = FaultScenario::single(NodeId(6), FaultKind::Crash, Time::from_millis(42));
+    let mut cfg = live_cfg();
+    cfg.restart_after = Duration::from_millis(120);
+    let live = run_live(&sys, &scenario, horizon, &cfg);
+    assert!(
+        live.healthy(),
+        "panics: {:?}, overruns: {:?}",
+        live.panics,
+        live.deadline_overruns
+    );
+    // The node came up twice: cold boot and supervised restart.
+    let started: Vec<_> = live
+        .events
+        .iter()
+        .filter(|e| e.node == NodeId(6) && e.kind == EventKind::Started)
+        .collect();
+    assert_eq!(started.len(), 2, "expected cold start + restart");
+    assert!(
+        started[1].logical >= Time::from_millis(162),
+        "restart began at {:?}, before crash + downtime",
+        started[1].logical
+    );
+    // The restarted incarnation reached the horizon (no second crash).
+    let terminal: Vec<_> = live
+        .events
+        .iter()
+        .filter(|e| e.node == NodeId(6) && matches!(e.kind, EventKind::Finished))
+        .collect();
+    assert_eq!(terminal.len(), 1, "restarted node should finish cleanly");
+    // Recovery still holds with the node back in the fleet.
+    let judgment = sys.judge_actuations(&scenario, horizon, &live.trace.events);
+    assert!(
+        judgment.recovery.bad_window() <= sys.strategy().r_bound,
+        "recovery {:?} exceeded R = {:?}",
+        judgment.recovery.bad_window(),
+        sys.strategy().r_bound
+    );
+}

@@ -28,8 +28,8 @@ pub(crate) mod queue;
 pub mod trace;
 pub mod world;
 
-pub use trace::{DropReason, SimMetrics, TraceEvent};
-pub use world::{Actuation, ControlAction, ForwardPolicy, NodeCtx, SimConfig, World};
+pub use trace::{DropReason, LogicalTrace, SimMetrics, TraceEvent};
+pub use world::{Actuation, ControlAction, CtxBackend, ForwardPolicy, NodeCtx, SimConfig, World};
 
 use btr_model::Envelope;
 

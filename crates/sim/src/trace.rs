@@ -1,5 +1,7 @@
 //! Trace records and aggregate metrics for simulation runs.
 
+use crate::world::Actuation;
+use btr_crypto::digest64;
 use btr_model::{NodeId, PeriodIdx, TaskId, Time, Value};
 
 /// Why a message never arrived.
@@ -102,6 +104,81 @@ impl TraceEvent {
             | TraceEvent::Actuated { at, .. }
             | TraceEvent::Crashed { at, .. } => *at,
         }
+    }
+}
+
+/// A run's end-to-end observable behaviour on logical timestamps, in
+/// canonical order.
+///
+/// This is the cross-substrate equivalence oracle: the discrete-event
+/// [`crate::World`] and the live thread-per-node runtime (`btr-node`)
+/// both reduce a run to this record, and a fault-free live run must be
+/// *bit-identical* to the simulator here. Actuations are the right
+/// observable because they capture the full protocol dataflow (inputs
+/// gathered, replicas voted, checkers passed) with logical timestamps,
+/// while being insensitive to transport-level interleaving that the two
+/// substrates legitimately order differently at equal logical times.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LogicalTrace {
+    /// Actuations sorted by (at, node, task, period, value).
+    pub events: Vec<Actuation>,
+}
+
+impl LogicalTrace {
+    /// Canonicalise a run's actuation record.
+    pub fn from_actuations(acts: &[Actuation]) -> LogicalTrace {
+        let mut events = acts.to_vec();
+        events.sort_by_key(|a| (a.at, a.node, a.task, a.period, a.value));
+        LogicalTrace { events }
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// A 64-bit digest of the canonical byte encoding (stable across
+    /// processes, so harness runs can compare traces without shipping
+    /// them).
+    pub fn digest(&self) -> u64 {
+        let mut buf = Vec::with_capacity(self.events.len() * 40);
+        for a in &self.events {
+            buf.extend_from_slice(&a.at.as_micros().to_be_bytes());
+            buf.extend_from_slice(&a.node.0.to_be_bytes());
+            buf.extend_from_slice(&a.task.0.to_be_bytes());
+            buf.extend_from_slice(&a.period.to_be_bytes());
+            buf.extend_from_slice(&a.value.to_be_bytes());
+        }
+        digest64(&[b"btr-logical-trace", &buf])
+    }
+
+    /// Describe the first divergence from `other`, if any (for test
+    /// failure messages; `None` means the traces are identical).
+    pub fn first_divergence(&self, other: &LogicalTrace) -> Option<String> {
+        for (i, (a, b)) in self.events.iter().zip(other.events.iter()).enumerate() {
+            if a != b {
+                return Some(format!("event {i}: {a:?} != {b:?}"));
+            }
+        }
+        if self.events.len() != other.events.len() {
+            let (longer, n) = if self.events.len() > other.events.len() {
+                (&self.events, other.events.len())
+            } else {
+                (&other.events, self.events.len())
+            };
+            return Some(format!(
+                "lengths differ ({} vs {}); first extra: {:?}",
+                self.events.len(),
+                other.events.len(),
+                longer[n]
+            ));
+        }
+        None
     }
 }
 

@@ -274,6 +274,12 @@ impl World {
         &self.actuations
     }
 
+    /// The run's canonical logical trace (the cross-substrate
+    /// equivalence oracle; see [`crate::trace::LogicalTrace`]).
+    pub fn logical_trace(&self) -> crate::trace::LogicalTrace {
+        crate::trace::LogicalTrace::from_actuations(&self.actuations)
+    }
+
     /// Aggregate metrics.
     pub fn metrics(&self) -> &SimMetrics {
         &self.metrics
@@ -437,7 +443,7 @@ impl World {
             Some(b) => b,
             None => return,
         };
-        let mut ctx = NodeCtx { world: self, node };
+        let mut ctx = NodeCtx::new(self, node);
         behavior.on_start(&mut ctx);
         self.slots[node.index()].behavior.get_or_insert(behavior);
     }
@@ -468,10 +474,7 @@ impl World {
             Some(b) => b,
             None => return,
         };
-        let mut ctx = NodeCtx {
-            world: self,
-            node: dst,
-        };
+        let mut ctx = NodeCtx::new(self, dst);
         behavior.on_message(&mut ctx, env);
         self.slots[dst.index()].behavior.get_or_insert(behavior);
     }
@@ -485,7 +488,7 @@ impl World {
             Some(b) => b,
             None => return,
         };
-        let mut ctx = NodeCtx { world: self, node };
+        let mut ctx = NodeCtx::new(self, node);
         behavior.on_timer(&mut ctx, timer);
         self.slots[node.index()].behavior.get_or_insert(behavior);
     }
@@ -701,127 +704,120 @@ impl World {
     }
 }
 
-/// The API a node behaviour uses to act on the world.
-pub struct NodeCtx<'w> {
-    world: &'w mut World,
-    node: NodeId,
+/// The substrate a [`NodeCtx`] acts on.
+///
+/// Node behaviours never touch this trait directly — they see the
+/// concrete `NodeCtx` wrapper, whose API is identical whether the
+/// backend is the discrete-event [`World`] or a live thread-per-node
+/// actor (`btr-node`). That is what makes the simulator usable as a
+/// trace oracle for the live runtime: the *same* protocol code runs on
+/// both substrates, and only the event transport underneath differs.
+///
+/// Methods take the acting node explicitly; the backend enforces key
+/// secrecy by construction because `signer(node)` is only ever called
+/// with the id the dispatcher bound into the `NodeCtx`.
+pub trait CtxBackend {
+    /// Global time (simulation time, or the live runtime's logical clock).
+    fn now(&self) -> Time;
+    /// The node's local clock reading (global time + bounded skew).
+    fn local_now(&self, node: NodeId) -> Time;
+    /// The system period.
+    fn period(&self) -> Duration;
+    /// The node's own signer.
+    fn signer(&self, node: NodeId) -> &Signer;
+    /// The shared verification keystore.
+    fn keystore(&self) -> &KeyStore;
+    /// Sign a payload as `src` and transmit it to `dst`.
+    fn send(&mut self, src: NodeId, dst: NodeId, payload: Payload);
+    /// Transmit a pre-built envelope, charging `src`'s allocation.
+    fn send_env(&mut self, src: NodeId, env: Envelope);
+    /// Verify an envelope signature (scratch-buffer reuse inside).
+    fn verify_env(&mut self, env: &Envelope) -> Result<(), SigError>;
+    /// Verify a signed task output (scratch-buffer reuse inside).
+    fn verify_output(&mut self, output: &SignedOutput) -> Result<(), EvidenceFlaw>;
+    /// Arm a timer for `node` at an absolute global time.
+    fn set_timer_at(&mut self, node: NodeId, at: Time, timer: TimerId);
+    /// Record a sink actuation by `node`.
+    fn actuate(&mut self, node: NodeId, task: TaskId, period: PeriodIdx, value: Value);
+    /// Fail-stop `node` immediately.
+    fn crash_self(&mut self, node: NodeId);
+    /// Advance `node`'s deterministic pseudo-random stream.
+    fn rng_u64(&mut self, node: NodeId) -> u64;
 }
 
-impl NodeCtx<'_> {
-    /// This node's id.
-    pub fn id(&self) -> NodeId {
-        self.node
+impl CtxBackend for World {
+    fn now(&self) -> Time {
+        self.now
     }
 
-    /// Global simulation time. (The paper assumes synchronised clocks;
-    /// use [`NodeCtx::local_now`] for the node's skewed local view.)
-    pub fn now(&self) -> Time {
-        self.world.now
-    }
-
-    /// The node's local clock reading (global time + bounded skew).
-    pub fn local_now(&self) -> Time {
-        let t =
-            self.world.now.as_micros() as i64 + self.world.slots[self.node.index()].clock_offset;
+    fn local_now(&self, node: NodeId) -> Time {
+        let t = self.now.as_micros() as i64 + self.slots[node.index()].clock_offset;
         Time(t.max(0) as u64)
     }
 
-    /// The system period.
-    pub fn period(&self) -> Duration {
-        self.world.cfg.period
+    fn period(&self) -> Duration {
+        self.cfg.period
     }
 
-    /// This node's signer. Only the owning node can reach its signer —
-    /// the simulator-enforced key secrecy that makes evidence sound.
-    pub fn signer(&self) -> &Signer {
-        &self.world.slots[self.node.index()].signer
+    fn signer(&self, node: NodeId) -> &Signer {
+        &self.slots[node.index()].signer
     }
 
-    /// The shared verification keystore.
-    pub fn keystore(&self) -> &KeyStore {
-        &self.world.keystore
+    fn keystore(&self) -> &KeyStore {
+        &self.keystore
     }
 
-    /// Sign and send a payload to `dst`.
-    pub fn send(&mut self, dst: NodeId, payload: Payload) {
-        let env = Envelope::new(self.node, dst, self.local_now(), payload);
-        let env = if self.world.cfg.legacy_hot_path {
+    fn send(&mut self, src: NodeId, dst: NodeId, payload: Payload) {
+        let env = Envelope::new(src, dst, self.local_now(src), payload);
+        let env = if self.cfg.legacy_hot_path {
             // Pre-optimization reference: allocate the signing bytes.
-            env.signed(&self.world.slots[self.node.index()].signer)
+            env.signed(&self.slots[src.index()].signer)
         } else {
             // Write the canonical signing bytes into the world's scratch
             // buffer; steady-state sends perform no heap allocation.
-            let mut scratch = std::mem::take(&mut self.world.scratch);
-            let env = env.signed_with(&self.world.slots[self.node.index()].signer, &mut scratch);
-            self.world.scratch = scratch;
+            let mut scratch = std::mem::take(&mut self.scratch);
+            let env = env.signed_with(&self.slots[src.index()].signer, &mut scratch);
+            self.scratch = scratch;
             env
         };
-        self.world.transmit(self.node, env);
+        self.transmit(src, env);
     }
 
-    /// Verify an envelope signature using the world's reusable scratch
-    /// buffer (equivalent to `env.verify(ctx.keystore())`, without the
-    /// per-call allocation).
-    pub fn verify_env(&mut self, env: &Envelope) -> Result<(), SigError> {
-        let mut scratch = std::mem::take(&mut self.world.scratch);
-        let r = env.verify_with(&self.world.keystore, &mut scratch);
-        self.world.scratch = scratch;
+    fn send_env(&mut self, src: NodeId, env: Envelope) {
+        self.transmit(src, env);
+    }
+
+    fn verify_env(&mut self, env: &Envelope) -> Result<(), SigError> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let r = env.verify_with(&self.keystore, &mut scratch);
+        self.scratch = scratch;
         r
     }
 
-    /// Verify a signed task output using the world's reusable scratch
-    /// buffer (equivalent to `output.verify(ctx.keystore())`).
-    pub fn verify_output(&mut self, output: &SignedOutput) -> Result<(), EvidenceFlaw> {
-        let mut scratch = std::mem::take(&mut self.world.scratch);
-        let r = output.verify_with(&self.world.keystore, &mut scratch);
-        self.world.scratch = scratch;
+    fn verify_output(&mut self, output: &SignedOutput) -> Result<(), EvidenceFlaw> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let r = output.verify_with(&self.keystore, &mut scratch);
+        self.scratch = scratch;
         r
     }
 
-    /// Send an arbitrary envelope (Byzantine behaviours use this to spoof
-    /// headers or send unsigned traffic). The network still charges the
-    /// *actual* sender's bandwidth allocation.
-    pub fn send_env(&mut self, env: Envelope) {
-        self.world.transmit(self.node, env);
+    fn set_timer_at(&mut self, node: NodeId, at: Time, timer: TimerId) {
+        let at = at.max(self.now);
+        self.push(at, Event::Timer { node, timer });
     }
 
-    /// Set a timer to fire after `delay` (global time base).
-    pub fn set_timer(&mut self, delay: Duration, timer: TimerId) {
-        let at = self.world.now + delay;
-        self.world.push(
-            at,
-            Event::Timer {
-                node: self.node,
-                timer,
-            },
-        );
-    }
-
-    /// Set a timer to fire at an absolute global time (clamped to now).
-    pub fn set_timer_at(&mut self, at: Time, timer: TimerId) {
-        let at = at.max(self.world.now);
-        self.world.push(
-            at,
-            Event::Timer {
-                node: self.node,
-                timer,
-            },
-        );
-    }
-
-    /// Record a sink actuation (an output to the physical world).
-    pub fn actuate(&mut self, task: TaskId, period: PeriodIdx, value: Value) {
-        self.world.metrics.actuations += 1;
+    fn actuate(&mut self, node: NodeId, task: TaskId, period: PeriodIdx, value: Value) {
+        self.metrics.actuations += 1;
         let a = Actuation {
-            at: self.world.now,
-            node: self.node,
+            at: self.now,
+            node,
             task,
             period,
             value,
         };
-        self.world.actuations.push(a);
-        if self.world.cfg.trace {
-            self.world.trace.push(TraceEvent::Actuated {
+        self.actuations.push(a);
+        if self.cfg.trace {
+            self.trace.push(TraceEvent::Actuated {
                 at: a.at,
                 node: a.node,
                 task: a.task,
@@ -831,18 +827,125 @@ impl NodeCtx<'_> {
         }
     }
 
-    /// Fail-stop this node immediately.
-    pub fn crash_self(&mut self) {
-        let slot = &mut self.world.slots[self.node.index()];
+    fn crash_self(&mut self, node: NodeId) {
+        let slot = &mut self.slots[node.index()];
         slot.crashed = true;
         slot.forward = ForwardPolicy::DropAll;
-        if self.world.cfg.trace {
-            self.world.trace.push(TraceEvent::Crashed {
-                at: self.world.now,
-                node: self.node,
-            });
+        if self.cfg.trace {
+            self.trace.push(TraceEvent::Crashed { at: self.now, node });
         }
-        self.world.heal_routes();
+        self.heal_routes();
+    }
+
+    fn rng_u64(&mut self, node: NodeId) -> u64 {
+        let slot = &mut self.slots[node.index()];
+        if self.cfg.legacy_hot_path {
+            slot.rng_counter += 1;
+            digest64(&[
+                b"btr-node-rng",
+                &self.cfg.seed.to_be_bytes(),
+                &node.0.to_be_bytes(),
+                &slot.rng_counter.to_be_bytes(),
+            ])
+        } else {
+            slot.rng.next_u64()
+        }
+    }
+}
+
+/// The API a node behaviour uses to act on the world.
+///
+/// A thin, substrate-agnostic view over a [`CtxBackend`]: the simulator
+/// and the live runtime construct one per dispatch, and behaviours are
+/// oblivious to which is underneath.
+pub struct NodeCtx<'w> {
+    backend: &'w mut dyn CtxBackend,
+    node: NodeId,
+}
+
+impl<'w> NodeCtx<'w> {
+    /// Bind a context for `node` over a backend (used by dispatchers,
+    /// not behaviours).
+    pub fn new(backend: &'w mut dyn CtxBackend, node: NodeId) -> NodeCtx<'w> {
+        NodeCtx { backend, node }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Global simulation time. (The paper assumes synchronised clocks;
+    /// use [`NodeCtx::local_now`] for the node's skewed local view.)
+    pub fn now(&self) -> Time {
+        self.backend.now()
+    }
+
+    /// The node's local clock reading (global time + bounded skew).
+    pub fn local_now(&self) -> Time {
+        self.backend.local_now(self.node)
+    }
+
+    /// The system period.
+    pub fn period(&self) -> Duration {
+        self.backend.period()
+    }
+
+    /// This node's signer. Only the owning node can reach its signer —
+    /// the simulator-enforced key secrecy that makes evidence sound.
+    pub fn signer(&self) -> &Signer {
+        self.backend.signer(self.node)
+    }
+
+    /// The shared verification keystore.
+    pub fn keystore(&self) -> &KeyStore {
+        self.backend.keystore()
+    }
+
+    /// Sign and send a payload to `dst`.
+    pub fn send(&mut self, dst: NodeId, payload: Payload) {
+        self.backend.send(self.node, dst, payload);
+    }
+
+    /// Verify an envelope signature using the backend's reusable scratch
+    /// buffer (equivalent to `env.verify(ctx.keystore())`, without the
+    /// per-call allocation).
+    pub fn verify_env(&mut self, env: &Envelope) -> Result<(), SigError> {
+        self.backend.verify_env(env)
+    }
+
+    /// Verify a signed task output using the backend's reusable scratch
+    /// buffer (equivalent to `output.verify(ctx.keystore())`).
+    pub fn verify_output(&mut self, output: &SignedOutput) -> Result<(), EvidenceFlaw> {
+        self.backend.verify_output(output)
+    }
+
+    /// Send an arbitrary envelope (Byzantine behaviours use this to spoof
+    /// headers or send unsigned traffic). The network still charges the
+    /// *actual* sender's bandwidth allocation.
+    pub fn send_env(&mut self, env: Envelope) {
+        self.backend.send_env(self.node, env);
+    }
+
+    /// Set a timer to fire after `delay` (global time base).
+    pub fn set_timer(&mut self, delay: Duration, timer: TimerId) {
+        let at = self.backend.now() + delay;
+        self.backend.set_timer_at(self.node, at, timer);
+    }
+
+    /// Set a timer to fire at an absolute global time (clamped to now).
+    pub fn set_timer_at(&mut self, at: Time, timer: TimerId) {
+        self.backend.set_timer_at(self.node, at, timer);
+    }
+
+    /// Record a sink actuation (an output to the physical world).
+    pub fn actuate(&mut self, task: TaskId, period: PeriodIdx, value: Value) {
+        self.backend.actuate(self.node, task, period, value);
+    }
+
+    /// Fail-stop this node immediately.
+    pub fn crash_self(&mut self) {
+        self.backend.crash_self(self.node);
     }
 
     /// A deterministic per-node pseudo-random stream.
@@ -851,18 +954,7 @@ impl NodeCtx<'_> {
     /// original hash-chain stream (one SHA-256 per draw); the optimized
     /// mode advances a SplitMix64 stream seeded once per node.
     pub fn rng_u64(&mut self) -> u64 {
-        let slot = &mut self.world.slots[self.node.index()];
-        if self.world.cfg.legacy_hot_path {
-            slot.rng_counter += 1;
-            digest64(&[
-                b"btr-node-rng",
-                &self.world.cfg.seed.to_be_bytes(),
-                &self.node.0.to_be_bytes(),
-                &slot.rng_counter.to_be_bytes(),
-            ])
-        } else {
-            slot.rng.next_u64()
-        }
+        self.backend.rng_u64(self.node)
     }
 }
 
@@ -1307,17 +1399,11 @@ mod tests {
     fn rng_streams_are_deterministic_and_distinct() {
         let mut w = world(2);
         w.start();
-        let mut ctx0 = NodeCtx {
-            world: &mut w,
-            node: NodeId(0),
-        };
+        let mut ctx0 = NodeCtx::new(&mut w, NodeId(0));
         let a1 = ctx0.rng_u64();
         let a2 = ctx0.rng_u64();
         assert_ne!(a1, a2);
-        let mut ctx1 = NodeCtx {
-            world: &mut w,
-            node: NodeId(1),
-        };
+        let mut ctx1 = NodeCtx::new(&mut w, NodeId(1));
         let b1 = ctx1.rng_u64();
         assert_ne!(a1, b1);
     }

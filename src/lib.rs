@@ -19,6 +19,9 @@
 //! * [`evidence`] — evidence validation and distribution (Section 4.3).
 //! * [`modeswitch`] — the mode-change protocol (Section 4.4).
 //! * [`runtime`] — the per-node BTR software stack.
+//! * [`node`] — the live thread-per-node runtime: real OS threads,
+//!   wall-clock bounded-time recovery, runtime fault injection, with
+//!   the simulator as trace oracle.
 //! * [`core`] — the end-to-end system, fault injection, and oracle.
 //! * [`baselines`] — BFT / PBFT-lite / ZZ / self-stabilisation / restart.
 //! * [`campaign`] — parallel fault-injection campaigns: schedule
@@ -36,6 +39,7 @@ pub use btr_evidence as evidence;
 pub use btr_model as model;
 pub use btr_modeswitch as modeswitch;
 pub use btr_net as net;
+pub use btr_node as node;
 pub use btr_planner as planner;
 pub use btr_runtime as runtime;
 pub use btr_sched as sched;
