@@ -18,6 +18,7 @@
 //! A/B comparison and emits `BENCH_sim.json`.
 
 use btr_model::{Duration, Envelope, NodeId, Payload, Time, Topology};
+use btr_obs::ObsRecorder;
 use btr_sim::{NodeBehavior, NodeCtx, SimConfig, SimMetrics, TimerId, World};
 
 /// Nodes in the pinned scenario (4x5 mesh).
@@ -28,6 +29,21 @@ pub const HOTPATH_PERIODS: u64 = 10_000;
 pub const HOTPATH_LOSS_PPM: u32 = 20_000;
 /// FEC code of the pinned scenario: 4 data + 2 parity shards.
 pub const HOTPATH_FEC: (u8, u8) = (4, 2);
+/// Obs-overhead ceiling: a collecting recorder on the optimized hot
+/// path may cost at most this much wall-clock overhead (per cent).
+pub const OBS_OVERHEAD_PCT: f64 = 2.0;
+/// Absolute noise floor for the overhead gate: short smoke runs jitter
+/// by more than 2% run-to-run, so deltas below this many nanoseconds
+/// never fail the gate.
+pub const OBS_NOISE_NS: u128 = 10_000_000;
+/// Throughput floor (delivered msgs/s) for the pinned scenario with
+/// the recorder enabled.
+pub const OBS_THROUGHPUT_FLOOR: f64 = 2_300_000.0;
+/// Rounds per mode in the obs-overhead A/B. Each mode's best
+/// (minimum-wall) round is what the gate compares: scheduler noise
+/// only ever adds time, so the minima converge on the true costs
+/// while single-shot comparisons jitter by several percent.
+pub const OBS_AB_ROUNDS: u32 = 3;
 
 /// Traffic generator: every period, each node sends three unsigned
 /// data-plane envelopes to distant peers (multi-hop on the mesh) and one
@@ -189,6 +205,46 @@ pub fn measure_hotpath(
     }
 }
 
+/// Measure the optimized mode with a collecting `ObsRecorder`
+/// installed — the A side of the obs-overhead gate. Returns the
+/// measurement plus the recorder so callers can cross-check its
+/// counters against the engine metrics.
+pub fn measure_hotpath_observed(
+    seed: u64,
+    periods: u64,
+    alloc_counter: &dyn Fn() -> u64,
+) -> (HotPathMeasurement, ObsRecorder) {
+    let mut w = hotpath_world(seed, false, periods, HOTPATH_LOSS_PPM, false);
+    w.set_recorder(Box::new(ObsRecorder::new()));
+    w.start();
+    let horizon = Time(periods.saturating_mul(w.period().as_micros()) + 1_000_000);
+    let allocs_before = alloc_counter();
+    let start = std::time::Instant::now();
+    w.run_until(horizon);
+    let wall_ns = start.elapsed().as_nanos();
+    let allocations = alloc_counter().saturating_sub(allocs_before);
+    let m = *w.metrics();
+    let truncated = w.truncated();
+    let rec = w
+        .take_recorder()
+        .and_then(|r| {
+            r.as_any()
+                .and_then(|a| a.downcast_ref::<ObsRecorder>().cloned())
+        })
+        .unwrap_or_default();
+    (
+        HotPathMeasurement {
+            msgs_sent: m.msgs_sent,
+            msgs_delivered: m.msgs_delivered,
+            events: m.events,
+            wall_ns,
+            allocations,
+            truncated,
+        },
+        rec,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -288,6 +344,24 @@ mod tests {
         w.run_until(Time(50 * w.period().as_micros() + 1_000_000));
         assert_eq!(w.queued_events(), 0);
         assert_eq!(w.envelopes_in_flight(), 0);
+    }
+
+    #[test]
+    fn observed_hotpath_matches_unobserved_run() {
+        // The obs-overhead A/B is only meaningful if the observed run is
+        // the *same* run: identical engine counters, and a recorder whose
+        // tallies agree with the metrics it shadowed.
+        use btr_obs::Counter;
+        let plain = run_hotpath(7, false, 100, HOTPATH_LOSS_PPM);
+        let (obs, rec) = measure_hotpath_observed(7, 100, &|| 0);
+        assert_eq!(obs.msgs_sent, plain.msgs_sent);
+        assert_eq!(obs.msgs_delivered, plain.msgs_delivered);
+        assert_eq!(obs.events, plain.events);
+        assert!(!obs.truncated);
+        assert_eq!(rec.counter(Counter::Sends), plain.msgs_sent);
+        assert_eq!(rec.counter(Counter::Delivers), plain.msgs_delivered);
+        assert_eq!(rec.counter(Counter::Events), plain.events);
+        assert_eq!(rec.counter(Counter::Timers), plain.timers);
     }
 
     #[test]

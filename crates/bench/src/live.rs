@@ -11,7 +11,9 @@
 
 use btr_core::{BtrSystem, FaultScenario};
 use btr_model::{Duration, FaultKind, NodeId, Time, Topology};
-use btr_node::supervisor::{run_live, LiveConfig};
+use btr_node::supervisor::{run_live, LiveConfig, LiveReport};
+use btr_node::EventKind;
+use btr_obs::{ObsRecorder, PhaseMark, RecoveryTimeline, TraceBuilder};
 use btr_planner::PlannerConfig;
 
 /// Node count for the full pinned scenarios (mirrors the differential
@@ -152,6 +154,17 @@ pub struct LiveMeasurement {
     pub msgs_sent: u64,
     /// Bounded-mailbox backpressure drops (0 in the pinned scenarios).
     pub mailbox_full: u64,
+    /// Causal-gate wait polls summed over all actors.
+    pub frontier_stalls: u64,
+    /// Anchor re-folds forced by sub-anchor arrivals.
+    pub redrains: u64,
+    /// p99 wall lateness of timer dispatches past their paced instant
+    /// (µs; 0 when no timers fired).
+    pub timer_lag_p99_us: u64,
+    /// The per-fault recovery timeline folded from the live phase
+    /// marks: five phase durations that partition `recovery_us` exactly
+    /// (None when fault-free).
+    pub timeline: Option<RecoveryTimeline>,
     /// Wall time of the whole live run (ms).
     pub wall_ms: u64,
 }
@@ -159,7 +172,19 @@ pub struct LiveMeasurement {
 impl LiveMeasurement {
     /// The gate `harness live` exits non-zero on.
     pub fn ok(&self) -> bool {
-        self.healthy && self.converged && self.trace_match && self.within_r && self.within_r_wall
+        // The folded timeline must partition the judged recovery window
+        // exactly — five phase durations summing to the end-to-end
+        // number the oracle reports.
+        let timeline_ok = self
+            .timeline
+            .as_ref()
+            .is_none_or(|t| t.phases_sum() == t.recovery_us && t.recovery_us == self.recovery_us);
+        self.healthy
+            && self.converged
+            && self.trace_match
+            && self.within_r
+            && self.within_r_wall
+            && timeline_ok
     }
 }
 
@@ -187,8 +212,14 @@ pub fn sim_trace(
 }
 
 /// Run one pinned scenario on both substrates and measure the live run
-/// against the oracle and the R bound.
-pub fn measure_live(sys: &BtrSystem, spec: &LiveScenario, seed: u64, pace: f64) -> LiveMeasurement {
+/// against the oracle and the R bound. Returns the raw [`LiveReport`]
+/// alongside the measurement for trace export and flight-dump surfacing.
+pub fn measure_live_with_report(
+    sys: &BtrSystem,
+    spec: &LiveScenario,
+    seed: u64,
+    pace: f64,
+) -> (LiveMeasurement, LiveReport) {
     let scenario = match spec.fault {
         None => FaultScenario::none(),
         Some((node, kind, at)) => FaultScenario::single(node, kind, at),
@@ -212,7 +243,16 @@ pub fn measure_live(sys: &BtrSystem, spec: &LiveScenario, seed: u64, pace: f64) 
         _ => None,
     };
     let wall_r = (r_bound_us as f64 * pace) as u64 + LIVE_WALL_SLACK_US;
-    LiveMeasurement {
+    let timeline = spec.fault.map(|(node, _, at)| {
+        RecoveryTimeline::fold(
+            node,
+            at,
+            judgment.recovery.bad_window(),
+            sys.strategy().r_bound,
+            &live.phase_marks,
+        )
+    });
+    let m = LiveMeasurement {
         name: spec.name,
         nodes: spec.nodes,
         horizon_us: spec.horizon.as_micros(),
@@ -235,7 +275,96 @@ pub fn measure_live(sys: &BtrSystem, spec: &LiveScenario, seed: u64, pace: f64) 
         within_r_wall: recovery_wall_us.is_none_or(|w| w <= wall_r),
         msgs_sent: live.drops.sent,
         mailbox_full: live.drops.mailbox_full,
+        frontier_stalls: live.frontier_stalls,
+        redrains: live.redrains,
+        timer_lag_p99_us: live.timer_lag.quantile(0.99).unwrap_or(0),
+        timeline,
         wall_ms: live.wall.as_millis() as u64,
+    };
+    (m, live)
+}
+
+/// [`measure_live_with_report`] without the raw report.
+pub fn measure_live(sys: &BtrSystem, spec: &LiveScenario, seed: u64, pace: f64) -> LiveMeasurement {
+    measure_live_with_report(sys, spec, seed, pace).0
+}
+
+/// The simulator side with a collecting recorder installed: the same
+/// reference run `sim_trace` makes, but returning the recorder's phase
+/// marks so `harness obs` can export both substrates' timelines.
+pub fn sim_observed(
+    sys: &BtrSystem,
+    scenario: &FaultScenario,
+    horizon: Duration,
+    seed: u64,
+) -> (btr_sim::LogicalTrace, ObsRecorder) {
+    let mut world = sys.build_world(scenario, seed);
+    world.set_recorder(Box::new(ObsRecorder::new()));
+    world.start();
+    world.run_until(Time::ZERO + horizon + sys.grace());
+    let rec = world
+        .take_recorder()
+        .and_then(|r| {
+            r.as_any()
+                .and_then(|a| a.downcast_ref::<ObsRecorder>().cloned())
+        })
+        .unwrap_or_default();
+    (world.logical_trace(), rec)
+}
+
+fn event_label(kind: &EventKind) -> String {
+    match kind {
+        EventKind::Started => "started".to_string(),
+        EventKind::Finished => "finished".to_string(),
+        EventKind::Crashed => "crashed".to_string(),
+        EventKind::SwitchCompleted { count } => format!("switch#{count}"),
+        EventKind::Panicked(msg) => format!("panicked: {msg}"),
+    }
+}
+
+/// Export one scenario's observability onto a Chrome trace builder as
+/// three process groups: the simulator's logical phase marks, the live
+/// runtime's logical marks plus the folded per-fault phase spans, and
+/// the live runtime's wall-clock events. Lanes (`tid`) are node ids.
+pub fn export_scenario_trace(
+    t: &mut TraceBuilder,
+    base_pid: u32,
+    name: &str,
+    sim_marks: &[PhaseMark],
+    live: &LiveReport,
+    timeline: Option<&RecoveryTimeline>,
+) {
+    let sim_pid = base_pid;
+    let live_pid = base_pid + 1;
+    let wall_pid = base_pid + 2;
+    t.process_name(sim_pid, &format!("sim:{name} (logical us)"));
+    t.process_name(live_pid, &format!("live:{name} (logical us)"));
+    t.process_name(wall_pid, &format!("live:{name} (wall us)"));
+    for m in sim_marks {
+        t.instant(
+            &format!("{}:{}", m.phase.label(), m.subject),
+            sim_pid,
+            m.observer.0,
+            m.at.as_micros(),
+        );
+    }
+    for m in &live.phase_marks {
+        t.instant(
+            &format!("{}:{}", m.phase.label(), m.subject),
+            live_pid,
+            m.observer.0,
+            m.at.as_micros(),
+        );
+    }
+    if let Some(tl) = timeline {
+        let mut ts = tl.fault_at.as_micros();
+        for (label, dur) in tl.phases() {
+            t.span(label, live_pid, tl.subject.0, ts, dur);
+            ts += dur;
+        }
+    }
+    for e in &live.events {
+        t.instant(&event_label(&e.kind), wall_pid, e.node.0, e.wall_us);
     }
 }
 

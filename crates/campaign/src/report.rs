@@ -104,6 +104,7 @@ pub fn runs_digest(records: &[RunRecord]) -> u64 {
         buf.push(r.n_faults);
         buf.push(r.admissible as u8);
         buf.extend_from_slice(&r.recovery_us.to_be_bytes());
+        buf.extend_from_slice(&r.slack_us.to_be_bytes());
         buf.extend_from_slice(&r.bad_outputs.to_be_bytes());
         buf.extend_from_slice(&r.total_outputs.to_be_bytes());
         buf.push(r.converged as u8);
@@ -113,6 +114,27 @@ pub fn runs_digest(records: &[RunRecord]) -> u64 {
         h = digest64(&[&h.to_be_bytes(), &buf]);
     }
     h
+}
+
+/// Fold every admissible run's slack into one mergeable histogram
+/// (negative slack — a blown bound — clamps into the zero bucket; the
+/// signed minimum is reported alongside).
+pub fn slack_histogram(records: &[RunRecord]) -> btr_obs::Histogram {
+    let mut h = btr_obs::Histogram::new();
+    for r in records.iter().filter(|r| r.admissible) {
+        h.record(r.slack_us.max(0) as u64);
+    }
+    h
+}
+
+/// The smallest slack over admissible runs (`None` when there are
+/// none): the campaign's scariest schedule.
+pub fn min_slack_us(records: &[RunRecord]) -> Option<i64> {
+    records
+        .iter()
+        .filter(|r| r.admissible)
+        .map(|r| r.slack_us)
+        .min()
 }
 
 fn json_str(s: &str) -> String {
@@ -212,6 +234,27 @@ pub fn render_deterministic(out: &CampaignOutcome) -> String {
         truncated,
         diverged,
         json_str(&format!("{:016x}", runs_digest(records))),
+    ));
+
+    // Slack to R over admissible runs: the minimum scores the
+    // campaign's scariest schedule; the log-bucketed histogram gives
+    // the distribution without storing per-run samples.
+    let slack = slack_histogram(records);
+    let q = |p: f64| slack.quantile(p).map_or("null".into(), |v| v.to_string());
+    let buckets: Vec<String> = slack
+        .nonzero()
+        .iter()
+        .map(|(ceil, n)| format!("[{ceil}, {n}]"))
+        .collect();
+    s.push_str(&format!(
+        "    \"min_slack_us\": {},\n    \"slack_us\": {{\"p50\": {}, \"p90\": {}, \
+         \"p99\": {}, \"max\": {}, \"buckets\": [{}]}},\n",
+        min_slack_us(records).map_or("null".to_string(), |v| v.to_string()),
+        q(0.5),
+        q(0.9),
+        q(0.99),
+        slack.max().map_or("null".to_string(), |v| v.to_string()),
+        buckets.join(", "),
     ));
 
     let by_variant = aggregate_by(records, |r| r.label.clone());
@@ -348,6 +391,7 @@ mod tests {
             n_faults: 1,
             admissible: true,
             recovery_us: recovery,
+            slack_us: 150_000 - recovery as i64,
             bad_outputs: 0,
             total_outputs: 10,
             converged: true,
@@ -359,6 +403,42 @@ mod tests {
         assert_eq!(runs_digest(&a), runs_digest(&a));
         assert_ne!(runs_digest(&a), runs_digest(&b));
         assert_ne!(runs_digest(&a), runs_digest(&c));
+    }
+
+    #[test]
+    fn slack_aggregation_scores_the_scariest_schedule() {
+        let mk = |idx: u32, recovery: u64, admissible: bool| RunRecord {
+            run_idx: idx,
+            cell_idx: 0,
+            schedule_id: idx,
+            sim_seed: 1,
+            label: "crash".into(),
+            n_faults: 1,
+            admissible,
+            recovery_us: recovery,
+            slack_us: 150_000 - recovery as i64,
+            bad_outputs: 0,
+            total_outputs: 10,
+            converged: true,
+            violations: Vec::new(),
+        };
+        let records = vec![
+            mk(0, 100_000, true),
+            mk(1, 20_000, true),
+            mk(2, 160_000, true),
+        ];
+        assert_eq!(min_slack_us(&records), Some(-10_000));
+        let h = slack_histogram(&records);
+        assert_eq!(h.count(), 3);
+        // A blown bound clamps into the zero bucket but keeps its sign
+        // in the minimum.
+        assert_eq!(h.min(), Some(0));
+        // Inadmissible runs never score: over-budget schedules have no
+        // slack claim to make.
+        let records = vec![mk(0, 100_000, true), mk(2, 160_000, false)];
+        assert_eq!(min_slack_us(&records), Some(50_000));
+        assert_eq!(slack_histogram(&records).count(), 1);
+        assert_eq!(min_slack_us(&[]), None);
     }
 
     #[test]

@@ -76,6 +76,11 @@ pub struct RunRecord {
     pub admissible: bool,
     /// Measured bad-output window in µs (0 = masked or fault-free).
     pub recovery_us: u64,
+    /// Schedule slack to the R bound in µs: the recovery budget the
+    /// schedule had — `(last_at − first_at) + R` for faulted runs, `R`
+    /// for fault-free — minus the measured window. Negative when the
+    /// bound was blown; campaigns score schedules by minimum slack.
+    pub slack_us: i64,
     /// Unacceptable output slots.
     pub bad_outputs: u32,
     /// Judged output slots.
@@ -157,6 +162,17 @@ pub fn execute_run(
     let seed = sim_seed(cfg.seed, seed_slot);
     let report = cell.system.run(&sched.scenario, cell.horizon, seed);
     let violations = score(&cell.system, sched, &report, cfg.slack);
+    let recovery_us = report.recovery.bad_window().as_micros();
+    // The budget mirrors the verdict's deadline: a sequential schedule
+    // may legitimately stay degraded until R past its *last* fault.
+    let faults = &sched.scenario.faults;
+    let budget_us = match (
+        faults.iter().map(|f| f.at).min(),
+        faults.iter().map(|f| f.at).max(),
+    ) {
+        (Some(first), Some(last)) => (last - first).as_micros() + cell.spec.r_bound.as_micros(),
+        _ => cell.spec.r_bound.as_micros(),
+    };
     RunRecord {
         run_idx,
         cell_idx,
@@ -165,7 +181,8 @@ pub fn execute_run(
         label: sched.label(),
         n_faults: sched.scenario.faults.len() as u8,
         admissible: sched.budget() <= cell.spec.f as usize,
-        recovery_us: report.recovery.bad_window().as_micros(),
+        recovery_us,
+        slack_us: budget_us as i64 - recovery_us as i64,
         bad_outputs: report.recovery.bad_outputs as u32,
         total_outputs: report.recovery.total_outputs as u32,
         converged: report.converged,

@@ -401,6 +401,23 @@ impl EvidenceRecord {
         }
     }
 
+    /// The node the record implicates: the accused for proofs, the
+    /// blamed end for declarations (the sender of a missing path
+    /// output, the producer of a mistimed one, the silent peer of a
+    /// crash suspicion). Declarations merely *suggest* this node — the
+    /// detector's thresholds decide conviction — but it is the right
+    /// subject for observability ("first evidence concerning n6").
+    pub fn accuses(&self) -> NodeId {
+        match self {
+            EvidenceRecord::Equivocation { accused, .. }
+            | EvidenceRecord::BadComputation { accused, .. }
+            | EvidenceRecord::BadWitness { accused, .. } => *accused,
+            EvidenceRecord::PathDeclaration { from, .. } => *from,
+            EvidenceRecord::TimingDeclaration { output, .. } => output.producer,
+            EvidenceRecord::CrashSuspicion { about, .. } => *about,
+        }
+    }
+
     /// The declarer of a declaration (None for proofs).
     pub fn declarer(&self) -> Option<NodeId> {
         match self {

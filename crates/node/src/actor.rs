@@ -38,12 +38,13 @@ use btr_crypto::{digest64, AuthSuite, KeyStore, NodeKey, SigError, Signer, Split
 use btr_model::{
     Duration, Envelope, EvidenceFlaw, NodeId, Payload, PeriodIdx, SignedOutput, TaskId, Time, Value,
 };
+use btr_obs::{FlightKind, FlightRecorder, Histogram, Phase, PhaseMark, FLIGHT_CAP};
 use btr_runtime::BtrNode;
 use btr_sim::{Actuation, CtxBackend, NodeBehavior, NodeCtx, TimerId};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Maps logical time onto the shared wall clock: logical `t` µs may not
@@ -160,6 +161,10 @@ pub struct LiveCtx {
     timer_seq: u64,
     actuations: Vec<Actuation>,
     crashed: bool,
+    /// Observation switch: when off, `observe` is a no-op and the mark
+    /// log stays empty (the live inertness tests flip this).
+    obs: bool,
+    marks: Vec<PhaseMark>,
 }
 
 impl LiveCtx {
@@ -198,7 +203,15 @@ impl LiveCtx {
             timer_seq: 0,
             actuations: Vec::new(),
             crashed: false,
+            obs: true,
+            marks: Vec::new(),
         }
+    }
+
+    /// Enable or disable phase-mark collection (on by default; marks
+    /// are out-of-band either way, so this cannot change a run).
+    pub fn set_obs(&mut self, on: bool) {
+        self.obs = on;
     }
 
     /// The node this context belongs to.
@@ -283,10 +296,27 @@ impl CtxBackend for LiveCtx {
 
     fn crash_self(&mut self, _node: NodeId) {
         self.crashed = true;
+        // Fault activation is a phase boundary: the recovery timeline
+        // starts here (the simulator emits the same mark in its
+        // control-action path).
+        if self.obs {
+            self.marks.push(PhaseMark {
+                observer: self.node,
+                subject: self.node,
+                phase: Phase::FaultActive,
+                at: self.logical,
+            });
+        }
     }
 
     fn rng_u64(&mut self, _node: NodeId) -> u64 {
         self.rng.next_u64()
+    }
+
+    fn observe(&mut self, mark: PhaseMark) {
+        if self.obs {
+            self.marks.push(mark);
+        }
     }
 }
 
@@ -302,6 +332,17 @@ pub struct ActorOutcome {
     pub crashed: bool,
     /// Logical time the thread stopped dispatching.
     pub stopped_at: Time,
+    /// Recovery-phase boundaries the node's runtime observed.
+    pub marks: Vec<PhaseMark>,
+    /// Causal-gate wait polls (the event at hand was not yet provably
+    /// safe to dispatch).
+    pub frontier_stalls: u64,
+    /// Anchor re-folds forced by a message that arrived below the
+    /// published anchor (fold-and-clear repeat iterations).
+    pub redrains: u64,
+    /// Wall-clock lateness of timer dispatches past their paced
+    /// instant, in µs (live-only: logically always 0).
+    pub timer_lag: Histogram,
 }
 
 /// One node's event loop: behaviour + context + mailbox, run to a
@@ -314,6 +355,12 @@ pub struct NodeActor {
     pending: BinaryHeap<Reverse<Parked>>,
     net: Loopback,
     last_switch_count: u64,
+    /// Ring of the last few dispatches, shared with the supervisor so
+    /// the tail survives even when this thread panics mid-dispatch.
+    flight: Arc<Mutex<FlightRecorder>>,
+    frontier_stalls: u64,
+    redrains: u64,
+    timer_lag: Histogram,
 }
 
 enum Next {
@@ -339,12 +386,27 @@ impl NodeActor {
             pending: BinaryHeap::new(),
             net,
             last_switch_count: 0,
+            flight: Arc::new(Mutex::new(FlightRecorder::new(FLIGHT_CAP))),
+            frontier_stalls: 0,
+            redrains: 0,
+            timer_lag: Histogram::new(),
         }
+    }
+
+    /// Share an externally owned flight recorder (the supervisor holds
+    /// the other handle, so the tail is readable after a panic).
+    pub fn with_flight(mut self, flight: Arc<Mutex<FlightRecorder>>) -> NodeActor {
+        self.flight = flight;
+        self
     }
 
     /// The node this actor animates.
     pub fn node(&self) -> NodeId {
         self.node
+    }
+
+    fn record_flight(&self, at: Time, kind: FlightKind) {
+        self.flight.lock().expect("flight lock").push(at, kind);
     }
 
     fn park(&mut self, m: LiveMsg) {
@@ -413,6 +475,7 @@ impl NodeActor {
             let count = b.switch_count();
             if count > self.last_switch_count {
                 self.last_switch_count = count;
+                self.record_flight(self.ctx.logical(), FlightKind::SwitchCompleted { count });
                 self.emit(events, pacer, EventKind::SwitchCompleted { count });
             }
         }
@@ -430,6 +493,7 @@ impl NodeActor {
             self.behavior.on_start(&mut ctx);
         }
         self.emit(&events, &pacer, EventKind::Started);
+        self.record_flight(self.ctx.logical(), FlightKind::Start);
         let terminal = loop {
             if self.ctx.is_crashed() {
                 break EventKind::Crashed;
@@ -449,6 +513,7 @@ impl NodeActor {
                 if self.net.publish_anchor(self.node, next_at) >= next_at {
                     break next;
                 }
+                self.redrains += 1;
             };
             let bound = self.net.frontier_bound(self.node);
             let Some(next) = next else {
@@ -478,6 +543,7 @@ impl NodeActor {
                 Next::Message(_) => at < bound,
             };
             if !causal_ok {
+                self.frontier_stalls += 1;
                 self.wait_briefly();
                 continue;
             }
@@ -499,12 +565,17 @@ impl NodeActor {
             match next {
                 Next::Timer(_) => {
                     let (at, _, timer) = self.ctx.wheel.pop().expect("peeked timer");
+                    self.timer_lag
+                        .record(Instant::now().saturating_duration_since(target).as_micros()
+                            as u64);
+                    self.record_flight(at, FlightKind::Timer);
                     self.ctx.logical = self.ctx.logical.max(at);
                     let mut ctx = NodeCtx::new(&mut self.ctx, self.node);
                     self.behavior.on_timer(&mut ctx, timer);
                 }
                 Next::Message(_) => {
                     let Reverse(p) = self.pending.pop().expect("peeked message");
+                    self.record_flight(p.at, FlightKind::Message { from: p.from });
                     self.ctx.logical = self.ctx.logical.max(p.at);
                     let mut ctx = NodeCtx::new(&mut self.ctx, self.node);
                     self.behavior.on_message(&mut ctx, p.env);
@@ -520,6 +591,7 @@ impl NodeActor {
             // Fail-stop for real: detach the mailbox and reroute around
             // this node before the thread dies.
             self.net.crash(self.node);
+            self.record_flight(self.ctx.logical(), FlightKind::Crash);
         }
         self.emit(&events, &pacer, terminal);
         ActorOutcome {
@@ -528,6 +600,10 @@ impl NodeActor {
             actuations: std::mem::take(&mut self.ctx.actuations),
             crashed,
             stopped_at: self.ctx.logical(),
+            marks: std::mem::take(&mut self.ctx.marks),
+            frontier_stalls: self.frontier_stalls,
+            redrains: self.redrains,
+            timer_lag: self.timer_lag,
         }
     }
 }

@@ -37,6 +37,8 @@ pub mod wheel;
 
 pub use actor::{ActorOutcome, EventKind, LiveCtx, NodeActor, Pacer, RuntimeEvent};
 pub use faulty::{FaultyNode, Rejoin, CRASH_TIMER};
-pub use supervisor::{run_live, DropTotals, LiveConfig, LiveReport};
+pub use supervisor::{
+    run_live, DropTotals, DumpReason, FlightDump, LiveConfig, LiveReport, PanicReport,
+};
 pub use transport::{LiveMsg, Loopback, Port};
 pub use wheel::TimerWheel;

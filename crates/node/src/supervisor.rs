@@ -27,12 +27,13 @@ use crate::transport::{mailbox, Loopback};
 use btr_core::{BtrSystem, FaultScenario};
 use btr_crypto::KeyStore;
 use btr_model::{Duration, NodeId, PlanId, Time};
+use btr_obs::{FlightEvent, FlightRecorder, Histogram, PhaseMark, FLIGHT_CAP};
 use btr_runtime::{BtrNode, NodeStats};
 use btr_sim::{LogicalTrace, NodeBehavior, SimConfig};
 use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Instant;
 
@@ -53,6 +54,9 @@ pub struct LiveConfig {
     /// Extra wall time past the paced horizon before non-terminal nodes
     /// are declared deadline overruns and detached.
     pub join_grace: std::time::Duration,
+    /// Collect phase marks on node runtimes (out-of-band either way;
+    /// the obs on/off digest test flips this to prove inertness).
+    pub obs: bool,
 }
 
 impl LiveConfig {
@@ -64,6 +68,7 @@ impl LiveConfig {
             mailbox_cap: 4096,
             restart_after: Duration::ZERO,
             join_grace: std::time::Duration::from_millis(500),
+            obs: true,
         }
     }
 }
@@ -83,6 +88,111 @@ pub struct DropTotals {
     pub sent: u64,
 }
 
+/// A caught behaviour panic, attributed to its node and annotated with
+/// the node's last known logical instant and flight-recorder tail — the
+/// last few dispatches leading into the failure.
+#[derive(Debug, Clone)]
+pub struct PanicReport {
+    /// The panicking node.
+    pub node: NodeId,
+    /// The panic payload (message).
+    pub message: String,
+    /// The node's last flight-recorded logical timestamp, if any event
+    /// was dispatched before the panic.
+    pub last_logical: Option<Time>,
+    /// Total events the node dispatched before dying.
+    pub flight_total: u64,
+    /// The last few dispatches, oldest first.
+    pub flight_tail: Vec<FlightEvent>,
+}
+
+impl PanicReport {
+    /// One-line rendering: node, message, and the flight tail.
+    pub fn render(&self) -> String {
+        let at = self
+            .last_logical
+            .map(|t| format!("{}us", t.as_micros()))
+            .unwrap_or_else(|| "never-dispatched".to_string());
+        let tail: Vec<String> = self.flight_tail.iter().map(|e| e.to_string()).collect();
+        format!(
+            "{} panicked at logical {}: {} [last {} of {} events: {}]",
+            self.node,
+            at,
+            self.message,
+            self.flight_tail.len(),
+            self.flight_total,
+            tail.join("; "),
+        )
+    }
+}
+
+/// Why the supervisor dumped a node's flight recorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DumpReason {
+    /// The node's behaviour panicked.
+    Panic,
+    /// The node's thread missed the wall deadline and was detached.
+    DeadlineOverrun,
+    /// The node's bounded mailbox overflowed (dropped deliveries).
+    MailboxFull,
+}
+
+impl DumpReason {
+    /// Stable lowercase label (JSON keys / report lines).
+    pub fn label(self) -> &'static str {
+        match self {
+            DumpReason::Panic => "panic",
+            DumpReason::DeadlineOverrun => "deadline_overrun",
+            DumpReason::MailboxFull => "mailbox_full",
+        }
+    }
+}
+
+/// A flight-recorder dump the supervisor took when it flagged a node.
+#[derive(Debug, Clone)]
+pub struct FlightDump {
+    /// The flagged node.
+    pub node: NodeId,
+    /// Why it was flagged.
+    pub reason: DumpReason,
+    /// The node's last flight-recorded logical timestamp.
+    pub last_logical: Option<Time>,
+    /// Total events the node dispatched.
+    pub total: u64,
+    /// The last few dispatches, oldest first.
+    pub tail: Vec<FlightEvent>,
+}
+
+impl FlightDump {
+    /// One-line rendering for reports.
+    pub fn render(&self) -> String {
+        let tail: Vec<String> = self.tail.iter().map(|e| e.to_string()).collect();
+        format!(
+            "{} [{}] last {} of {} events: {}",
+            self.node,
+            self.reason.label(),
+            self.tail.len(),
+            self.total,
+            tail.join(", "),
+        )
+    }
+}
+
+fn dump_flight(
+    node: NodeId,
+    reason: DumpReason,
+    flight: &Arc<Mutex<FlightRecorder>>,
+) -> FlightDump {
+    let f = flight.lock().expect("flight lock");
+    FlightDump {
+        node,
+        reason,
+        last_logical: f.last_at(),
+        total: f.total(),
+        tail: f.tail(),
+    }
+}
+
 /// Everything a live run produces.
 #[derive(Debug)]
 pub struct LiveReport {
@@ -96,12 +206,28 @@ pub struct LiveReport {
     pub converged: bool,
     /// Every runtime event, logically and wall-clock stamped.
     pub events: Vec<RuntimeEvent>,
-    /// Panics caught on node threads, attributed to their node.
-    pub panics: Vec<(NodeId, String)>,
+    /// Panics caught on node threads, attributed to their node, with
+    /// each node's flight-recorder tail and last logical timestamp.
+    pub panics: Vec<PanicReport>,
     /// Nodes whose threads missed the wall deadline and were detached.
     pub deadline_overruns: Vec<NodeId>,
     /// Transport counters.
     pub drops: DropTotals,
+    /// Per-node `mailbox_full` attribution (index = node).
+    pub mailbox_full_by_node: Vec<u64>,
+    /// Flight-recorder dumps for flagged nodes (panic, overrun,
+    /// mailbox overflow).
+    pub flight_dumps: Vec<FlightDump>,
+    /// Phase marks observed across all node runtimes, in node order
+    /// (empty when `LiveConfig::obs` is off).
+    pub phase_marks: Vec<PhaseMark>,
+    /// Causal-gate wait polls summed over all actors.
+    pub frontier_stalls: u64,
+    /// Anchor re-folds forced by sub-anchor arrivals, summed.
+    pub redrains: u64,
+    /// Wall-clock lateness of timer dispatches (µs), merged over all
+    /// actors.
+    pub timer_lag: Histogram,
     /// Wall time for the whole run (spawn to last join).
     pub wall: std::time::Duration,
 }
@@ -199,7 +325,12 @@ pub fn run_live(
     let mut restarted = vec![false; n];
     let mut outcomes: Vec<ActorOutcome> = Vec::new();
     let mut events: Vec<RuntimeEvent> = Vec::new();
-    let mut panics: Vec<(NodeId, String)> = Vec::new();
+    let mut panics: Vec<PanicReport> = Vec::new();
+    // One flight recorder per node, owned here and shared with the
+    // actor: the tail stays readable after the actor's thread panics.
+    let flights: Vec<Arc<Mutex<FlightRecorder>>> = (0..n)
+        .map(|_| Arc::new(Mutex::new(FlightRecorder::new(FLIGHT_CAP))))
+        .collect();
 
     for i in 0..n as u32 {
         let node = NodeId(i);
@@ -225,7 +356,7 @@ pub fn run_live(
                 node_cfg,
             )),
         };
-        let ctx = LiveCtx::new(
+        let mut ctx = LiveCtx::new(
             node,
             cfg.seed,
             period,
@@ -235,7 +366,9 @@ pub fn run_live(
             net.port(node),
             Time::ZERO,
         );
-        let actor = NodeActor::new(node, behavior, ctx, rx, net.clone());
+        ctx.set_obs(cfg.obs);
+        let actor = NodeActor::new(node, behavior, ctx, rx, net.clone())
+            .with_flight(Arc::clone(&flights[i as usize]));
         let ev = ev_tx.clone();
         let h = thread::Builder::new()
             .name(format!("btr-{node}"))
@@ -265,7 +398,15 @@ pub fn run_live(
             EventKind::Panicked(msg) => {
                 thread_done[idx] = true;
                 live_threads -= 1;
-                panics.push((e.node, msg.clone()));
+                let f = flights[idx].lock().expect("flight lock");
+                panics.push(PanicReport {
+                    node: e.node,
+                    message: msg.clone(),
+                    last_logical: f.last_at(),
+                    flight_total: f.total(),
+                    flight_tail: f.tail(),
+                });
+                drop(f);
                 ever_crashed[idx] = true;
                 // Peers see the same silence a crash produces; the
                 // panicked thread never published a terminal frontier,
@@ -304,6 +445,8 @@ pub fn run_live(
                     let node_cfg = system.node_config().clone();
                     let cap = cfg.mailbox_cap;
                     let seed = cfg.seed;
+                    let obs = cfg.obs;
+                    let flight = Arc::clone(&flights[idx]);
                     let h = thread::Builder::new()
                         .name(format!("btr-{node}-r"))
                         .spawn(move || {
@@ -322,7 +465,7 @@ pub fn run_live(
                             let fresh = BtrNode::new(node, wl, st, n, node_cfg);
                             let behavior: Box<dyn NodeBehavior + Send> =
                                 Box::new(Rejoin::new(fresh));
-                            let ctx = LiveCtx::new(
+                            let mut ctx = LiveCtx::new(
                                 node,
                                 seed,
                                 period,
@@ -332,7 +475,9 @@ pub fn run_live(
                                 net2.port(node),
                                 restart_at,
                             );
-                            let actor = NodeActor::new(node, behavior, ctx, rx, net2.clone());
+                            ctx.set_obs(obs);
+                            let actor = NodeActor::new(node, behavior, ctx, rx, net2.clone())
+                                .with_flight(flight);
                             run_guarded(actor, end, pacer, ev)
                         })
                         .expect("spawn restart thread");
@@ -394,6 +539,50 @@ pub fn run_live(
         no_route: c.no_route.load(Ordering::Relaxed),
         sent: c.sent.load(Ordering::Relaxed),
     };
+    let mailbox_full_by_node: Vec<u64> = (0..n as u32)
+        .map(|i| net.mailbox_full_at(NodeId(i)))
+        .collect();
+
+    // Dump flight recorders for every flagged node: panics, deadline
+    // overruns, and overflowing mailboxes each earn a dump under their
+    // own reason (a node can appear more than once).
+    let mut flight_dumps: Vec<FlightDump> = Vec::new();
+    for p in &panics {
+        flight_dumps.push(dump_flight(
+            p.node,
+            DumpReason::Panic,
+            &flights[p.node.index()],
+        ));
+    }
+    for &node in &deadline_overruns {
+        flight_dumps.push(dump_flight(
+            node,
+            DumpReason::DeadlineOverrun,
+            &flights[node.index()],
+        ));
+    }
+    for (i, &full) in mailbox_full_by_node.iter().enumerate() {
+        if full > 0 {
+            flight_dumps.push(dump_flight(
+                NodeId(i as u32),
+                DumpReason::MailboxFull,
+                &flights[i],
+            ));
+        }
+    }
+
+    // Out-of-band observability totals (outcomes are already in node
+    // order, so the mark log is deterministic given the run's events).
+    let mut phase_marks: Vec<PhaseMark> = Vec::new();
+    let mut frontier_stalls = 0u64;
+    let mut redrains = 0u64;
+    let mut timer_lag = Histogram::new();
+    for out in &outcomes {
+        phase_marks.extend_from_slice(&out.marks);
+        frontier_stalls += out.frontier_stalls;
+        redrains += out.redrains;
+        timer_lag.merge(&out.timer_lag);
+    }
 
     LiveReport {
         trace: LogicalTrace::from_actuations(&actuations),
@@ -403,6 +592,12 @@ pub fn run_live(
         panics,
         deadline_overruns,
         drops,
+        mailbox_full_by_node,
+        flight_dumps,
+        phase_marks,
+        frontier_stalls,
+        redrains,
+        timer_lag,
         wall: run_start.elapsed(),
     }
 }

@@ -94,6 +94,11 @@ struct Inner {
     routes: RwLock<RouteState>,
     mailboxes: RwLock<Vec<Option<SyncSender<LiveMsg>>>>,
     counters: TransportCounters,
+    /// Per-receiver `mailbox_full` attribution: which node's bounded
+    /// mailbox was overflowing (the aggregate counter says only *that*
+    /// backpressure happened; the supervisor needs to know *whose*
+    /// flight recorder to dump).
+    mailbox_full_by: Vec<AtomicU64>,
     frontier: Vec<Mutex<FrontierCell>>,
     /// Minimum one-hop delay in the topology: no message between
     /// distinct nodes can arrive sooner than this after its send.
@@ -145,6 +150,7 @@ impl Loopback {
                 }),
                 mailboxes: RwLock::new((0..n).map(|_| None).collect()),
                 counters: TransportCounters::default(),
+                mailbox_full_by: (0..n).map(|_| AtomicU64::new(0)).collect(),
                 frontier: (0..n)
                     .map(|_| {
                         Mutex::new(FrontierCell {
@@ -262,6 +268,11 @@ impl Loopback {
     pub fn counters(&self) -> &TransportCounters {
         &self.inner.counters
     }
+
+    /// `mailbox_full` drops attributed to one receiver's mailbox.
+    pub fn mailbox_full_at(&self, node: NodeId) -> u64 {
+        self.inner.mailbox_full_by[node.index()].load(Ordering::Relaxed)
+    }
 }
 
 /// A per-sender handle (owns the sender's loss-roll chain and send
@@ -364,6 +375,7 @@ impl Port {
                 }
                 Err(TrySendError::Full(_)) => {
                     c.mailbox_full.fetch_add(1, Ordering::Relaxed);
+                    self.inner.mailbox_full_by[dst.index()].fetch_add(1, Ordering::Relaxed);
                     None
                 }
                 Err(TrySendError::Disconnected(_)) => {
@@ -444,6 +456,9 @@ mod tests {
         assert!(port.send(Time(0), env(0, 1)).is_none());
         assert_eq!(net.counters().mailbox_full.load(Ordering::Relaxed), 1);
         assert_eq!(net.counters().sent.load(Ordering::Relaxed), 2);
+        // The drop is attributed to the overflowing receiver.
+        assert_eq!(net.mailbox_full_at(NodeId(1)), 1);
+        assert_eq!(net.mailbox_full_at(NodeId(0)), 0);
     }
 
     #[test]

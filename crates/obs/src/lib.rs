@@ -1,0 +1,41 @@
+//! `btr-obs`: the observability layer shared by the simulator and the
+//! live runtime.
+//!
+//! The paper's whole claim is a *time bound* — every fault recovered
+//! within R — so the interesting question is never "did it recover" but
+//! "where did the time go". This crate answers that without touching
+//! the protocol: every type here is **strictly read-only and
+//! out-of-band**. Instrumented code hands copies of facts (an event was
+//! dispatched, a fault activated, a node convicted) to a [`Recorder`];
+//! nothing a recorder does can flow back into protocol state, timing,
+//! RNG streams, or message bytes. That is the inertness argument the
+//! bit-identical-replay contract of PRs 1–6 relies on, and it is pinned
+//! by property tests: obs-on and obs-off runs produce identical logical
+//! trace digests and `SimMetrics`.
+//!
+//! Pieces:
+//! - [`Histogram`]: allocation-free log-bucketed latency histogram
+//!   (HDR-style, fixed `[u64; 64]` power-of-two buckets, mergeable).
+//! - [`Recorder`] / [`NoopRecorder`] / [`ObsRecorder`]: the hook trait,
+//!   a zero-cost default, and the collecting implementation.
+//! - [`PhaseMark`] / [`RecoveryTimeline`]: per-fault phase marks
+//!   (activation → evidence → attribution → switch → recovered) folded
+//!   into a five-phase breakdown whose durations sum exactly to the
+//!   judged end-to-end recovery window.
+//! - [`FlightRecorder`]: a fixed-capacity per-node ring buffer of the
+//!   last K dispatches, dumped by the live supervisor on panic,
+//!   deadline overrun, or mailbox overflow.
+//! - [`TraceBuilder`]: Chrome `trace_event` JSON export so a recovery
+//!   can be inspected on a timeline (`chrome://tracing`, Perfetto).
+
+mod flight;
+mod hist;
+mod recorder;
+mod timeline;
+mod trace_event;
+
+pub use flight::{FlightEvent, FlightKind, FlightRecorder, FLIGHT_CAP};
+pub use hist::{Histogram, BUCKETS};
+pub use recorder::{Counter, Lat, NoopRecorder, ObsRecorder, Recorder, COUNTER_KINDS, LAT_KINDS};
+pub use timeline::{Phase, PhaseMark, RecoveryTimeline};
+pub use trace_event::TraceBuilder;

@@ -1,0 +1,281 @@
+//! The recorder hook: how instrumented code hands facts to the
+//! observability layer without being able to read anything back.
+//!
+//! The trait is deliberately one-way — every method takes `&mut self`
+//! and plain-value facts, and returns nothing. An implementation can
+//! aggregate, but it cannot influence the caller: that one-way shape is
+//! the whole inertness argument (see the crate docs). [`NoopRecorder`]
+//! is the zero-cost default; every method body is empty, so with the
+//! default in place the instrumentation compiles down to nothing and
+//! the pinned hot-path goldens are untouched.
+
+use crate::hist::Histogram;
+use crate::timeline::PhaseMark;
+
+/// Monotonic counters the substrates maintain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Events popped off the simulator queue (all kinds).
+    Events,
+    /// Message deliveries dispatched to a behaviour.
+    Delivers,
+    /// Timer firings dispatched to a behaviour.
+    Timers,
+    /// Control actions applied (fault injections, crashes).
+    Controls,
+    /// Actuator outputs committed to the logical trace.
+    Actuations,
+    /// Envelopes handed to the network layer.
+    Sends,
+    /// Phase marks observed.
+    Marks,
+}
+
+/// Number of [`Counter`] kinds (array sizing).
+pub const COUNTER_KINDS: usize = 7;
+
+/// Latency families the substrates measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Lat {
+    /// Network transit: send instant → delivery instant (logical µs).
+    Delivery,
+    /// Timer lateness: scheduled instant → dispatch instant (logical
+    /// µs; 0 in the sim by construction, nonzero only live).
+    TimerLag,
+    /// Per-run slack to R (campaign oracle: budget − window).
+    Slack,
+}
+
+/// Number of [`Lat`] kinds (array sizing).
+pub const LAT_KINDS: usize = 3;
+
+impl Counter {
+    /// Stable lowercase label (JSON keys).
+    pub fn label(self) -> &'static str {
+        match self {
+            Counter::Events => "events",
+            Counter::Delivers => "delivers",
+            Counter::Timers => "timers",
+            Counter::Controls => "controls",
+            Counter::Actuations => "actuations",
+            Counter::Sends => "sends",
+            Counter::Marks => "marks",
+        }
+    }
+
+    /// All kinds in label order.
+    pub fn all() -> [Counter; COUNTER_KINDS] {
+        [
+            Counter::Events,
+            Counter::Delivers,
+            Counter::Timers,
+            Counter::Controls,
+            Counter::Actuations,
+            Counter::Sends,
+            Counter::Marks,
+        ]
+    }
+}
+
+impl Lat {
+    /// Stable lowercase label (JSON keys).
+    pub fn label(self) -> &'static str {
+        match self {
+            Lat::Delivery => "delivery",
+            Lat::TimerLag => "timer_lag",
+            Lat::Slack => "slack",
+        }
+    }
+
+    /// All kinds in label order.
+    pub fn all() -> [Lat; LAT_KINDS] {
+        [Lat::Delivery, Lat::TimerLag, Lat::Slack]
+    }
+}
+
+/// The observability hook. Strictly write-only from the caller's
+/// perspective; all methods default to no-ops so instrumented code pays
+/// nothing when observation is off.
+pub trait Recorder {
+    /// Bump a monotonic counter.
+    #[inline]
+    fn count(&mut self, _c: Counter, _n: u64) {}
+
+    /// Record a latency sample (µs).
+    #[inline]
+    fn latency(&mut self, _l: Lat, _us: u64) {}
+
+    /// Fold a pre-aggregated latency histogram in. Instrumentation
+    /// sites hot enough to care batch samples into a concrete local
+    /// [`Histogram`] (inlined record, no virtual dispatch) and flush
+    /// it here once; the merge is lossless because the buckets are
+    /// identical on both sides.
+    #[inline]
+    fn latencies(&mut self, _l: Lat, _h: &Histogram) {}
+
+    /// Record a recovery-phase boundary observation.
+    #[inline]
+    fn mark(&mut self, _m: PhaseMark) {}
+
+    /// Downcast support, so callers holding `Box<dyn Recorder>` can
+    /// retrieve a concrete recorder's contents after a run (mirrors
+    /// the `NodeBehavior::as_any` pattern).
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+}
+
+/// The zero-cost default: observation off.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+/// The collecting recorder: fixed arrays for counters and histograms
+/// (allocation-free on the record path) plus an append-only mark log.
+#[derive(Debug, Clone, Default)]
+pub struct ObsRecorder {
+    counters: [u64; COUNTER_KINDS],
+    lats: [Histogram; LAT_KINDS],
+    marks: Vec<PhaseMark>,
+}
+
+impl ObsRecorder {
+    /// An empty recorder.
+    pub fn new() -> ObsRecorder {
+        ObsRecorder {
+            counters: [0; COUNTER_KINDS],
+            lats: [Histogram::new(), Histogram::new(), Histogram::new()],
+            marks: Vec::new(),
+        }
+    }
+
+    /// Pre-size the mark log (the record path then stays
+    /// allocation-free up to `cap` marks).
+    pub fn with_mark_capacity(cap: usize) -> ObsRecorder {
+        let mut r = Self::new();
+        r.marks.reserve(cap);
+        r
+    }
+
+    /// A counter's value.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c as usize]
+    }
+
+    /// A latency histogram.
+    pub fn lat(&self, l: Lat) -> &Histogram {
+        &self.lats[l as usize]
+    }
+
+    /// All observed phase marks, in observation order.
+    pub fn marks(&self) -> &[PhaseMark] {
+        &self.marks
+    }
+
+    /// Fold another recorder in (counters add, histograms merge,
+    /// marks append).
+    pub fn absorb(&mut self, other: &ObsRecorder) {
+        for i in 0..COUNTER_KINDS {
+            self.counters[i] = self.counters[i].saturating_add(other.counters[i]);
+        }
+        for i in 0..LAT_KINDS {
+            self.lats[i].merge(&other.lats[i]);
+        }
+        self.marks.extend_from_slice(&other.marks);
+    }
+}
+
+impl Recorder for ObsRecorder {
+    #[inline]
+    fn count(&mut self, c: Counter, n: u64) {
+        self.counters[c as usize] = self.counters[c as usize].saturating_add(n);
+    }
+
+    #[inline]
+    fn latency(&mut self, l: Lat, us: u64) {
+        self.lats[l as usize].record(us);
+    }
+
+    #[inline]
+    fn latencies(&mut self, l: Lat, h: &Histogram) {
+        self.lats[l as usize].merge(h);
+    }
+
+    #[inline]
+    fn mark(&mut self, m: PhaseMark) {
+        self.counters[Counter::Marks as usize] += 1;
+        self.marks.push(m);
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::Phase;
+    use btr_model::{NodeId, Time};
+
+    #[test]
+    fn noop_is_inert_and_copy() {
+        let mut r = NoopRecorder;
+        r.count(Counter::Events, 10);
+        r.latency(Lat::Delivery, 42);
+        let _copy = r;
+    }
+
+    #[test]
+    fn obs_collects() {
+        let mut r = ObsRecorder::new();
+        r.count(Counter::Delivers, 3);
+        r.count(Counter::Delivers, 2);
+        r.latency(Lat::Delivery, 40);
+        r.mark(PhaseMark {
+            observer: NodeId(1),
+            subject: NodeId(6),
+            phase: Phase::Attributed,
+            at: Time(55_000),
+        });
+        assert_eq!(r.counter(Counter::Delivers), 5);
+        assert_eq!(r.counter(Counter::Marks), 1);
+        assert_eq!(r.lat(Lat::Delivery).count(), 1);
+        assert_eq!(r.marks().len(), 1);
+    }
+
+    #[test]
+    fn absorb_folds_everything() {
+        let mut a = ObsRecorder::new();
+        let mut b = ObsRecorder::new();
+        a.count(Counter::Events, 1);
+        b.count(Counter::Events, 2);
+        b.latency(Lat::TimerLag, 7);
+        b.mark(PhaseMark {
+            observer: NodeId(0),
+            subject: NodeId(0),
+            phase: Phase::FaultActive,
+            at: Time(1),
+        });
+        a.absorb(&b);
+        assert_eq!(a.counter(Counter::Events), 3);
+        assert_eq!(a.counter(Counter::Marks), 1);
+        assert_eq!(a.lat(Lat::TimerLag).count(), 1);
+        assert_eq!(a.marks().len(), 1);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut c: Vec<_> = Counter::all().iter().map(|c| c.label()).collect();
+        c.sort_unstable();
+        c.dedup();
+        assert_eq!(c.len(), COUNTER_KINDS);
+        let mut l: Vec<_> = Lat::all().iter().map(|l| l.label()).collect();
+        l.sort_unstable();
+        l.dedup();
+        assert_eq!(l.len(), LAT_KINDS);
+    }
+}

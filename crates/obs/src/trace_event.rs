@@ -1,0 +1,170 @@
+//! Chrome `trace_event` JSON export.
+//!
+//! Emits the subset of the Trace Event Format that `chrome://tracing`
+//! and Perfetto accept: an object with a `traceEvents` array of
+//! complete ("X", with `dur`) and instant ("i") events, timestamps in
+//! microseconds. Process ids map to substrates ("sim" = 1, "live" = 2
+//! by convention of the callers), thread ids to node ids, so a
+//! recovery renders as one lane per node with the phase spans stacked
+//! over the dispatch instants.
+//!
+//! JSON is hand-rolled like everywhere else in this workspace (no
+//! serializer dependency); names pass through a minimal string escape
+//! so arbitrary labels cannot produce invalid output.
+
+/// Builder for one trace file.
+#[derive(Debug, Default)]
+pub struct TraceBuilder {
+    events: Vec<String>,
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl TraceBuilder {
+    /// An empty trace.
+    pub fn new() -> TraceBuilder {
+        TraceBuilder { events: Vec::new() }
+    }
+
+    /// Number of events queued.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events were queued.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// A complete event: a span of `dur_us` starting at `ts_us` on
+    /// process `pid`, lane `tid`.
+    pub fn span(&mut self, name: &str, pid: u32, tid: u32, ts_us: u64, dur_us: u64) {
+        self.events.push(format!(
+            "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{}}}",
+            escape(name),
+            ts_us,
+            dur_us,
+            pid,
+            tid
+        ));
+    }
+
+    /// An instant event at `ts_us` on process `pid`, lane `tid`
+    /// (thread scope).
+    pub fn instant(&mut self, name: &str, pid: u32, tid: u32, ts_us: u64) {
+        self.events.push(format!(
+            "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":{},\"tid\":{}}}",
+            escape(name),
+            ts_us,
+            pid,
+            tid
+        ));
+    }
+
+    /// Name a process lane (metadata event, shown as the group title).
+    pub fn process_name(&mut self, pid: u32, name: &str) {
+        self.events.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+            pid,
+            escape(name)
+        ));
+    }
+
+    /// Render the complete trace file.
+    pub fn finish(&self) -> String {
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            out.push_str(e);
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal structural JSON check (the CI smoke step does a real
+    /// parse with python): quotes balanced outside escapes, braces and
+    /// brackets balanced and non-negative throughout.
+    fn structurally_valid_json(s: &str) -> bool {
+        let (mut depth_obj, mut depth_arr) = (0i64, 0i64);
+        let mut in_str = false;
+        let mut prev_escape = false;
+        for c in s.chars() {
+            if in_str {
+                if prev_escape {
+                    prev_escape = false;
+                } else if c == '\\' {
+                    prev_escape = true;
+                } else if c == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' => depth_obj += 1,
+                '}' => depth_obj -= 1,
+                '[' => depth_arr += 1,
+                ']' => depth_arr -= 1,
+                _ => {}
+            }
+            if depth_obj < 0 || depth_arr < 0 {
+                return false;
+            }
+        }
+        depth_obj == 0 && depth_arr == 0 && !in_str
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let t = TraceBuilder::new();
+        assert!(t.is_empty());
+        let s = t.finish();
+        assert!(s.contains("\"traceEvents\":["));
+        assert!(structurally_valid_json(&s), "{s}");
+    }
+
+    #[test]
+    fn events_render() {
+        let mut t = TraceBuilder::new();
+        t.process_name(2, "live");
+        t.span("detect", 2, 6, 42_000, 8_000);
+        t.instant("actuate", 2, 0, 50_000);
+        assert_eq!(t.len(), 3);
+        let s = t.finish();
+        assert!(structurally_valid_json(&s), "{s}");
+        assert!(s.contains("\"ph\":\"X\""));
+        assert!(s.contains("\"dur\":8000"));
+        assert!(s.contains("\"ph\":\"i\""));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let mut t = TraceBuilder::new();
+        t.instant("we\"ird\\na\tme\n", 1, 0, 0);
+        let s = t.finish();
+        assert!(structurally_valid_json(&s), "{s}");
+        assert!(s.contains("we\\\"ird"));
+    }
+}

@@ -29,6 +29,7 @@ use btr_model::{
     Value,
 };
 use btr_modeswitch::{ModeSwitcher, SwitchAction};
+use btr_obs::Phase;
 use btr_sim::{NodeBehavior, NodeCtx, TimerId};
 use btr_workload::{TaskKind, Workload};
 use std::collections::{BTreeMap, BTreeSet};
@@ -261,6 +262,10 @@ impl BtrNode {
                 activate_at,
                 transfers,
             } => {
+                // Phase boundary: this node has convicted `faulty` and
+                // is starting the mode switch. Out-of-band telemetry —
+                // a no-op unless the substrate carries a recorder.
+                ctx.observe(Phase::Attributed, faulty);
                 for t in transfers {
                     if let ATask::Work { task, .. } = t.atask {
                         ctx.send(
@@ -289,6 +294,10 @@ impl BtrNode {
         // identical on every node holding the record, so mode switches
         // align cluster-wide.
         let reference = self.period_start(record.period() + 1);
+        // Phase boundary: verified evidence implicating a node exists
+        // at this correct node (the earliest such mark across nodes is
+        // the detection instant).
+        ctx.observe(Phase::EvidenceObserved, record.accuses());
         if let Some(x) = record.convicts() {
             self.report_fault(x, reference, ctx);
         } else {
@@ -794,6 +803,13 @@ impl NodeBehavior for BtrNode {
             Some(Timer::Activate) => {
                 if let Some(plan) = self.switcher.poll(ctx.now()) {
                     self.install_plan(plan, ctx);
+                    // Phase boundary: the recovery plan is live on this
+                    // node for every fault it covers.
+                    let subjects: Vec<NodeId> =
+                        self.switcher.fault_set().as_set().iter().copied().collect();
+                    for s in subjects {
+                        ctx.observe(Phase::SwitchCompleted, s);
+                    }
                 }
             }
             None => {}

@@ -11,6 +11,7 @@ use btr_model::{
     Time, Topology, Value,
 };
 use btr_net::{Nic, RouteBackend, Routes, SendError};
+use btr_obs::{Counter, Histogram, Lat, Phase, PhaseMark, Recorder, COUNTER_KINDS};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Simulation-wide configuration.
@@ -152,6 +153,21 @@ struct NodeSlot {
     rng: SplitMix64,
 }
 
+/// Hot-path observability staging. Counters and latency samples
+/// accumulate in these concrete fields — a branch plus an inlined
+/// increment per fact when a recorder is installed, nothing when not —
+/// and flush into the boxed recorder only when it is taken, keeping
+/// virtual dispatch off the per-event path (it cost several percent of
+/// hot-path wall time when every fact went through `dyn Recorder`).
+/// Phase marks still go straight through: they are rare (a handful per
+/// fault) and their observation order is worth keeping.
+#[derive(Default)]
+struct ObsScratch {
+    counts: [u64; COUNTER_KINDS],
+    delivery: Histogram,
+    timer_lag: Histogram,
+}
+
 /// The simulated world: platform, network, node behaviours, event queue.
 pub struct World {
     topo: Topology,
@@ -179,6 +195,16 @@ pub struct World {
     metrics: SimMetrics,
     started: bool,
     truncated: bool,
+    /// Out-of-band observability hook (`None` = off, the default).
+    ///
+    /// Strictly read-only with respect to the simulation: the recorder
+    /// receives copies of facts and can never influence event order,
+    /// RNG streams, or message bytes, so obs-on and obs-off runs are
+    /// bit-identical (pinned by `tests/obs_inert.rs`).
+    obs: Option<Box<dyn Recorder>>,
+    /// Staged facts for the installed recorder (empty while `obs` is
+    /// `None`; flushed and reset by [`World::take_recorder`]).
+    obs_scratch: ObsScratch,
 }
 
 impl World {
@@ -236,7 +262,39 @@ impl World {
             metrics: SimMetrics::default(),
             started: false,
             truncated: false,
+            obs: None,
+            obs_scratch: ObsScratch::default(),
         }
+    }
+
+    /// Install an out-of-band recorder (histograms, counters, phase
+    /// marks). Observation can never flow back into protocol state —
+    /// see the field docs — so this is safe to enable on any run.
+    pub fn set_recorder(&mut self, r: Box<dyn Recorder>) {
+        // Flush staged facts into any outgoing recorder first so a swap
+        // never leaks one observation window's counts into the next.
+        let _ = self.take_recorder();
+        self.obs = Some(r);
+    }
+
+    /// Remove and return the installed recorder (to read its contents
+    /// after a run). Staged hot-path facts are flushed into it here.
+    pub fn take_recorder(&mut self) -> Option<Box<dyn Recorder>> {
+        let mut r = self.obs.take()?;
+        let s = std::mem::take(&mut self.obs_scratch);
+        for c in Counter::all() {
+            let n = s.counts[c as usize];
+            if n > 0 {
+                r.count(c, n);
+            }
+        }
+        if s.delivery.count() > 0 {
+            r.latencies(Lat::Delivery, &s.delivery);
+        }
+        if s.timer_lag.count() > 0 {
+            r.latencies(Lat::TimerLag, &s.timer_lag);
+        }
+        Some(r)
     }
 
     /// Install a node's behaviour (before or after start).
@@ -381,6 +439,9 @@ impl World {
             let (at, event) = self.queue.pop().expect("peeked");
             self.now = at;
             self.metrics.events += 1;
+            if self.obs.is_some() {
+                self.obs_scratch.counts[Counter::Events as usize] += 1;
+            }
             match event {
                 Event::Deliver { dst, env } => self.dispatch_message(dst, env),
                 Event::Timer { node, timer } => self.dispatch_timer(node, timer),
@@ -405,6 +466,9 @@ impl World {
     }
 
     fn apply_control(&mut self, action: ControlAction) {
+        if self.obs.is_some() {
+            self.obs_scratch.counts[Counter::Controls as usize] += 1;
+        }
         match action {
             ControlAction::Crash(n) => {
                 let slot = &mut self.slots[n.index()];
@@ -415,6 +479,14 @@ impl World {
                         self.trace.push(TraceEvent::Crashed {
                             at: self.now,
                             node: n,
+                        });
+                    }
+                    if let Some(obs) = self.obs.as_deref_mut() {
+                        obs.mark(PhaseMark {
+                            observer: n,
+                            subject: n,
+                            phase: Phase::FaultActive,
+                            at: self.now,
                         });
                     }
                     self.heal_routes();
@@ -462,6 +534,9 @@ impl World {
             return;
         }
         self.metrics.msgs_delivered += 1;
+        if self.obs.is_some() {
+            self.obs_scratch.counts[Counter::Delivers as usize] += 1;
+        }
         if self.cfg.trace {
             self.trace.push(TraceEvent::Delivered {
                 at: self.now,
@@ -484,6 +559,13 @@ impl World {
             return;
         }
         self.metrics.timers += 1;
+        if self.obs.is_some() {
+            self.obs_scratch.counts[Counter::Timers as usize] += 1;
+            // Sim timers fire exactly when armed; the lag histogram
+            // exists for symmetry with the live substrate, where it
+            // measures scheduling-induced dispatch lateness.
+            self.obs_scratch.timer_lag.record(0);
+        }
         let mut behavior = match self.slots[node.index()].behavior.take() {
             Some(b) => b,
             None => return,
@@ -537,6 +619,9 @@ impl World {
         if src == dst {
             // Loopback: deliver immediately (no network traversal).
             self.metrics.msgs_sent += 1;
+            if self.obs.is_some() {
+                self.obs_scratch.counts[Counter::Sends as usize] += 1;
+            }
             let at = self.now;
             self.push(at, Event::Deliver { dst, env });
             return Some(at);
@@ -583,6 +668,10 @@ impl World {
         self.hop_buf = hops;
         let t = delivery?;
         self.metrics.msgs_sent += 1;
+        if self.obs.is_some() {
+            self.obs_scratch.counts[Counter::Sends as usize] += 1;
+            self.obs_scratch.delivery.record((t - self.now).as_micros());
+        }
         self.push(t, Event::Deliver { dst, env });
         Some(t)
     }
@@ -743,6 +832,14 @@ pub trait CtxBackend {
     fn crash_self(&mut self, node: NodeId);
     /// Advance `node`'s deterministic pseudo-random stream.
     fn rng_u64(&mut self, node: NodeId) -> u64;
+    /// Observe a recovery-phase boundary (out-of-band).
+    ///
+    /// Defaults to a no-op so backends without an observability layer
+    /// pay nothing. Implementations must treat the mark as write-only
+    /// telemetry: nothing about it may flow back into protocol state,
+    /// timing, or RNG streams — that is what keeps obs-on and obs-off
+    /// runs bit-identical.
+    fn observe(&mut self, _mark: PhaseMark) {}
 }
 
 impl CtxBackend for World {
@@ -808,6 +905,9 @@ impl CtxBackend for World {
 
     fn actuate(&mut self, node: NodeId, task: TaskId, period: PeriodIdx, value: Value) {
         self.metrics.actuations += 1;
+        if self.obs.is_some() {
+            self.obs_scratch.counts[Counter::Actuations as usize] += 1;
+        }
         let a = Actuation {
             at: self.now,
             node,
@@ -834,7 +934,21 @@ impl CtxBackend for World {
         if self.cfg.trace {
             self.trace.push(TraceEvent::Crashed { at: self.now, node });
         }
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.mark(PhaseMark {
+                observer: node,
+                subject: node,
+                phase: Phase::FaultActive,
+                at: self.now,
+            });
+        }
         self.heal_routes();
+    }
+
+    fn observe(&mut self, mark: PhaseMark) {
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.mark(mark);
+        }
     }
 
     fn rng_u64(&mut self, node: NodeId) -> u64 {
@@ -955,6 +1069,20 @@ impl<'w> NodeCtx<'w> {
     /// mode advances a SplitMix64 stream seeded once per node.
     pub fn rng_u64(&mut self) -> u64 {
         self.backend.rng_u64(self.node)
+    }
+
+    /// Observe a recovery-phase boundary concerning `subject`, as seen
+    /// by this node at the current global time. Write-only telemetry:
+    /// a no-op unless the backend has a recorder installed, and inert
+    /// with respect to protocol state either way.
+    pub fn observe(&mut self, phase: Phase, subject: NodeId) {
+        let at = self.backend.now();
+        self.backend.observe(PhaseMark {
+            observer: self.node,
+            subject,
+            phase,
+            at,
+        });
     }
 }
 
