@@ -19,6 +19,7 @@ use btr_bench::hotpath::{
     OBS_NOISE_NS, OBS_OVERHEAD_PCT, OBS_THROUGHPUT_FLOOR,
 };
 use btr_bench::live::{self, LiveMeasurement, LIVE_PACE, LIVE_SEED, LIVE_SMOKE_PACE};
+use btr_bench::profile::{self, ProfilePoint, PROFILE_FAMILIES};
 use btr_bench::scale::{
     self, ScaleMeasurement, SCALE_NODES, SCALE_ROUTING_BUDGET, SCALE_SMOKE_MSGS, SCALE_TARGET_MSGS,
 };
@@ -26,7 +27,9 @@ use btr_bench::signed::{
     self, SignedMeasurement, SIGNED_NODES, SIGNED_SPEEDUP_FLOOR, SIGNED_WITNESSES,
 };
 use btr_crypto::AuthSuite;
-use btr_obs::{RecoveryTimeline, TraceBuilder};
+use btr_obs::{
+    Histogram, Lat, RecoveryTimeline, SpeedscopeBuilder, Subsystem, TraceBuilder, FLIGHT_CAP,
+};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -242,15 +245,17 @@ fn run_bench(periods: u64, signed: bool, out_path: &str) {
     // minima converge on the true costs.
     let _ = hotpath::measure_hotpath_observed(seed, periods / 10 + 1, &alloc_count);
     let mut optimized = hotpath::measure_hotpath(seed, false, periods, &alloc_count);
-    let (mut observed, _) = hotpath::measure_hotpath_observed(seed, periods, &alloc_count);
+    let (mut observed, mut obs_rec) =
+        hotpath::measure_hotpath_observed(seed, periods, &alloc_count);
     for _ in 1..hotpath::OBS_AB_ROUNDS {
         let o = hotpath::measure_hotpath(seed, false, periods, &alloc_count);
         if o.wall_ns < optimized.wall_ns {
             optimized = o;
         }
-        let (b, _) = hotpath::measure_hotpath_observed(seed, periods, &alloc_count);
+        let (b, rec) = hotpath::measure_hotpath_observed(seed, periods, &alloc_count);
         if b.wall_ns < observed.wall_ns {
             observed = b;
+            obs_rec = rec;
         }
     }
     let legacy = hotpath::measure_hotpath(seed, true, periods, &alloc_count);
@@ -284,6 +289,21 @@ fn run_bench(periods: u64, signed: bool, out_path: &str) {
     println!(
         "  obs       +{obs_overhead_pct:.2}% wall with recorder on (ceiling {OBS_OVERHEAD_PCT}%)"
     );
+    // The gated recorder also stages the per-subsystem count profile
+    // and the traffic matrix, so the ceiling above prices the profiling
+    // recorder too. Assert it actually collected — a recorder that
+    // stopped seeing events would make the gate vacuous.
+    let profile_events = obs_rec.subsystem_profile().total_count();
+    let traffic_ok = obs_rec.traffic_matrix().rx_total() == observed.msgs_delivered;
+    println!(
+        "  profile   {profile_events} subsystem events staged inside the ceiling (traffic {})",
+        if traffic_ok {
+            "consistent"
+        } else {
+            "INCONSISTENT"
+        }
+    );
+    let obs_profile_fail = profile_events == 0 || !traffic_ok;
     // Short smoke runs jitter more than the ceiling; the absolute noise
     // floor keeps the gate meaningful at every period count. The
     // throughput floor is only meaningful at the full pinned length,
@@ -328,7 +348,9 @@ fn run_bench(periods: u64, signed: bool, out_path: &str) {
             "    \"overhead_pct\": {},\n",
             "    \"ceiling_pct\": {},\n",
             "    \"throughput_floor\": {},\n",
-            "    \"floor_enforced\": {}\n",
+            "    \"floor_enforced\": {},\n",
+            "    \"profile_events\": {},\n",
+            "    \"traffic_consistent\": {}\n",
             "  }}{}\n",
             "}}\n"
         ),
@@ -350,6 +372,8 @@ fn run_bench(periods: u64, signed: bool, out_path: &str) {
         json_f64(OBS_OVERHEAD_PCT),
         json_f64(OBS_THROUGHPUT_FLOOR),
         floor_enforced,
+        profile_events,
+        traffic_ok,
         signed_json,
     );
     match std::fs::write(out_path, &json) {
@@ -376,6 +400,14 @@ fn run_bench(periods: u64, signed: bool, out_path: &str) {
         eprintln!(
             "error: observed throughput {:.0} msgs/s is below the {OBS_THROUGHPUT_FLOOR:.0} floor",
             observed.msgs_per_sec()
+        );
+        std::process::exit(1);
+    }
+    if obs_profile_fail {
+        eprintln!(
+            "error: the gated recorder staged {profile_events} subsystem events and its \
+             traffic matrix was {}consistent with the run",
+            if traffic_ok { "" } else { "in" }
         );
         std::process::exit(1);
     }
@@ -528,11 +560,328 @@ fn run_scale_cli(mut args: Vec<String>) {
     }
 }
 
+/// `harness profile`: the deterministic hot-path profiling report.
+/// Torus points at every sweep size plus one point per extra family
+/// (for their distinct natural cuts), each measured by the three-pass
+/// kernel in `btr_bench::profile`. Emits the JSON report, a speedscope
+/// export, collapsed-stack text, and merges the torus per-n cost
+/// breakdown into the scale report. Exits 1 if any point perturbed its
+/// run, disagreed with `SimMetrics`, or scored fewer than two
+/// candidate partitions.
+fn run_profile_cli(mut args: Vec<String>) {
+    let seed = take_value(&mut args, "--seed").unwrap_or(7u64);
+    let smoke = take_flag(&mut args, "--smoke");
+    let out_path: String = take_value(&mut args, "--out").unwrap_or("PROFILE_btr.json".into());
+    let speedscope_path: String =
+        take_value(&mut args, "--profile-out").unwrap_or("PROFILE_btr.speedscope.json".into());
+    let stacks_path: String =
+        take_value(&mut args, "--stacks-out").unwrap_or("PROFILE_btr.stacks.txt".into());
+    let scale_path: String =
+        take_value(&mut args, "--scale-out").unwrap_or("BENCH_scale.json".into());
+    let nodes: Vec<usize> = match take_value::<String>(&mut args, "--nodes") {
+        None => SCALE_NODES.to_vec(),
+        Some(list) => {
+            let parsed: Result<Vec<usize>, _> = list.split(',').map(str::parse).collect();
+            match parsed {
+                Ok(v) if !v.is_empty() && v.iter().all(|&n| n >= 2) => v,
+                _ => {
+                    eprintln!("error: --nodes wants a comma list of sizes >= 2, got '{list}'");
+                    std::process::exit(2);
+                }
+            }
+        }
+    };
+    if let Some(stray) = args.iter().find(|a| *a != "profile") {
+        eprintln!("error: unknown profile argument '{stray}'");
+        std::process::exit(2);
+    }
+
+    let target = if smoke {
+        SCALE_SMOKE_MSGS
+    } else {
+        SCALE_TARGET_MSGS
+    };
+    // The non-torus families contribute their cut structure, not a
+    // scale sweep: one representative size each.
+    let family_n = 100;
+    println!(
+        "profile sweep: torus n ∈ {nodes:?} plus {:?} at n={family_n}, \
+         ~{target} msgs/point, seed {seed}{}",
+        PROFILE_FAMILIES
+            .iter()
+            .filter(|f| **f != "torus")
+            .collect::<Vec<_>>(),
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let mut points: Vec<ProfilePoint> = Vec::new();
+    for &n in &nodes {
+        points.push(profile::measure_profile_point("torus", n, seed, target));
+    }
+    for family in PROFILE_FAMILIES {
+        if family != "torus" {
+            points.push(profile::measure_profile_point(
+                family, family_n, seed, target,
+            ));
+        }
+    }
+
+    let mut gate_failed = false;
+    for p in &points {
+        println!(
+            "  {:<10} n={:<5} {:>7.0} ns/delivery  routing {:>4.1}%  crypto {:>4.1}%  \
+             dispatch {:>4.1}%  other {:>4.1}%  [{}]",
+            p.family,
+            p.nodes,
+            p.ns_per_delivery(),
+            p.wall_share_pct(Subsystem::Routing),
+            p.wall_share_pct(Subsystem::CryptoSign) + p.wall_share_pct(Subsystem::CryptoVerify),
+            p.wall_share_pct(Subsystem::Dispatch),
+            p.wall_share_pct(Subsystem::Other),
+            if p.inert { "inert" } else { "PERTURBED" },
+        );
+        for c in &p.shard_plan {
+            println!(
+                "    shard {:<16} {} regions  cut {:>5.1}%  imbalance {:.2}  \
+                 lookahead {} µs  ceiling {:.2}x",
+                c.name,
+                c.regions,
+                c.cut_traffic_fraction * 100.0,
+                c.imbalance,
+                c.lookahead_us,
+                c.predicted_ceiling,
+            );
+        }
+        if !p.inert {
+            eprintln!(
+                "error: {} n={}: count profiling perturbed the run",
+                p.family, p.nodes
+            );
+            gate_failed = true;
+        }
+        if !p.traffic_consistent() {
+            eprintln!(
+                "error: {} n={}: traffic matrix disagrees with the engine counters",
+                p.family, p.nodes
+            );
+            gate_failed = true;
+        }
+        if p.shard_plan.len() < 2 {
+            eprintln!(
+                "error: {} n={}: only {} candidate partition(s)",
+                p.family,
+                p.nodes,
+                p.shard_plan.len()
+            );
+            gate_failed = true;
+        }
+    }
+
+    let point_json = |p: &ProfilePoint| {
+        let counts = Subsystem::all()
+            .iter()
+            .map(|&s| format!("        \"{}\": {}", s.label(), p.counts.count(s)))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let wall = Subsystem::all()
+            .iter()
+            .map(|&s| {
+                let ns = if s == Subsystem::Other {
+                    p.other_wall_ns()
+                } else {
+                    p.wall.wall_ns(s) as u128
+                };
+                format!(
+                    "        \"{}\": {{\"wall_ns\": {}, \"share_pct\": {}}}",
+                    s.label(),
+                    ns,
+                    json_frac(p.wall_share_pct(s))
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let shard = p
+            .shard_plan
+            .iter()
+            .map(|c| {
+                format!(
+                    concat!(
+                        "        {{\"name\": \"{}\", \"regions\": {}, \"cut_links\": {}, ",
+                        "\"cut_traffic_fraction\": {}, \"imbalance\": {}, ",
+                        "\"lookahead_us\": {}, \"predicted_ceiling\": {}}}"
+                    ),
+                    c.name,
+                    c.regions,
+                    c.cut_links,
+                    json_frac(c.cut_traffic_fraction),
+                    json_frac(c.imbalance),
+                    c.lookahead_us,
+                    json_frac(c.predicted_ceiling),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            concat!(
+                "    {{\n",
+                "      \"family\": \"{}\",\n",
+                "      \"nodes\": {},\n",
+                "      \"periods\": {},\n",
+                "      \"msgs_delivered\": {},\n",
+                "      \"baseline_wall_ns\": {},\n",
+                "      \"ns_per_delivery\": {},\n",
+                "      \"digest\": \"{:016x}\",\n",
+                "      \"inert\": {},\n",
+                "      \"counts\": {{\n{}\n      }},\n",
+                "      \"wall_total_ns\": {},\n",
+                "      \"wall\": {{\n{}\n      }},\n",
+                "      \"traffic\": {{\n",
+                "        \"tx_total\": {},\n",
+                "        \"rx_total\": {},\n",
+                "        \"drop_total\": {},\n",
+                "        \"link_msgs_total\": {},\n",
+                "        \"link_bytes_total\": {},\n",
+                "        \"link_bytes_signed_total\": {},\n",
+                "        \"consistent\": {}\n",
+                "      }},\n",
+                "      \"shard_plan\": [\n{}\n      ]\n",
+                "    }}"
+            ),
+            p.family,
+            p.nodes,
+            p.periods,
+            p.metrics.msgs_delivered,
+            p.baseline_wall_ns,
+            json_f64(p.ns_per_delivery()),
+            p.digest,
+            p.inert,
+            counts,
+            p.wall_total_ns,
+            wall,
+            p.traffic.tx_total(),
+            p.traffic.rx_total(),
+            p.traffic.drop_total(),
+            p.traffic.link_msgs_total(),
+            p.traffic.link_bytes_total(),
+            p.traffic.link_bytes_signed_total(),
+            p.traffic_consistent(),
+            shard,
+        )
+    };
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"report\": \"btr_profile\",\n",
+            "  \"seed\": {},\n",
+            "  \"smoke\": {},\n",
+            "  \"points\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        seed,
+        smoke,
+        points
+            .iter()
+            .map(point_json)
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    );
+    let write = |path: &str, content: &str| match std::fs::write(path, content) {
+        Ok(()) => println!("  wrote {path}"),
+        Err(e) => {
+            eprintln!("error: failed to write {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    write(&out_path, &json);
+
+    // Speedscope: one count profile and one wall profile per point, all
+    // in one file (speedscope renders them as selectable profiles).
+    let mut ss = SpeedscopeBuilder::new();
+    for p in &points {
+        ss.add(&format!("{}-n{}-counts", p.family, p.nodes), &p.counts);
+        ss.add(&format!("{}-n{}-wall", p.family, p.nodes), &p.wall);
+    }
+    write(&speedscope_path, &ss.finish("btr-profile"));
+
+    let stacks: String = points
+        .iter()
+        .map(|p| {
+            p.counts
+                .collapsed_stacks(&format!("{}-n{}", p.family, p.nodes))
+        })
+        .collect();
+    write(&stacks_path, &stacks);
+
+    // The torus per-n cost breakdown also rides in the scale report, so
+    // one artifact answers "what does a delivery cost at n".
+    let scale_section = format!(
+        concat!(
+            "  \"profile\": {{\n",
+            "    \"seed\": {},\n",
+            "    \"points\": [\n{}\n    ]\n",
+            "  }}"
+        ),
+        seed,
+        points
+            .iter()
+            .filter(|p| p.family == "torus")
+            .map(|p| {
+                let shares = Subsystem::all()
+                    .iter()
+                    .map(|&s| format!("\"{}\": {}", s.label(), json_frac(p.wall_share_pct(s))))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!(
+                    "      {{\"nodes\": {}, \"ns_per_delivery\": {}, \"shares_pct\": {{{}}}}}",
+                    p.nodes,
+                    json_f64(p.ns_per_delivery()),
+                    shares
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    );
+    match merge_section(&scale_path, "profile", &scale_section) {
+        Ok(()) => println!("  wrote {scale_path} (profile section)"),
+        Err(e) => {
+            eprintln!("error: failed to write {scale_path}: {e}");
+            std::process::exit(2);
+        }
+    }
+
+    if gate_failed {
+        std::process::exit(1);
+    }
+}
+
 fn json_opt_u64(v: Option<u64>) -> String {
     match v {
         Some(v) => v.to_string(),
         None => "null".to_string(),
     }
+}
+
+/// Fractions (cut-traffic shares, imbalance ratios) need more precision
+/// than the one-decimal `json_f64` used for rates.
+fn json_frac(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A histogram's p50/p95/p99 as a flat object (`Histogram::quantile`
+/// returns the upper edge of the hit bucket; null quantiles mean the
+/// histogram is empty).
+fn quantiles_json(h: &Histogram) -> String {
+    format!(
+        "{{\"count\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+        h.count(),
+        json_opt_u64(h.quantile(0.5)),
+        json_opt_u64(h.quantile(0.95)),
+        json_opt_u64(h.quantile(0.99)),
+    )
 }
 
 /// The five-phase recovery timeline as a nested object (`null` when
@@ -563,7 +912,10 @@ fn timeline_json(t: Option<&RecoveryTimeline>) -> String {
     }
 }
 
-fn live_scenario_json(m: &LiveMeasurement) -> String {
+/// One pinned scenario as JSON. `extra` carries report-specific trailing
+/// keys (the obs report appends the simulator-side latency quantiles);
+/// it must be empty or start with `,\n`.
+fn live_scenario_json(m: &LiveMeasurement, extra: &str) -> String {
     format!(
         concat!(
             "      {{\n",
@@ -588,9 +940,11 @@ fn live_scenario_json(m: &LiveMeasurement) -> String {
             "        \"mailbox_full\": {},\n",
             "        \"frontier_stalls\": {},\n",
             "        \"redrains\": {},\n",
+            "        \"timer_lag_p50_us\": {},\n",
+            "        \"timer_lag_p95_us\": {},\n",
             "        \"timer_lag_p99_us\": {},\n",
             "        \"timeline\": {},\n",
-            "        \"wall_ms\": {}\n",
+            "        \"wall_ms\": {}{}\n",
             "      }}"
         ),
         m.name,
@@ -614,19 +968,24 @@ fn live_scenario_json(m: &LiveMeasurement) -> String {
         m.mailbox_full,
         m.frontier_stalls,
         m.redrains,
+        m.timer_lag_p50_us,
+        m.timer_lag_p95_us,
         m.timer_lag_p99_us,
         timeline_json(m.timeline.as_ref()),
         m.wall_ms,
+        extra,
     )
 }
 
-/// Insert or replace the `"live"` section in the JSON report at `path`.
-/// The harness owns both writers — `bench` emits the base object and
-/// `live` is always appended as the last key — so replacement is a
-/// text-level truncate-and-append, not a JSON parse.
-fn merge_live_section(path: &str, live_json: &str) -> std::io::Result<()> {
+/// Insert or replace the `"{key}"` section in the JSON report at
+/// `path`. The harness owns every writer of these reports and the
+/// merged section is always appended as the last key — so replacement
+/// is a text-level truncate-and-append, not a JSON parse. `section`
+/// must be the full `  "key": {...}` text (no trailing comma).
+fn merge_section(path: &str, key: &str, section: &str) -> std::io::Result<()> {
+    let marker = format!(",\n  \"{key}\":");
     let base = match std::fs::read_to_string(path) {
-        Ok(s) => match s.find(",\n  \"live\":") {
+        Ok(s) => match s.find(&marker) {
             Some(i) => s[..i].to_string(),
             None => match s.trim_end().strip_suffix('}') {
                 Some(t) => t.trim_end().to_string(),
@@ -641,7 +1000,7 @@ fn merge_live_section(path: &str, live_json: &str) -> std::io::Result<()> {
     } else {
         ","
     };
-    std::fs::write(path, format!("{base}{comma}\n{live_json}\n}}\n"))
+    std::fs::write(path, format!("{base}{comma}\n{section}\n}}\n"))
 }
 
 /// Replay a campaign reproducer token on the live runtime: plan the
@@ -713,17 +1072,24 @@ fn run_live_replay(token: &str, pace: f64) {
 
 /// One executed pinned scenario: the measurement, the raw live report
 /// (for trace export and flight-dump surfacing), and the simulator
-/// substrate's phase marks (collected only when a trace is wanted).
+/// substrate's recorder — phase marks plus latency histograms
+/// (collected only when a trace or the obs report wants them).
 struct ScenarioRun {
     spec: live::LiveScenario,
     m: LiveMeasurement,
     report: btr_node::LiveReport,
-    sim_marks: Vec<btr_obs::PhaseMark>,
+    sim_rec: btr_obs::ObsRecorder,
 }
 
 /// Plan each platform size once and run every pinned scenario on both
 /// substrates.
-fn run_scenario_set(smoke: bool, seed: u64, pace: f64, with_sim_marks: bool) -> Vec<ScenarioRun> {
+fn run_scenario_set(
+    smoke: bool,
+    seed: u64,
+    pace: f64,
+    flight_cap: usize,
+    with_sim_obs: bool,
+) -> Vec<ScenarioRun> {
     let specs = live::pinned_scenarios(smoke);
     let mut runs: Vec<ScenarioRun> = Vec::new();
     let mut system: Option<(usize, btr_core::BtrSystem)> = None;
@@ -732,22 +1098,22 @@ fn run_scenario_set(smoke: bool, seed: u64, pace: f64, with_sim_marks: bool) -> 
             system = Some((spec.nodes, live::live_system(spec.nodes)));
         }
         let sys = &system.as_ref().expect("planned above").1;
-        let (m, report) = live::measure_live_with_report(sys, &spec, seed, pace);
-        let sim_marks = if with_sim_marks {
+        let (m, report) = live::measure_live_with_report(sys, &spec, seed, pace, flight_cap);
+        let sim_rec = if with_sim_obs {
             let scenario = match spec.fault {
                 None => btr_core::FaultScenario::none(),
                 Some((node, kind, at)) => btr_core::FaultScenario::single(node, kind, at),
             };
             let (_, rec) = live::sim_observed(sys, &scenario, spec.horizon, seed);
-            rec.marks().to_vec()
+            rec
         } else {
-            Vec::new()
+            btr_obs::ObsRecorder::new()
         };
         runs.push(ScenarioRun {
             spec,
             m,
             report,
-            sim_marks,
+            sim_rec,
         });
     }
     runs
@@ -763,7 +1129,7 @@ fn build_trace(runs: &[ScenarioRun]) -> TraceBuilder {
             &mut t,
             base_pid,
             r.spec.name,
-            &r.sim_marks,
+            r.sim_rec.marks(),
             &r.report,
             r.m.timeline.as_ref(),
         );
@@ -793,6 +1159,7 @@ fn run_live_cli(mut args: Vec<String>) {
     let out_path: String = take_value(&mut args, "--out").unwrap_or("BENCH_sim.json".into());
     let trace_out: Option<String> = take_value(&mut args, "--trace-out");
     let replay: Option<String> = take_value(&mut args, "--replay");
+    let flight_cap = take_flight_cap(&mut args);
     if let Some(stray) = args.iter().find(|a| *a != "live") {
         eprintln!("error: unknown live argument '{stray}'");
         std::process::exit(2);
@@ -806,9 +1173,9 @@ fn run_live_cli(mut args: Vec<String>) {
         return;
     }
 
-    let runs = run_scenario_set(smoke, seed, pace, trace_out.is_some());
+    let runs = run_scenario_set(smoke, seed, pace, flight_cap, trace_out.is_some());
     println!(
-        "live runtime: {} pinned scenario(s), seed {seed}, pace {pace}{}",
+        "live runtime: {} pinned scenario(s), seed {seed}, pace {pace}, flight cap {flight_cap}{}",
         runs.len(),
         if smoke { " (smoke)" } else { "" }
     );
@@ -851,11 +1218,11 @@ fn run_live_cli(mut args: Vec<String>) {
         live::LIVE_WALL_SLACK_US,
         measurements
             .iter()
-            .map(|m| live_scenario_json(m))
+            .map(|m| live_scenario_json(m, ""))
             .collect::<Vec<_>>()
             .join(",\n"),
     );
-    match merge_live_section(&out_path, &json) {
+    match merge_section(&out_path, "live", &json) {
         Ok(()) => println!("  wrote {out_path} (live section)"),
         Err(e) => {
             eprintln!("error: failed to write {out_path}: {e}");
@@ -891,14 +1258,15 @@ fn run_obs_cli(mut args: Vec<String>) {
     }
     let out_path: String = take_value(&mut args, "--out").unwrap_or("OBS_btr.json".into());
     let trace_out: Option<String> = take_value(&mut args, "--trace-out");
+    let flight_cap = take_flight_cap(&mut args);
     if let Some(stray) = args.iter().find(|a| *a != "obs") {
         eprintln!("error: unknown obs argument '{stray}'");
         std::process::exit(2);
     }
 
-    let runs = run_scenario_set(smoke, seed, pace, true);
+    let runs = run_scenario_set(smoke, seed, pace, flight_cap, true);
     println!(
-        "obs report: {} pinned scenario(s), seed {seed}, pace {pace}{}",
+        "obs report: {} pinned scenario(s), seed {seed}, pace {pace}, flight cap {flight_cap}{}",
         runs.len(),
         if smoke { " (smoke)" } else { "" }
     );
@@ -920,15 +1288,38 @@ fn run_obs_cli(mut args: Vec<String>) {
             ),
             None => println!(
                 "  {:<14} fault-free: no recovery to decompose  \
-                 (stalls {}, redrains {}, timer-lag p99 {} µs)  [{}]",
+                 (stalls {}, redrains {})  [{}]",
                 r.m.name,
                 r.m.frontier_stalls,
                 r.m.redrains,
-                r.m.timer_lag_p99_us,
                 if r.m.ok() { "ok" } else { "FAIL" },
             ),
         }
+        // The latency quantiles both substrates carry: the simulator's
+        // logical delivery latencies, and the live runtime's wall timer
+        // lag past its paced instants.
+        let d = r.sim_rec.lat(Lat::Delivery);
+        println!(
+            "  {:<14} delivery p50/p95/p99 {}/{}/{} µs over {} (sim)  \
+             timer-lag p50/p95/p99 {}/{}/{} µs (live)",
+            "",
+            d.quantile(0.5).unwrap_or(0),
+            d.quantile(0.95).unwrap_or(0),
+            d.quantile(0.99).unwrap_or(0),
+            d.count(),
+            r.m.timer_lag_p50_us,
+            r.m.timer_lag_p95_us,
+            r.m.timer_lag_p99_us,
+        );
     }
+    let scenario_json = |r: &ScenarioRun| {
+        let extra = format!(
+            ",\n        \"sim_delivery_latency_us\": {},\n        \"sim_timer_lag_us\": {}",
+            quantiles_json(r.sim_rec.lat(Lat::Delivery)),
+            quantiles_json(r.sim_rec.lat(Lat::TimerLag)),
+        );
+        live_scenario_json(&r.m, &extra)
+    };
     let json = format!(
         concat!(
             "{{\n",
@@ -936,14 +1327,16 @@ fn run_obs_cli(mut args: Vec<String>) {
             "  \"seed\": {},\n",
             "  \"pace\": {},\n",
             "  \"smoke\": {},\n",
+            "  \"flight_cap\": {},\n",
             "  \"scenarios\": [\n{}\n  ]\n",
             "}}\n"
         ),
         seed,
         pace,
         smoke,
+        flight_cap,
         runs.iter()
-            .map(|r| live_scenario_json(&r.m))
+            .map(scenario_json)
             .collect::<Vec<_>>()
             .join(",\n"),
     );
@@ -980,6 +1373,10 @@ fn usage() {
          \x20                    adds the hmac-vs-siphash signed-traffic A/B and gates\n\
          \x20                    the sign+verify speedup floor\n\
          \x20 scale [opts]       thousand-node torus sweep (emits BENCH_scale.json)\n\
+         \x20 profile [opts]     deterministic hot-path profiling: per-subsystem cost\n\
+         \x20                    breakdowns, traffic-matrix attribution, and the\n\
+         \x20                    shard-partition plan (emits PROFILE_btr.json plus\n\
+         \x20                    speedscope and collapsed-stack exports)\n\
          \x20 live [opts]        pinned fault scenarios on the live thread-per-node\n\
          \x20                    runtime, simulator as trace oracle (live section in\n\
          \x20                    BENCH_sim.json)\n\
@@ -1010,10 +1407,21 @@ fn usage() {
          \x20 --smoke            ~10x fewer messages per point (CI budget)\n\
          \x20 --out PATH         report path (default BENCH_scale.json)\n\
          \n\
+         profile options:\n\
+         \x20 --nodes N,N,...    torus sweep sizes (default 20,100,400,1000)\n\
+         \x20 --seed S           simulator seed (default 7)\n\
+         \x20 --smoke            ~10x fewer messages per point (CI budget)\n\
+         \x20 --out PATH         JSON report path (default PROFILE_btr.json)\n\
+         \x20 --profile-out PATH speedscope export (default PROFILE_btr.speedscope.json)\n\
+         \x20 --stacks-out PATH  collapsed-stack text (default PROFILE_btr.stacks.txt)\n\
+         \x20 --scale-out PATH   scale report to merge the torus cost breakdown into\n\
+         \x20                    (default BENCH_scale.json)\n\
+         \n\
          live options:\n\
          \x20 --smoke            small fleet, short horizons, double speed (CI budget)\n\
          \x20 --seed S           run seed (default 7)\n\
          \x20 --pace X           wall-us per logical-us (default 1.0; 0.5 under --smoke)\n\
+         \x20 --flight-cap N     per-node flight-recorder ring capacity (default 32)\n\
          \x20 --out PATH         report to merge into (default BENCH_sim.json)\n\
          \x20 --trace-out PATH   Chrome trace_event JSON (chrome://tracing, Perfetto)\n\
          \x20 --replay TOKEN     run one campaign reproducer token on the live runtime\n\
@@ -1022,6 +1430,7 @@ fn usage() {
          \x20 --smoke            small fleet, short horizons, double speed (CI budget)\n\
          \x20 --seed S           run seed (default 7)\n\
          \x20 --pace X           wall-us per logical-us (default 1.0; 0.5 under --smoke)\n\
+         \x20 --flight-cap N     per-node flight-recorder ring capacity (default 32)\n\
          \x20 --out PATH         report path (default OBS_btr.json)\n\
          \x20 --trace-out PATH   Chrome trace_event JSON (chrome://tracing, Perfetto)"
     );
@@ -1043,6 +1452,18 @@ fn take_value<T: std::str::FromStr>(args: &mut Vec<String>, flag: &str) -> Optio
             std::process::exit(2);
         }
     }
+}
+
+/// Remove `--flight-cap N` (default [`FLIGHT_CAP`]), rejecting 0: the
+/// recorder would silently clamp it to 1, and a silently-corrected
+/// flag is worse than an error.
+fn take_flight_cap(args: &mut Vec<String>) -> usize {
+    let cap = take_value(args, "--flight-cap").unwrap_or(FLIGHT_CAP);
+    if cap == 0 {
+        eprintln!("error: --flight-cap must be at least 1");
+        std::process::exit(2);
+    }
+    cap
 }
 
 /// Remove a bare `--flag`, returning whether it was present.
@@ -1258,6 +1679,10 @@ fn main() {
         println!("                 hmac-vs-siphash A/B with its speedup gate (BENCH_sim.json)");
         println!("scale [--nodes N,..] [--seed S] [--smoke] [--out PATH]");
         println!("                 thousand-node torus sweep (emits BENCH_scale.json)");
+        println!("profile [--nodes N,..] [--seed S] [--smoke] [--out PATH] [--profile-out PATH]");
+        println!("        [--stacks-out PATH] [--scale-out PATH]");
+        println!("                 deterministic hot-path profiling, traffic-matrix attribution,");
+        println!("                 and the shard-partition plan (emits PROFILE_btr.json)");
         println!("live [--smoke] [--seed S] [--pace X] [--out PATH] [--trace-out PATH]");
         println!("     [--replay TOKEN]");
         println!("                 pinned fault scenarios on the live thread-per-node runtime,");
@@ -1276,6 +1701,10 @@ fn main() {
     }
     if args.iter().any(|a| a == "scale") {
         run_scale_cli(args);
+        return;
+    }
+    if args.iter().any(|a| a == "profile") {
+        run_profile_cli(args);
         return;
     }
     if args.iter().any(|a| a == "obs") {

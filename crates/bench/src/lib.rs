@@ -12,6 +12,7 @@
 pub mod experiments;
 pub mod hotpath;
 pub mod live;
+pub mod profile;
 pub mod scale;
 pub mod signed;
 pub mod table;

@@ -158,6 +158,11 @@ pub struct LiveMeasurement {
     pub frontier_stalls: u64,
     /// Anchor re-folds forced by sub-anchor arrivals.
     pub redrains: u64,
+    /// Median wall lateness of timer dispatches past their paced
+    /// instant (µs; 0 when no timers fired).
+    pub timer_lag_p50_us: u64,
+    /// p95 wall timer lateness (µs).
+    pub timer_lag_p95_us: u64,
     /// p99 wall lateness of timer dispatches past their paced instant
     /// (µs; 0 when no timers fired).
     pub timer_lag_p99_us: u64,
@@ -214,11 +219,14 @@ pub fn sim_trace(
 /// Run one pinned scenario on both substrates and measure the live run
 /// against the oracle and the R bound. Returns the raw [`LiveReport`]
 /// alongside the measurement for trace export and flight-dump surfacing.
+/// `flight_cap` sizes each node's flight-recorder ring (must be ≥ 1;
+/// the CLI validates before calling).
 pub fn measure_live_with_report(
     sys: &BtrSystem,
     spec: &LiveScenario,
     seed: u64,
     pace: f64,
+    flight_cap: usize,
 ) -> (LiveMeasurement, LiveReport) {
     let scenario = match spec.fault {
         None => FaultScenario::none(),
@@ -228,6 +236,7 @@ pub fn measure_live_with_report(
     let mut cfg = LiveConfig::new(seed);
     cfg.pace = pace;
     cfg.restart_after = spec.restart_after;
+    cfg.flight_cap = flight_cap;
     let live = run_live(sys, &scenario, spec.horizon, &cfg);
 
     let judgment = sys.judge_actuations(&scenario, spec.horizon, &live.trace.events);
@@ -277,6 +286,8 @@ pub fn measure_live_with_report(
         mailbox_full: live.drops.mailbox_full,
         frontier_stalls: live.frontier_stalls,
         redrains: live.redrains,
+        timer_lag_p50_us: live.timer_lag.quantile(0.5).unwrap_or(0),
+        timer_lag_p95_us: live.timer_lag.quantile(0.95).unwrap_or(0),
         timer_lag_p99_us: live.timer_lag.quantile(0.99).unwrap_or(0),
         timeline,
         wall_ms: live.wall.as_millis() as u64,
@@ -284,9 +295,10 @@ pub fn measure_live_with_report(
     (m, live)
 }
 
-/// [`measure_live_with_report`] without the raw report.
+/// [`measure_live_with_report`] without the raw report, at the default
+/// flight-recorder capacity.
 pub fn measure_live(sys: &BtrSystem, spec: &LiveScenario, seed: u64, pace: f64) -> LiveMeasurement {
-    measure_live_with_report(sys, spec, seed, pace).0
+    measure_live_with_report(sys, spec, seed, pace, btr_obs::FLIGHT_CAP).0
 }
 
 /// The simulator side with a collecting recorder installed: the same

@@ -38,12 +38,14 @@ pub const SCALE_ROUTING_BUDGET: usize = 64 << 20;
 /// envelopes — two short-stride peers and the torus antipode (which
 /// forces diameter-scale multi-hop routes) — plus one signed heartbeat
 /// to its successor. The same shape as the pinned 20-node hot-path
-/// scenario, sized by n.
-struct ScaleBlaster {
-    period: Duration,
-    periods: u64,
-    fired: u64,
-    n: u32,
+/// scenario, sized by n. Shared with the profiling kernel
+/// (`crate::profile`), which drives the identical traffic over every
+/// topology family.
+pub(crate) struct ScaleBlaster {
+    pub(crate) period: Duration,
+    pub(crate) periods: u64,
+    pub(crate) fired: u64,
+    pub(crate) n: u32,
 }
 
 impl NodeBehavior for ScaleBlaster {

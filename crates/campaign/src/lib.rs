@@ -88,6 +88,13 @@ pub struct CellSummary {
     pub schedules: usize,
     /// Variant labels scheduled on the cell.
     pub variants: Vec<&'static str>,
+    /// Digest-stable per-subsystem event counts from one observed
+    /// fault-free reference run of the cell (zero subsystems omitted).
+    /// A pure function of the cell and campaign seed, so it lives in
+    /// the report's deterministic region.
+    pub profile: Vec<(&'static str, u64)>,
+    /// Messages delivered in the reference run.
+    pub delivered: u64,
 }
 
 /// Everything a finished campaign produced.
@@ -148,6 +155,42 @@ impl std::fmt::Display for CampaignError {
 }
 
 impl std::error::Error for CampaignError {}
+
+/// One observed fault-free reference run of a planned cell: the
+/// digest-stable subsystem count profile and delivered-message total
+/// for the report header. Event counts are a pure function of the
+/// logical schedule — thread- and suite-invariant — so they belong in
+/// the deterministic region alongside the cell's static summary.
+fn cell_profile(
+    cell: &runner::PlannedCell,
+    cfg: &CampaignConfig,
+) -> (Vec<(&'static str, u64)>, u64) {
+    use btr_obs::{ObsRecorder, Subsystem};
+    let scenario = btr_core::FaultScenario::none();
+    let mut w = cell
+        .system
+        .build_world(&scenario, runner::sim_seed(cfg.seed, 0));
+    w.set_recorder(Box::new(ObsRecorder::new()));
+    w.start();
+    w.run_until(btr_model::Time::ZERO + cell.horizon + cell.system.grace());
+    let delivered = w.metrics().msgs_delivered;
+    let rec = w
+        .take_recorder()
+        .and_then(|r| {
+            r.as_any()
+                .and_then(|a| a.downcast_ref::<ObsRecorder>().cloned())
+        })
+        .unwrap_or_default();
+    let prof = rec.subsystem_profile();
+    let counts = Subsystem::all()
+        .iter()
+        .filter_map(|&s| {
+            let n = prof.count(s);
+            (n > 0).then_some((s.label(), n))
+        })
+        .collect();
+    (counts, delivered)
+}
 
 /// How many violating runs get shrunk per campaign (shrinking costs
 /// dozens of probe simulations each; the first few reproducers are the
@@ -215,16 +258,21 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignOutcome, CampaignErr
 
     let cells_summary = cells
         .iter()
-        .map(|c| CellSummary {
-            name: c.spec.name(),
-            workload: c.spec.workload.clone(),
-            topology: c.spec.topo.token(),
-            nodes: c.spec.topo.n_nodes(),
-            f: c.spec.f,
-            r_bound_us: c.spec.r_bound.as_micros(),
-            horizon_us: c.horizon.as_micros(),
-            schedules: c.schedules.len(),
-            variants: c.spec.variants.iter().map(|v| v.label()).collect(),
+        .map(|c| {
+            let (profile, delivered) = cell_profile(c, cfg);
+            CellSummary {
+                name: c.spec.name(),
+                workload: c.spec.workload.clone(),
+                topology: c.spec.topo.token(),
+                nodes: c.spec.topo.n_nodes(),
+                f: c.spec.f,
+                r_bound_us: c.spec.r_bound.as_micros(),
+                horizon_us: c.horizon.as_micros(),
+                schedules: c.schedules.len(),
+                variants: c.spec.variants.iter().map(|v| v.label()).collect(),
+                profile,
+                delivered,
+            }
         })
         .collect();
 

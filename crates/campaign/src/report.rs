@@ -189,10 +189,18 @@ pub fn render_deterministic(out: &CampaignOutcome) -> String {
     ));
     for (i, c) in out.cells.iter().enumerate() {
         let variants: Vec<String> = c.variants.iter().map(|v| json_str(v)).collect();
+        // The reference-run count profile is deterministic (sequential,
+        // seed-pinned, counts not wall), so it renders here rather than
+        // in the timing region.
+        let profile: Vec<String> = c
+            .profile
+            .iter()
+            .map(|(label, n)| format!("{}: {}", json_str(label), n))
+            .collect();
         s.push_str(&format!(
             "      {{\"name\": {}, \"workload\": {}, \"topology\": {}, \"nodes\": {}, \
              \"f\": {}, \"r_bound_us\": {}, \"horizon_us\": {}, \"schedules\": {}, \
-             \"variants\": [{}]}}{}\n",
+             \"variants\": [{}],\n       \"delivered\": {}, \"profile\": {{{}}}}}{}\n",
             json_str(&c.name),
             json_str(&c.workload),
             json_str(&c.topology),
@@ -202,6 +210,8 @@ pub fn render_deterministic(out: &CampaignOutcome) -> String {
             c.horizon_us,
             c.schedules,
             variants.join(", "),
+            c.delivered,
+            profile.join(", "),
             if i + 1 < out.cells.len() { "," } else { "" },
         ));
     }

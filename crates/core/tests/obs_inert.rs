@@ -13,6 +13,7 @@ use btr_core::{BtrSystem, FaultScenario};
 use btr_model::{Duration, FaultKind, NodeId, Time, Topology};
 use btr_obs::{Counter, ObsRecorder, Phase, RecoveryTimeline};
 use btr_planner::PlannerConfig;
+use proptest::prelude::*;
 
 fn pinned_system(nodes: usize) -> BtrSystem {
     let workload = btr_workload::generators::avionics(nodes);
@@ -102,6 +103,78 @@ fn recorder_sees_all_phase_boundaries_and_timeline_partitions() {
     assert_eq!(t.recovery_us, recovery.as_micros());
     assert!(t.slack_to_r_us > 0, "pinned crash recovers within R");
     assert!(t.detect_us > 0, "detection takes at least a heartbeat gap");
+}
+
+/// Wall-clock sampling is the one obs feature that reads a real clock,
+/// so it gets its own inertness pin: profiling on must leave the
+/// logical digest and metrics bit-identical to a bare run, while still
+/// charging nonzero wall time to the subsystem ledger.
+#[test]
+fn wall_profiling_is_inert() {
+    let sys = pinned_system(9);
+    let scenario = FaultScenario::single(NodeId(6), FaultKind::Crash, Time::from_millis(42));
+    let horizon = Duration::from_millis(400);
+    let (d_off, m_off, _) = run(&sys, &scenario, horizon, 7, false);
+
+    let mut world = sys.build_world(&scenario, 7);
+    world.set_recorder(Box::new(ObsRecorder::new()));
+    world.set_wall_profiling(true);
+    world.start();
+    world.run_until(Time::ZERO + horizon + sys.grace());
+    let d_on = world.logical_trace().digest();
+    let m_on = *world.metrics();
+    let rec = world
+        .take_recorder()
+        .and_then(|r| {
+            r.as_any()
+                .and_then(|a| a.downcast_ref::<ObsRecorder>().cloned())
+        })
+        .unwrap();
+
+    assert_eq!(d_off, d_on, "wall profiling changed the logical trace");
+    assert_eq!(m_off, m_on, "wall profiling changed the metrics");
+    let prof = rec.subsystem_profile();
+    assert!(prof.total_count() > 0, "profiling saw no events");
+    assert!(prof.total_wall_ns() > 0, "wall sampling charged nothing");
+}
+
+proptest! {
+    // Each case plans a platform and runs a full simulation, so keep
+    // the case count far below the pure-function props in btr-obs.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// On *any* single-fault scenario the traffic matrix must reconcile
+    /// with `SimMetrics` exactly: every send appears as a tx, every
+    /// delivery as an rx, every drop in exactly one drop lane, and the
+    /// per-link byte ledger sums to the global byte counter. This is
+    /// the invariant `harness profile` gates on for its pinned points;
+    /// here it is pinned across the whole fault-kind space.
+    #[test]
+    fn prop_traffic_matrix_reconciles_with_metrics(
+        nodes in 4usize..10,
+        kind_idx in 0usize..FaultKind::ALL.len(),
+        node in 0u32..10,
+        at_ms in 1u64..200,
+        seed in 0u64..64,
+    ) {
+        let sys = pinned_system(nodes);
+        let scenario = FaultScenario::single(
+            NodeId(node % nodes as u32),
+            FaultKind::ALL[kind_idx],
+            Time::from_millis(at_ms),
+        );
+        let horizon = Duration::from_millis(250);
+        let (_, m, rec) = run(&sys, &scenario, horizon, seed, true);
+        let rec = rec.unwrap();
+        let t = rec.traffic_matrix();
+        prop_assert_eq!(t.tx_total(), m.msgs_sent);
+        prop_assert_eq!(t.rx_total(), m.msgs_delivered);
+        prop_assert_eq!(
+            t.drop_total(),
+            m.drops_guardian + m.drops_forward + m.drops_other
+        );
+        prop_assert_eq!(t.link_bytes_total(), m.bytes_sent);
+    }
 }
 
 #[test]

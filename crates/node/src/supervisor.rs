@@ -57,10 +57,15 @@ pub struct LiveConfig {
     /// Collect phase marks on node runtimes (out-of-band either way;
     /// the obs on/off digest test flips this to prove inertness).
     pub obs: bool,
+    /// Per-node flight-recorder ring capacity: how many of the last
+    /// dispatches a panic/overrun/overflow dump can show. Must be at
+    /// least 1 (callers validate; [`FlightRecorder::new`] clamps).
+    pub flight_cap: usize,
 }
 
 impl LiveConfig {
-    /// Defaults: real-time pace, 4096-deep mailboxes, no restarts.
+    /// Defaults: real-time pace, 4096-deep mailboxes, no restarts,
+    /// [`FLIGHT_CAP`]-deep flight rings.
     pub fn new(seed: u64) -> LiveConfig {
         LiveConfig {
             seed,
@@ -69,6 +74,7 @@ impl LiveConfig {
             restart_after: Duration::ZERO,
             join_grace: std::time::Duration::from_millis(500),
             obs: true,
+            flight_cap: FLIGHT_CAP,
         }
     }
 }
@@ -329,7 +335,7 @@ pub fn run_live(
     // One flight recorder per node, owned here and shared with the
     // actor: the tail stays readable after the actor's thread panics.
     let flights: Vec<Arc<Mutex<FlightRecorder>>> = (0..n)
-        .map(|_| Arc::new(Mutex::new(FlightRecorder::new(FLIGHT_CAP))))
+        .map(|_| Arc::new(Mutex::new(FlightRecorder::new(cfg.flight_cap))))
         .collect();
 
     for i in 0..n as u32 {

@@ -205,6 +205,46 @@ fn live_obs_on_and_off_are_trace_identical() {
 }
 
 #[test]
+fn tiny_flight_cap_is_trace_inert() {
+    // The flight-recorder ring is bounded per node and configurable;
+    // shrinking it to near nothing must only lose history, never
+    // perturb the logical outcome.
+    let sys = system(1);
+    let horizon = Duration::from_millis(400);
+    let scenario = FaultScenario::single(NodeId(6), FaultKind::Crash, Time::from_millis(42));
+    let reference = sim_trace(&sys, &scenario, horizon);
+
+    let mut cfg = live_cfg();
+    cfg.flight_cap = 2;
+    let live = run_live(&sys, &scenario, horizon, &cfg);
+    assert!(live.healthy());
+    assert_eq!(
+        live.trace.digest(),
+        reference.digest(),
+        "flight cap changed the live trace"
+    );
+
+    // And the ring really truncates: rerun the mailbox-overflow
+    // scenario with the tiny cap — dumps carry at most two events even
+    // for nodes that dispatched far more.
+    let mut of_cfg = live_cfg();
+    of_cfg.mailbox_cap = 1;
+    of_cfg.flight_cap = 2;
+    let overflow = run_live(
+        &sys,
+        &FaultScenario::none(),
+        Duration::from_millis(120),
+        &of_cfg,
+    );
+    assert!(!overflow.flight_dumps.is_empty());
+    assert!(overflow.flight_dumps.iter().all(|d| d.tail.len() <= 2));
+    assert!(
+        overflow.flight_dumps.iter().any(|d| d.total > 2),
+        "a dumped node should have dispatched more than the ring holds"
+    );
+}
+
+#[test]
 fn crashed_node_restarts_rejoins_and_stays_healthy() {
     let sys = system(1);
     let horizon = Duration::from_millis(400);

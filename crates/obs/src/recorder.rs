@@ -10,7 +10,9 @@
 //! the pinned hot-path goldens are untouched.
 
 use crate::hist::Histogram;
+use crate::profile::Profile;
 use crate::timeline::PhaseMark;
+use crate::traffic::TrafficMatrix;
 
 /// Monotonic counters the substrates maintain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,6 +121,17 @@ pub trait Recorder {
     #[inline]
     fn mark(&mut self, _m: PhaseMark) {}
 
+    /// Fold a pre-aggregated subsystem profile in. Like
+    /// [`Recorder::latencies`], the hot path batches into a concrete
+    /// local [`Profile`] and flushes it here once per run.
+    #[inline]
+    fn profile(&mut self, _p: &Profile) {}
+
+    /// Fold a pre-aggregated traffic matrix in (same batching shape as
+    /// [`Recorder::profile`]).
+    #[inline]
+    fn traffic(&mut self, _t: &TrafficMatrix) {}
+
     /// Downcast support, so callers holding `Box<dyn Recorder>` can
     /// retrieve a concrete recorder's contents after a run (mirrors
     /// the `NodeBehavior::as_any` pattern).
@@ -140,6 +153,8 @@ pub struct ObsRecorder {
     counters: [u64; COUNTER_KINDS],
     lats: [Histogram; LAT_KINDS],
     marks: Vec<PhaseMark>,
+    profile: Profile,
+    traffic: TrafficMatrix,
 }
 
 impl ObsRecorder {
@@ -149,6 +164,8 @@ impl ObsRecorder {
             counters: [0; COUNTER_KINDS],
             lats: [Histogram::new(), Histogram::new(), Histogram::new()],
             marks: Vec::new(),
+            profile: Profile::new(),
+            traffic: TrafficMatrix::default(),
         }
     }
 
@@ -175,6 +192,16 @@ impl ObsRecorder {
         &self.marks
     }
 
+    /// The accumulated subsystem profile.
+    pub fn subsystem_profile(&self) -> &Profile {
+        &self.profile
+    }
+
+    /// The accumulated traffic matrix.
+    pub fn traffic_matrix(&self) -> &TrafficMatrix {
+        &self.traffic
+    }
+
     /// Fold another recorder in (counters add, histograms merge,
     /// marks append).
     pub fn absorb(&mut self, other: &ObsRecorder) {
@@ -185,6 +212,8 @@ impl ObsRecorder {
             self.lats[i].merge(&other.lats[i]);
         }
         self.marks.extend_from_slice(&other.marks);
+        self.profile.merge(&other.profile);
+        self.traffic.merge(&other.traffic);
     }
 }
 
@@ -208,6 +237,16 @@ impl Recorder for ObsRecorder {
     fn mark(&mut self, m: PhaseMark) {
         self.counters[Counter::Marks as usize] += 1;
         self.marks.push(m);
+    }
+
+    #[inline]
+    fn profile(&mut self, p: &Profile) {
+        self.profile.merge(p);
+    }
+
+    #[inline]
+    fn traffic(&mut self, t: &TrafficMatrix) {
+        self.traffic.merge(t);
     }
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
@@ -265,6 +304,25 @@ mod tests {
         assert_eq!(a.counter(Counter::Marks), 1);
         assert_eq!(a.lat(Lat::TimerLag).count(), 1);
         assert_eq!(a.marks().len(), 1);
+    }
+
+    #[test]
+    fn profile_and_traffic_flow_through() {
+        use crate::profile::Subsystem;
+        let mut p = Profile::new();
+        p.bump_n(Subsystem::Routing, 9);
+        let mut t = TrafficMatrix::new(2, 1);
+        t.record_tx(0);
+        t.record_link(0, 64, true);
+        let mut r = ObsRecorder::new();
+        r.profile(&p);
+        r.traffic(&t);
+        assert_eq!(r.subsystem_profile().count(Subsystem::Routing), 9);
+        assert_eq!(r.traffic_matrix().tx_total(), 1);
+        let mut other = ObsRecorder::new();
+        other.absorb(&r);
+        assert_eq!(other.subsystem_profile().count(Subsystem::Routing), 9);
+        assert_eq!(other.traffic_matrix().link_bytes_signed_total(), 64);
     }
 
     #[test]

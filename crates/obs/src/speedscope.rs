@@ -1,0 +1,180 @@
+//! Speedscope JSON export for subsystem profiles.
+//!
+//! Emits the subset of the speedscope file format
+//! (<https://www.speedscope.app/file-format-schema.json>) that the web
+//! viewer accepts: a shared frame table plus one `sampled` profile per
+//! run, where each sample is a single-frame stack (one subsystem) and
+//! the weight is either the deterministic event count (`unit: "none"`)
+//! or the wall-sampled nanoseconds (`unit: "nanoseconds"`). JSON is
+//! hand-rolled like everywhere else in this workspace.
+
+use crate::profile::{Profile, Subsystem};
+
+/// Builder for one speedscope file: a shared frame table (the
+/// subsystem labels) and any number of profiles.
+#[derive(Debug, Default)]
+pub struct SpeedscopeBuilder {
+    profiles: Vec<String>,
+}
+
+impl SpeedscopeBuilder {
+    /// An empty file.
+    pub fn new() -> SpeedscopeBuilder {
+        SpeedscopeBuilder {
+            profiles: Vec::new(),
+        }
+    }
+
+    /// Number of profiles queued.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// True when no profiles were queued.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// Add one profile. When the profile carries wall time the weights
+    /// are nanoseconds; otherwise the deterministic event counts.
+    pub fn add(&mut self, name: &str, p: &Profile) {
+        let wall = p.total_wall_ns() > 0;
+        let unit = if wall { "nanoseconds" } else { "none" };
+        let mut samples = String::new();
+        let mut weights = String::new();
+        let mut total = 0u64;
+        for (i, s) in Subsystem::all().iter().enumerate() {
+            let w = if wall { p.wall_ns(*s) } else { p.count(*s) };
+            if w == 0 {
+                continue;
+            }
+            if !samples.is_empty() {
+                samples.push(',');
+                weights.push(',');
+            }
+            samples.push_str(&format!("[{i}]"));
+            weights.push_str(&w.to_string());
+            total = total.saturating_add(w);
+        }
+        self.profiles.push(format!(
+            concat!(
+                "{{\"type\":\"sampled\",\"name\":\"{}\",\"unit\":\"{}\",",
+                "\"startValue\":0,\"endValue\":{},",
+                "\"samples\":[{}],\"weights\":[{}]}}"
+            ),
+            escape(name),
+            unit,
+            total,
+            samples,
+            weights
+        ));
+    }
+
+    /// Render the complete speedscope file.
+    pub fn finish(&self, name: &str) -> String {
+        let frames: Vec<String> = Subsystem::all()
+            .iter()
+            .map(|s| format!("{{\"name\":\"{}\"}}", s.label()))
+            .collect();
+        format!(
+            concat!(
+                "{{\"$schema\":\"https://www.speedscope.app/file-format-schema.json\",",
+                "\"name\":\"{}\",\"exporter\":\"btr-obs\",",
+                "\"shared\":{{\"frames\":[{}]}},",
+                "\"profiles\":[\n{}\n]}}\n"
+            ),
+            escape(name),
+            frames.join(","),
+            self.profiles.join(",\n")
+        )
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn structurally_valid_json(s: &str) -> bool {
+        let (mut depth_obj, mut depth_arr) = (0i64, 0i64);
+        let mut in_str = false;
+        let mut prev_escape = false;
+        for c in s.chars() {
+            if in_str {
+                if prev_escape {
+                    prev_escape = false;
+                } else if c == '\\' {
+                    prev_escape = true;
+                } else if c == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' => depth_obj += 1,
+                '}' => depth_obj -= 1,
+                '[' => depth_arr += 1,
+                ']' => depth_arr -= 1,
+                _ => {}
+            }
+            if depth_obj < 0 || depth_arr < 0 {
+                return false;
+            }
+        }
+        depth_obj == 0 && depth_arr == 0 && !in_str
+    }
+
+    #[test]
+    fn empty_file_is_valid() {
+        let b = SpeedscopeBuilder::new();
+        assert!(b.is_empty());
+        let s = b.finish("empty");
+        assert!(structurally_valid_json(&s), "{s}");
+        assert!(s.contains("\"$schema\""));
+        assert!(s.contains("\"frames\":["));
+    }
+
+    #[test]
+    fn count_profile_renders_unit_none() {
+        let mut p = Profile::new();
+        p.bump_n(Subsystem::Routing, 100);
+        p.bump_n(Subsystem::Dispatch, 50);
+        let mut b = SpeedscopeBuilder::new();
+        b.add("n=20 counts", &p);
+        assert_eq!(b.len(), 1);
+        let s = b.finish("test");
+        assert!(structurally_valid_json(&s), "{s}");
+        assert!(s.contains("\"unit\":\"none\""));
+        assert!(s.contains("\"endValue\":150"));
+        assert!(s.contains("\"weights\":[100,50]"));
+    }
+
+    #[test]
+    fn wall_profile_renders_nanoseconds() {
+        let mut p = Profile::new();
+        p.bump_n(Subsystem::Routing, 5);
+        p.add_wall(Subsystem::Routing, 4_200);
+        let mut b = SpeedscopeBuilder::new();
+        b.add("n=20 wall", &p);
+        let s = b.finish("test");
+        assert!(structurally_valid_json(&s), "{s}");
+        assert!(s.contains("\"unit\":\"nanoseconds\""));
+        assert!(s.contains("\"weights\":[4200]"));
+    }
+}

@@ -1,0 +1,278 @@
+//! Traffic-matrix attribution: who sends, who receives, and which
+//! links carry the bytes — with the signed and unsigned lanes kept
+//! separate, because since the authenticator-suite PR signed traffic is
+//! the expensive lane and the shard analyzer needs to see where it
+//! concentrates.
+//!
+//! A [`TrafficMatrix`] is dense vectors indexed by node id and link
+//! index, sized **once** when a recorder is installed (the only
+//! allocation), then accumulated with plain indexed increments on the
+//! hot path. Accumulation is count-only and a pure function of the
+//! logical schedule, so matrices are digest-stable: profiled and
+//! unprofiled runs of the same scenario are byte-identical, and the
+//! matrix invariants (row sums = `SimMetrics` counters) are pinned by
+//! proptest.
+//!
+//! Merging is element-wise saturating addition over the longest common
+//! shape (vectors grow to the larger side), which keeps it associative
+//! and commutative like [`crate::Histogram`] — campaign cells can fold
+//! per-run matrices in work-stealing completion order.
+
+/// Per-node and per-link delivered-message/byte matrices, signed and
+/// unsigned lanes separated.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TrafficMatrix {
+    /// Messages accepted into the network, by source node.
+    tx_msgs: Vec<u64>,
+    /// Messages delivered end to end, by destination node.
+    rx_msgs: Vec<u64>,
+    /// Messages dropped (any reason), by source node.
+    drop_msgs: Vec<u64>,
+    /// Signed-lane messages carried, by link index (one count per
+    /// traversing hop).
+    link_msgs_signed: Vec<u64>,
+    /// Unsigned-lane messages carried, by link index.
+    link_msgs_unsigned: Vec<u64>,
+    /// Signed-lane bytes carried, by link index.
+    link_bytes_signed: Vec<u64>,
+    /// Unsigned-lane bytes carried, by link index.
+    link_bytes_unsigned: Vec<u64>,
+}
+
+fn grow_add(dst: &mut Vec<u64>, src: &[u64]) {
+    if dst.len() < src.len() {
+        dst.resize(src.len(), 0);
+    }
+    for (a, &b) in dst.iter_mut().zip(src.iter()) {
+        *a = a.saturating_add(b);
+    }
+}
+
+impl TrafficMatrix {
+    /// An empty matrix sized for `nodes` nodes and `links` links. This
+    /// is the only allocation; every record call after it is an
+    /// indexed increment.
+    pub fn new(nodes: usize, links: usize) -> TrafficMatrix {
+        TrafficMatrix {
+            tx_msgs: vec![0; nodes],
+            rx_msgs: vec![0; nodes],
+            drop_msgs: vec![0; nodes],
+            link_msgs_signed: vec![0; links],
+            link_msgs_unsigned: vec![0; links],
+            link_bytes_signed: vec![0; links],
+            link_bytes_unsigned: vec![0; links],
+        }
+    }
+
+    /// Node slots tracked.
+    pub fn nodes(&self) -> usize {
+        self.tx_msgs.len()
+    }
+
+    /// Link slots tracked.
+    pub fn links(&self) -> usize {
+        self.link_msgs_signed.len()
+    }
+
+    /// Count one message accepted into the network at `src`.
+    #[inline]
+    pub fn record_tx(&mut self, src: usize) {
+        self.tx_msgs[src] = self.tx_msgs[src].saturating_add(1);
+    }
+
+    /// Count one end-to-end delivery at `dst`.
+    #[inline]
+    pub fn record_rx(&mut self, dst: usize) {
+        self.rx_msgs[dst] = self.rx_msgs[dst].saturating_add(1);
+    }
+
+    /// Count one dropped message attributed to `src`.
+    #[inline]
+    pub fn record_drop(&mut self, src: usize) {
+        self.drop_msgs[src] = self.drop_msgs[src].saturating_add(1);
+    }
+
+    /// Count one hop of `bytes` over `link`, on the signed or unsigned
+    /// lane.
+    #[inline]
+    pub fn record_link(&mut self, link: usize, bytes: u64, signed: bool) {
+        if signed {
+            self.link_msgs_signed[link] = self.link_msgs_signed[link].saturating_add(1);
+            self.link_bytes_signed[link] = self.link_bytes_signed[link].saturating_add(bytes);
+        } else {
+            self.link_msgs_unsigned[link] = self.link_msgs_unsigned[link].saturating_add(1);
+            self.link_bytes_unsigned[link] = self.link_bytes_unsigned[link].saturating_add(bytes);
+        }
+    }
+
+    /// Per-node accepted sends.
+    pub fn tx_msgs(&self) -> &[u64] {
+        &self.tx_msgs
+    }
+
+    /// Per-node deliveries.
+    pub fn rx_msgs(&self) -> &[u64] {
+        &self.rx_msgs
+    }
+
+    /// Per-node drops (attributed to the source).
+    pub fn drop_msgs(&self) -> &[u64] {
+        &self.drop_msgs
+    }
+
+    /// Total accepted sends (must equal `SimMetrics::msgs_sent`).
+    pub fn tx_total(&self) -> u64 {
+        self.tx_msgs.iter().fold(0u64, |a, &b| a.saturating_add(b))
+    }
+
+    /// Total deliveries (must equal `SimMetrics::msgs_delivered`).
+    pub fn rx_total(&self) -> u64 {
+        self.rx_msgs.iter().fold(0u64, |a, &b| a.saturating_add(b))
+    }
+
+    /// Total drops (must equal the three `SimMetrics` drop counters).
+    pub fn drop_total(&self) -> u64 {
+        self.drop_msgs
+            .iter()
+            .fold(0u64, |a, &b| a.saturating_add(b))
+    }
+
+    /// Messages a link carried, both lanes.
+    pub fn link_msgs(&self, link: usize) -> u64 {
+        self.link_msgs_signed[link].saturating_add(self.link_msgs_unsigned[link])
+    }
+
+    /// Bytes a link carried, both lanes.
+    pub fn link_bytes(&self, link: usize) -> u64 {
+        self.link_bytes_signed[link].saturating_add(self.link_bytes_unsigned[link])
+    }
+
+    /// Signed-lane messages a link carried.
+    pub fn link_msgs_signed(&self, link: usize) -> u64 {
+        self.link_msgs_signed[link]
+    }
+
+    /// Unsigned-lane messages a link carried.
+    pub fn link_msgs_unsigned(&self, link: usize) -> u64 {
+        self.link_msgs_unsigned[link]
+    }
+
+    /// Signed-lane bytes a link carried.
+    pub fn link_bytes_signed(&self, link: usize) -> u64 {
+        self.link_bytes_signed[link]
+    }
+
+    /// Unsigned-lane bytes a link carried.
+    pub fn link_bytes_unsigned(&self, link: usize) -> u64 {
+        self.link_bytes_unsigned[link]
+    }
+
+    /// Total messages carried across all links (hop count, both lanes).
+    pub fn link_msgs_total(&self) -> u64 {
+        (0..self.links()).fold(0u64, |a, l| a.saturating_add(self.link_msgs(l)))
+    }
+
+    /// Total bytes carried across all links (both lanes; equals
+    /// `SimMetrics::bytes_sent` on the optimized path).
+    pub fn link_bytes_total(&self) -> u64 {
+        (0..self.links()).fold(0u64, |a, l| a.saturating_add(self.link_bytes(l)))
+    }
+
+    /// Total signed-lane bytes across all links.
+    pub fn link_bytes_signed_total(&self) -> u64 {
+        self.link_bytes_signed
+            .iter()
+            .fold(0u64, |a, &b| a.saturating_add(b))
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.tx_total() == 0
+            && self.rx_total() == 0
+            && self.drop_total() == 0
+            && self.link_msgs_total() == 0
+    }
+
+    /// Fold another matrix in: element-wise saturating add, each
+    /// vector grown to the larger shape. Associative and commutative.
+    pub fn merge(&mut self, other: &TrafficMatrix) {
+        grow_add(&mut self.tx_msgs, &other.tx_msgs);
+        grow_add(&mut self.rx_msgs, &other.rx_msgs);
+        grow_add(&mut self.drop_msgs, &other.drop_msgs);
+        grow_add(&mut self.link_msgs_signed, &other.link_msgs_signed);
+        grow_add(&mut self.link_msgs_unsigned, &other.link_msgs_unsigned);
+        grow_add(&mut self.link_bytes_signed, &other.link_bytes_signed);
+        grow_add(&mut self.link_bytes_unsigned, &other.link_bytes_unsigned);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty() {
+        let t = TrafficMatrix::new(4, 4);
+        assert!(t.is_empty());
+        assert_eq!(t.tx_total(), 0);
+        assert_eq!(t.link_bytes_total(), 0);
+    }
+
+    #[test]
+    fn records_and_sums() {
+        let mut t = TrafficMatrix::new(3, 2);
+        t.record_tx(0);
+        t.record_tx(0);
+        t.record_tx(2);
+        t.record_rx(1);
+        t.record_drop(2);
+        t.record_link(0, 100, true);
+        t.record_link(0, 50, false);
+        t.record_link(1, 50, false);
+        assert_eq!(t.tx_total(), 3);
+        assert_eq!(t.rx_total(), 1);
+        assert_eq!(t.drop_total(), 1);
+        assert_eq!(t.tx_msgs()[0], 2);
+        assert_eq!(t.link_msgs(0), 2);
+        assert_eq!(t.link_bytes(0), 150);
+        assert_eq!(t.link_bytes_signed(0), 100);
+        assert_eq!(t.link_msgs_total(), 3);
+        assert_eq!(t.link_bytes_total(), 200);
+        assert_eq!(t.link_bytes_signed_total(), 100);
+    }
+
+    #[test]
+    fn merge_grows_to_larger_shape() {
+        let mut a = TrafficMatrix::new(2, 1);
+        let mut b = TrafficMatrix::new(4, 3);
+        a.record_tx(1);
+        a.record_link(0, 10, false);
+        b.record_tx(3);
+        b.record_link(2, 20, true);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.nodes(), 4);
+        assert_eq!(ab.links(), 3);
+        assert_eq!(ab.tx_total(), 2);
+        assert_eq!(ab.link_bytes_total(), 30);
+    }
+
+    #[test]
+    fn merge_matches_interleaved() {
+        let mut a = TrafficMatrix::new(3, 2);
+        let mut b = TrafficMatrix::new(3, 2);
+        let mut all = TrafficMatrix::new(3, 2);
+        for i in 0..10usize {
+            let side = if i % 2 == 0 { &mut a } else { &mut b };
+            side.record_tx(i % 3);
+            side.record_link(i % 2, (i as u64 + 1) * 7, i % 3 == 0);
+            all.record_tx(i % 3);
+            all.record_link(i % 2, (i as u64 + 1) * 7, i % 3 == 0);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+}

@@ -8,7 +8,7 @@
 //! threads.
 
 use btr_model::{Duration, NodeId, Time};
-use btr_obs::{Histogram, Phase, PhaseMark, RecoveryTimeline};
+use btr_obs::{Histogram, Phase, PhaseMark, Profile, RecoveryTimeline, Subsystem, TrafficMatrix};
 use proptest::prelude::*;
 
 fn hist_of(values: &[u64]) -> Histogram {
@@ -17,6 +17,35 @@ fn hist_of(values: &[u64]) -> Histogram {
         h.record(v);
     }
     h
+}
+
+/// Interpret a raw op list as profile bumps and wall charges across
+/// every subsystem.
+fn profile_of(ops: &[(u8, u32, u32)]) -> Profile {
+    let mut p = Profile::default();
+    for &(s, n, ns) in ops {
+        let sub = Subsystem::all()[s as usize % Subsystem::all().len()];
+        p.bump_n(sub, n as u64);
+        p.add_wall(sub, ns as u64);
+    }
+    p
+}
+
+const MAT_NODES: usize = 8;
+const MAT_LINKS: usize = 12;
+
+/// Interpret a raw op list as traffic-matrix records on a fixed shape.
+fn matrix_of(ops: &[(u8, u8, u32, bool)]) -> TrafficMatrix {
+    let mut t = TrafficMatrix::new(MAT_NODES, MAT_LINKS);
+    for &(kind, idx, bytes, signed) in ops {
+        match kind % 4 {
+            0 => t.record_tx(idx as usize % MAT_NODES),
+            1 => t.record_rx(idx as usize % MAT_NODES),
+            2 => t.record_drop(idx as usize % MAT_NODES),
+            _ => t.record_link(idx as usize % MAT_LINKS, bytes as u64, signed),
+        }
+    }
+    t
 }
 
 fn phase_of(raw: u8) -> Phase {
@@ -97,6 +126,96 @@ proptest! {
         }
         prop_assert!(vals[qs.len() - 1] <= h.max().unwrap() || h.max().is_none());
         prop_assert_eq!(vals[qs.len() - 1], h.max().unwrap());
+    }
+
+    /// Subsystem profiles merge like histograms: commutative over the
+    /// full state (counts and wall ledgers both).
+    #[test]
+    fn prop_profile_merge_commutative(
+        xs in proptest::collection::vec((any::<u8>(), 0u32..1_000, 0u32..1_000_000), 0..48),
+        ys in proptest::collection::vec((any::<u8>(), 0u32..1_000, 0u32..1_000_000), 0..48),
+    ) {
+        let (a, b) = (profile_of(&xs), profile_of(&ys));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c) for profiles, and merging the empty
+    /// profile is the identity.
+    #[test]
+    fn prop_profile_merge_associative_with_identity(
+        xs in proptest::collection::vec((any::<u8>(), 0u32..1_000, 0u32..1_000_000), 0..32),
+        ys in proptest::collection::vec((any::<u8>(), 0u32..1_000, 0u32..1_000_000), 0..32),
+        zs in proptest::collection::vec((any::<u8>(), 0u32..1_000, 0u32..1_000_000), 0..32),
+    ) {
+        let (a, b, c) = (profile_of(&xs), profile_of(&ys), profile_of(&zs));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+        let mut id = left.clone();
+        id.merge(&Profile::default());
+        prop_assert_eq!(id, left);
+    }
+
+    /// A profile recorded in shards and merged equals one recorded in a
+    /// single pass (the campaign-runner fold equivalence).
+    #[test]
+    fn prop_profile_merge_equals_union(
+        xs in proptest::collection::vec((any::<u8>(), 0u32..1_000, 0u32..1_000_000), 0..48),
+        split in any::<usize>(),
+    ) {
+        let cut = if xs.is_empty() { 0 } else { split % (xs.len() + 1) };
+        let mut merged = profile_of(&xs[..cut]);
+        merged.merge(&profile_of(&xs[cut..]));
+        prop_assert_eq!(merged, profile_of(&xs));
+    }
+
+    /// Traffic matrices merge commutatively over every lane — per-node
+    /// rows, per-link columns, signed and unsigned alike.
+    #[test]
+    fn prop_traffic_merge_commutative(
+        xs in proptest::collection::vec((any::<u8>(), any::<u8>(), 0u32..100_000, any::<bool>()), 0..64),
+        ys in proptest::collection::vec((any::<u8>(), any::<u8>(), 0u32..100_000, any::<bool>()), 0..64),
+    ) {
+        let (a, b) = (matrix_of(&xs), matrix_of(&ys));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Traffic-matrix merge is associative, and sharded recording
+    /// equals single-pass recording — which is what lets the profiling
+    /// kernel and any future PDES shards fold matrices in any order.
+    #[test]
+    fn prop_traffic_merge_associative_and_union(
+        xs in proptest::collection::vec((any::<u8>(), any::<u8>(), 0u32..100_000, any::<bool>()), 0..48),
+        ys in proptest::collection::vec((any::<u8>(), any::<u8>(), 0u32..100_000, any::<bool>()), 0..48),
+        zs in proptest::collection::vec((any::<u8>(), any::<u8>(), 0u32..100_000, any::<bool>()), 0..48),
+        split in any::<usize>(),
+    ) {
+        let (a, b, c) = (matrix_of(&xs), matrix_of(&ys), matrix_of(&zs));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+        let cut = if xs.is_empty() { 0 } else { split % (xs.len() + 1) };
+        let mut sharded = matrix_of(&xs[..cut]);
+        sharded.merge(&matrix_of(&xs[cut..]));
+        prop_assert_eq!(sharded, matrix_of(&xs));
     }
 
     /// For any mark soup — arbitrary observers, subjects, phases, and

@@ -11,7 +11,10 @@ use btr_model::{
     Time, Topology, Value,
 };
 use btr_net::{Nic, RouteBackend, Routes, SendError};
-use btr_obs::{Counter, Histogram, Lat, Phase, PhaseMark, Recorder, COUNTER_KINDS};
+use btr_obs::{
+    Counter, Histogram, Lat, Phase, PhaseMark, Profile, Recorder, Subsystem, TrafficMatrix,
+    COUNTER_KINDS,
+};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Simulation-wide configuration.
@@ -166,6 +169,13 @@ struct ObsScratch {
     counts: [u64; COUNTER_KINDS],
     delivery: Histogram,
     timer_lag: Histogram,
+    /// Per-subsystem cost profile: event counts always (when a recorder
+    /// is installed), wall nanoseconds only under
+    /// [`World::set_wall_profiling`].
+    profile: Profile,
+    /// Per-node / per-link traffic attribution, sized once at
+    /// [`World::set_recorder`] (the only allocation).
+    traffic: TrafficMatrix,
 }
 
 /// The simulated world: platform, network, node behaviours, event queue.
@@ -205,6 +215,16 @@ pub struct World {
     /// Staged facts for the installed recorder (empty while `obs` is
     /// `None`; flushed and reset by [`World::take_recorder`]).
     obs_scratch: ObsScratch,
+    /// Wall-sampling mode: scope the hot-path subsystems with
+    /// `Instant::now()` and report the nanoseconds through the profile.
+    /// Wall times are machine-dependent, so they are *never* part of the
+    /// logical trace or any digest — reporting only. Requires a
+    /// recorder; off by default (one predictable branch per scope).
+    wall_prof: bool,
+    /// Wall nanoseconds attributed to nested scopes inside the current
+    /// enclosing scope (lets dispatch/control report *self* time so the
+    /// per-subsystem walls stay disjoint and sum to ≤ end-to-end).
+    wall_nested_ns: u64,
 }
 
 impl World {
@@ -264,6 +284,8 @@ impl World {
             truncated: false,
             obs: None,
             obs_scratch: ObsScratch::default(),
+            wall_prof: false,
+            wall_nested_ns: 0,
         }
     }
 
@@ -275,6 +297,64 @@ impl World {
         // never leaks one observation window's counts into the next.
         let _ = self.take_recorder();
         self.obs = Some(r);
+        // Size the traffic matrix once, here — every hot-path record
+        // after this is an indexed increment, no allocation.
+        self.obs_scratch.traffic =
+            TrafficMatrix::new(self.topo.node_count(), self.topo.links().len());
+    }
+
+    /// Enable or disable wall-clock sampling of the hot-path subsystem
+    /// scopes (routing, sign, verify, audit, dispatch, control). Wall
+    /// times land in the profile's nanosecond ledger and are reported
+    /// only — they never enter the logical trace or any digest, because
+    /// they are machine- and load-dependent. Count profiles are always
+    /// collected when a recorder is installed; this switch adds timing.
+    pub fn set_wall_profiling(&mut self, on: bool) {
+        self.wall_prof = on;
+    }
+
+    /// Start a wall-sampling scope (None unless wall profiling is on
+    /// and a recorder is installed).
+    #[inline]
+    fn wall_start(&self) -> Option<std::time::Instant> {
+        if self.wall_prof && self.obs.is_some() {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Close a leaf wall-sampling scope: charge the subsystem and add
+    /// the span to the enclosing scope's nested ledger.
+    #[inline]
+    fn wall_end(&mut self, s: Subsystem, t0: Option<std::time::Instant>) {
+        if let Some(t0) = t0 {
+            let ns = t0.elapsed().as_nanos() as u64;
+            self.obs_scratch.profile.add_wall(s, ns);
+            self.wall_nested_ns = self.wall_nested_ns.saturating_add(ns);
+        }
+    }
+
+    /// Close an *enclosing* wall-sampling scope (dispatch, control):
+    /// charge only the self time — elapsed minus whatever nested leaf
+    /// scopes already claimed — so subsystem walls stay disjoint.
+    #[inline]
+    fn wall_end_exclusive(&mut self, s: Subsystem, t0: Option<std::time::Instant>, nested0: u64) {
+        if let Some(t0) = t0 {
+            let total = t0.elapsed().as_nanos() as u64;
+            let nested = self.wall_nested_ns.saturating_sub(nested0);
+            self.obs_scratch
+                .profile
+                .add_wall(s, total.saturating_sub(nested));
+        }
+    }
+
+    /// Count one subsystem invocation (no-op without a recorder).
+    #[inline]
+    fn prof(&mut self, s: Subsystem) {
+        if self.obs.is_some() {
+            self.obs_scratch.profile.bump(s);
+        }
     }
 
     /// Remove and return the installed recorder (to read its contents
@@ -293,6 +373,12 @@ impl World {
         }
         if s.timer_lag.count() > 0 {
             r.latencies(Lat::TimerLag, &s.timer_lag);
+        }
+        if !s.profile.is_empty() {
+            r.profile(&s.profile);
+        }
+        if !s.traffic.is_empty() {
+            r.traffic(&s.traffic);
         }
         Some(r)
     }
@@ -441,6 +527,7 @@ impl World {
             self.metrics.events += 1;
             if self.obs.is_some() {
                 self.obs_scratch.counts[Counter::Events as usize] += 1;
+                self.obs_scratch.profile.bump(Subsystem::Queue);
             }
             match event {
                 Event::Deliver { dst, env } => self.dispatch_message(dst, env),
@@ -462,13 +549,24 @@ impl World {
     fn push(&mut self, at: Time, event: Event) {
         let seq = self.seq;
         self.seq += 1;
+        if self.obs.is_some() {
+            self.obs_scratch.profile.bump(Subsystem::Queue);
+        }
         self.queue.push(at, seq, event);
     }
 
     fn apply_control(&mut self, action: ControlAction) {
         if self.obs.is_some() {
             self.obs_scratch.counts[Counter::Controls as usize] += 1;
+            self.obs_scratch.profile.bump(Subsystem::ModeSwitch);
         }
+        let t0 = self.wall_start();
+        let nested0 = self.wall_nested_ns;
+        self.apply_control_inner(action);
+        self.wall_end_exclusive(Subsystem::ModeSwitch, t0, nested0);
+    }
+
+    fn apply_control_inner(&mut self, action: ControlAction) {
         match action {
             ControlAction::Crash(n) => {
                 let slot = &mut self.slots[n.index()];
@@ -523,6 +621,11 @@ impl World {
     fn dispatch_message(&mut self, dst: NodeId, env: Envelope) {
         if self.slots[dst.index()].crashed {
             self.metrics.drops_other += 1;
+            if self.obs.is_some() {
+                // Attribute the drop to the (real, in-range) receiver;
+                // env.src is a claim a Byzantine sender controls.
+                self.obs_scratch.traffic.record_drop(dst.index());
+            }
             if self.cfg.trace {
                 self.trace.push(TraceEvent::Dropped {
                     at: self.now,
@@ -536,6 +639,8 @@ impl World {
         self.metrics.msgs_delivered += 1;
         if self.obs.is_some() {
             self.obs_scratch.counts[Counter::Delivers as usize] += 1;
+            self.obs_scratch.profile.bump(Subsystem::Dispatch);
+            self.obs_scratch.traffic.record_rx(dst.index());
         }
         if self.cfg.trace {
             self.trace.push(TraceEvent::Delivered {
@@ -549,8 +654,11 @@ impl World {
             Some(b) => b,
             None => return,
         };
+        let t0 = self.wall_start();
+        let nested0 = self.wall_nested_ns;
         let mut ctx = NodeCtx::new(self, dst);
         behavior.on_message(&mut ctx, env);
+        self.wall_end_exclusive(Subsystem::Dispatch, t0, nested0);
         self.slots[dst.index()].behavior.get_or_insert(behavior);
     }
 
@@ -561,6 +669,7 @@ impl World {
         self.metrics.timers += 1;
         if self.obs.is_some() {
             self.obs_scratch.counts[Counter::Timers as usize] += 1;
+            self.obs_scratch.profile.bump(Subsystem::Dispatch);
             // Sim timers fire exactly when armed; the lag histogram
             // exists for symmetry with the live substrate, where it
             // measures scheduling-induced dispatch lateness.
@@ -570,8 +679,11 @@ impl World {
             Some(b) => b,
             None => return,
         };
+        let t0 = self.wall_start();
+        let nested0 = self.wall_nested_ns;
         let mut ctx = NodeCtx::new(self, node);
         behavior.on_timer(&mut ctx, timer);
+        self.wall_end_exclusive(Subsystem::Dispatch, t0, nested0);
         self.slots[node.index()].behavior.get_or_insert(behavior);
     }
 
@@ -603,6 +715,10 @@ impl World {
     fn transmit(&mut self, src: NodeId, env: Envelope) -> Option<Time> {
         let bytes = env.wire_size();
         let dst = env.dst;
+        // The signed/unsigned lane split for the traffic matrix: signed
+        // traffic is the expensive lane (sign at the source, verify at
+        // sinks), so the shard analyzer wants to see where it flows.
+        let signed = env.sig.is_some();
         if self.slots[src.index()].crashed {
             self.record_drop(src, dst, DropReason::SenderCrashed);
             return None;
@@ -621,6 +737,7 @@ impl World {
             self.metrics.msgs_sent += 1;
             if self.obs.is_some() {
                 self.obs_scratch.counts[Counter::Sends as usize] += 1;
+                self.obs_scratch.traffic.record_tx(src.index());
             }
             let at = self.now;
             self.push(at, Event::Deliver { dst, env });
@@ -630,12 +747,15 @@ impl World {
         // Resolve the route into the reusable hop buffer. Legacy mode
         // rebuilds the path vector per message and looks up each hop's
         // link, exactly like the pre-cache implementation.
+        self.prof(Subsystem::Routing);
+        let route_t0 = self.wall_start();
         let mut hops = std::mem::take(&mut self.hop_buf);
         hops.clear();
         if self.cfg.legacy_hot_path {
             match self.routing.path_vec(src, dst) {
                 None => {
                     self.hop_buf = hops;
+                    self.wall_end(Subsystem::Routing, route_t0);
                     self.record_drop(src, dst, DropReason::NoRoute);
                     return None;
                 }
@@ -653,6 +773,7 @@ impl World {
             match self.routing.path_and_links(src, dst) {
                 None => {
                     self.hop_buf = hops;
+                    self.wall_end(Subsystem::Routing, route_t0);
                     self.record_drop(src, dst, DropReason::NoRoute);
                     return None;
                 }
@@ -664,13 +785,16 @@ impl World {
             }
         }
 
-        let delivery = self.transmit_over(&hops, src, dst, bytes);
+        self.wall_end(Subsystem::Routing, route_t0);
+
+        let delivery = self.transmit_over(&hops, src, dst, bytes, signed);
         self.hop_buf = hops;
         let t = delivery?;
         self.metrics.msgs_sent += 1;
         if self.obs.is_some() {
             self.obs_scratch.counts[Counter::Sends as usize] += 1;
             self.obs_scratch.delivery.record((t - self.now).as_micros());
+            self.obs_scratch.traffic.record_tx(src.index());
         }
         self.push(t, Event::Deliver { dst, env });
         Some(t)
@@ -685,6 +809,7 @@ impl World {
         src: NodeId,
         dst: NodeId,
         bytes: u32,
+        signed: bool,
     ) -> Option<Time> {
         // Transmission loss, deterministic per seed. With FEC enabled the
         // message is sharded: it survives up to m shard losses and pays a
@@ -721,6 +846,9 @@ impl World {
                 let slot = &self.slots[a.index()];
                 if slot.crashed || slot.forward.refuses(dst) {
                     self.metrics.drops_forward += 1;
+                    if self.obs.is_some() {
+                        self.obs_scratch.traffic.record_drop(src.index());
+                    }
                     if self.cfg.trace {
                         self.trace.push(TraceEvent::Dropped {
                             at: t,
@@ -736,6 +864,9 @@ impl World {
                 Ok(arrival) => t = arrival,
                 Err(SendError::AllocationExhausted) => {
                     self.metrics.drops_guardian += 1;
+                    if self.obs.is_some() {
+                        self.obs_scratch.traffic.record_drop(src.index());
+                    }
                     if self.cfg.trace {
                         self.trace.push(TraceEvent::Dropped {
                             at: t,
@@ -751,6 +882,11 @@ impl World {
                 }
             }
             self.metrics.bytes_sent += bytes as u64;
+            if self.obs.is_some() {
+                self.obs_scratch
+                    .traffic
+                    .record_link(link.index(), bytes as u64, signed);
+            }
         }
         Some(t)
     }
@@ -781,6 +917,9 @@ impl World {
             DropReason::GuardianDenied => self.metrics.drops_guardian += 1,
             DropReason::ForwardRefused(_) => self.metrics.drops_forward += 1,
             _ => self.metrics.drops_other += 1,
+        }
+        if self.obs.is_some() {
+            self.obs_scratch.traffic.record_drop(src.index());
         }
         if self.cfg.trace {
             self.trace.push(TraceEvent::Dropped {
@@ -865,6 +1004,8 @@ impl CtxBackend for World {
     }
 
     fn send(&mut self, src: NodeId, dst: NodeId, payload: Payload) {
+        self.prof(Subsystem::CryptoSign);
+        let t0 = self.wall_start();
         let env = Envelope::new(src, dst, self.local_now(src), payload);
         let env = if self.cfg.legacy_hot_path {
             // Pre-optimization reference: allocate the signing bytes.
@@ -877,6 +1018,7 @@ impl CtxBackend for World {
             self.scratch = scratch;
             env
         };
+        self.wall_end(Subsystem::CryptoSign, t0);
         self.transmit(src, env);
     }
 
@@ -885,16 +1027,22 @@ impl CtxBackend for World {
     }
 
     fn verify_env(&mut self, env: &Envelope) -> Result<(), SigError> {
+        self.prof(Subsystem::CryptoVerify);
+        let t0 = self.wall_start();
         let mut scratch = std::mem::take(&mut self.scratch);
         let r = env.verify_with(&self.keystore, &mut scratch);
         self.scratch = scratch;
+        self.wall_end(Subsystem::CryptoVerify, t0);
         r
     }
 
     fn verify_output(&mut self, output: &SignedOutput) -> Result<(), EvidenceFlaw> {
+        self.prof(Subsystem::Audit);
+        let t0 = self.wall_start();
         let mut scratch = std::mem::take(&mut self.scratch);
         let r = output.verify_with(&self.keystore, &mut scratch);
         self.scratch = scratch;
+        self.wall_end(Subsystem::Audit, t0);
         r
     }
 
@@ -928,6 +1076,8 @@ impl CtxBackend for World {
     }
 
     fn crash_self(&mut self, node: NodeId) {
+        self.prof(Subsystem::ModeSwitch);
+        let t0 = self.wall_start();
         let slot = &mut self.slots[node.index()];
         slot.crashed = true;
         slot.forward = ForwardPolicy::DropAll;
@@ -943,6 +1093,7 @@ impl CtxBackend for World {
             });
         }
         self.heal_routes();
+        self.wall_end(Subsystem::ModeSwitch, t0);
     }
 
     fn observe(&mut self, mark: PhaseMark) {

@@ -1,0 +1,397 @@
+//! Shard-partition analyzer: price the PDES split before building it.
+//!
+//! The ROADMAP's top open item is to shard the simulator across cores
+//! with conservative time windows (classic PDES). Whether that wins
+//! depends on three numbers per candidate partition, all measurable
+//! today from a [`TrafficMatrix`] and the topology alone:
+//!
+//! - **Cut-traffic fraction** `c`: the share of link traffic crossing
+//!   region boundaries — every crossing message is a synchronization
+//!   obligation between shards.
+//! - **Load imbalance** `β`: max region load over mean region load —
+//!   conservative windows advance at the pace of the busiest shard.
+//! - **Lookahead**: the minimum latency of any cut link — the PDES
+//!   window size; each shard may run this far ahead of its neighbours
+//!   without risking causality (the link-latency model guarantees a
+//!   nonzero bound).
+//!
+//! The predicted speedup ceiling folds the first two into an
+//! Amdahl-style bound: `1 / (c + (1 − c) / (k / β))` for `k` regions —
+//! cut traffic serializes, the rest parallelizes at the busiest shard's
+//! pace. It is a *ceiling*, not a forecast: it ignores window-barrier
+//! latency, which the measured lookahead lets the sharding PR reason
+//! about separately.
+//!
+//! Each topology family exposes its natural cuts as assignment vectors
+//! (torus row/tile bands, fat-tree pods, star-of-rings arms, contiguous
+//! ring blocks), derived from the same construction order the builders
+//! in this crate use.
+
+use crate::{fat_tree_size, torus_dims};
+use btr_model::Topology;
+use btr_obs::TrafficMatrix;
+
+/// One scored candidate partition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardCandidate {
+    /// Candidate name (`"torus-rows/2"`, `"fat-tree-pods"`, ...).
+    pub name: String,
+    /// Number of regions (shards).
+    pub regions: usize,
+    /// Measured load per region (deliveries + accepted sends by the
+    /// region's nodes).
+    pub region_load: Vec<u64>,
+    /// Links whose endpoints span more than one region.
+    pub cut_links: usize,
+    /// Share of carried link messages that traverse a cut link.
+    pub cut_traffic_fraction: f64,
+    /// Max region load over mean region load (≥ 1.0 when loaded).
+    pub imbalance: f64,
+    /// Minimum cut-link latency in µs — the conservative-window bound.
+    pub lookahead_us: u64,
+    /// Amdahl-style speedup ceiling `1 / (c + (1 − c) / (k / β))`.
+    pub predicted_ceiling: f64,
+}
+
+/// Score one partition of `topo` under measured `traffic`. `assign`
+/// maps node index → region (regions need not be contiguous ids; the
+/// region count is `max(assign) + 1`).
+///
+/// Panics if `assign.len() != topo.node_count()`.
+pub fn analyze_partition(
+    topo: &Topology,
+    assign: &[usize],
+    traffic: &TrafficMatrix,
+    name: &str,
+) -> ShardCandidate {
+    assert_eq!(
+        assign.len(),
+        topo.node_count(),
+        "assignment must cover every node"
+    );
+    let regions = assign.iter().copied().max().map_or(1, |m| m + 1);
+
+    // Region load: protocol events the region's nodes process —
+    // deliveries in plus sends out (both are per-node rows of the
+    // matrix; bounds-guarded so an unloaded or smaller matrix scores 0).
+    let mut region_load = vec![0u64; regions];
+    for (i, &r) in assign.iter().enumerate() {
+        let rx = traffic.rx_msgs().get(i).copied().unwrap_or(0);
+        let tx = traffic.tx_msgs().get(i).copied().unwrap_or(0);
+        region_load[r] = region_load[r].saturating_add(rx).saturating_add(tx);
+    }
+
+    // Cut structure: a link is cut when its endpoints span regions
+    // (multi-drop bus links cut as soon as any two endpoints differ).
+    let mut cut_links = 0usize;
+    let mut cut_msgs = 0u64;
+    let mut total_msgs = 0u64;
+    let mut lookahead_us = u64::MAX;
+    for (li, link) in topo.links().iter().enumerate() {
+        let msgs = if li < traffic.links() {
+            traffic.link_msgs(li)
+        } else {
+            0
+        };
+        total_msgs = total_msgs.saturating_add(msgs);
+        let first = assign[link.endpoints[0].index()];
+        let cut = link.endpoints.iter().any(|e| assign[e.index()] != first);
+        if cut {
+            cut_links += 1;
+            cut_msgs = cut_msgs.saturating_add(msgs);
+            lookahead_us = lookahead_us.min(link.latency.as_micros());
+        }
+    }
+    if lookahead_us == u64::MAX {
+        lookahead_us = 0;
+    }
+
+    let cut_traffic_fraction = if total_msgs > 0 {
+        cut_msgs as f64 / total_msgs as f64
+    } else {
+        0.0
+    };
+    let max_load = region_load.iter().copied().max().unwrap_or(0);
+    let total_load: u64 = region_load.iter().sum();
+    let imbalance = if total_load > 0 {
+        max_load as f64 / (total_load as f64 / regions as f64)
+    } else {
+        1.0
+    };
+    let effective_parallelism = regions as f64 / imbalance;
+    let c = cut_traffic_fraction;
+    let predicted_ceiling = 1.0 / (c + (1.0 - c) / effective_parallelism);
+
+    ShardCandidate {
+        name: name.to_string(),
+        regions,
+        region_load,
+        cut_links,
+        cut_traffic_fraction,
+        imbalance,
+        lookahead_us,
+        predicted_ceiling,
+    }
+}
+
+/// Contiguous-band split of one torus dimension into `k` regions:
+/// region = `r * k / rows` (row bands) using the same `r * cols + c`
+/// node-id layout [`crate::torus`] builds. Falls back to column bands
+/// when the row extent is too small to split `k` ways; `None` when
+/// neither dimension can.
+pub fn torus_bands(n: usize, k: usize) -> Option<Vec<usize>> {
+    let (rows, cols) = torus_dims(n);
+    if k < 2 {
+        return None;
+    }
+    if rows >= k {
+        Some((0..n).map(|i| (i / cols) * k / rows).collect())
+    } else if cols >= k {
+        Some((0..n).map(|i| (i % cols) * k / cols).collect())
+    } else {
+        None
+    }
+}
+
+/// 2×2 tile split of the torus (4 regions) — cuts both dimensions, so
+/// each region keeps half of each dimension's wrap links internal.
+/// `None` when either extent is below 2.
+pub fn torus_tiles2x2(n: usize) -> Option<Vec<usize>> {
+    let (rows, cols) = torus_dims(n);
+    if rows < 2 || cols < 2 {
+        return None;
+    }
+    Some(
+        (0..n)
+            .map(|i| {
+                let (r, c) = (i / cols, i % cols);
+                (r * 2 / rows) * 2 + (c * 2 / cols)
+            })
+            .collect(),
+    )
+}
+
+/// Pod partition of the exactly-`n`-node fat-tree [`crate::fat_tree`]
+/// builds (the same k-selection as the catalog generator): each pod is
+/// a region; core switches round-robin across pod regions; padded
+/// extra hosts follow their edge switch's pod. `None` when `n` cannot
+/// host a fat-tree.
+pub fn fat_tree_pods(n: usize) -> Option<Vec<usize>> {
+    let mut k = 2;
+    while fat_tree_size(k + 2) <= n {
+        k += 2;
+    }
+    if fat_tree_size(k) > n {
+        return None;
+    }
+    let half = k / 2;
+    let mut assign = Vec::with_capacity(n);
+    // Cores first (shared infrastructure: spread round-robin).
+    for j in 0..half * half {
+        assign.push(j % k);
+    }
+    // Then per pod: half aggs, half edges, half*half hosts.
+    for pod in 0..k {
+        for _ in 0..(2 * half + half * half) {
+            assign.push(pod);
+        }
+    }
+    // Extra hosts attach round-robin across the global edge list; edge
+    // e lives in pod e / half.
+    let extra = n - fat_tree_size(k);
+    for i in 0..extra {
+        let e = i % (k * half);
+        assign.push(e / half);
+    }
+    Some(assign)
+}
+
+/// Arm partition of [`crate::scada_star`]: hub `h` plus the field
+/// devices assigned to it round-robin form region `h`. `None` below
+/// the family's 3-node minimum.
+pub fn scada_arms(n: usize) -> Option<Vec<usize>> {
+    if n < 3 {
+        return None;
+    }
+    let hubs = (n / 10).max(2).min(n - 1);
+    Some(
+        (0..n)
+            .map(|i| if i < hubs { i } else { (i - hubs) % hubs })
+            .collect(),
+    )
+}
+
+/// Contiguous id-block split into `k` regions (the natural cut for
+/// ring-based families like small-world): region = `i * k / n`.
+pub fn ring_blocks(n: usize, k: usize) -> Option<Vec<usize>> {
+    if k < 2 || n < k {
+        return None;
+    }
+    Some((0..n).map(|i| i * k / n).collect())
+}
+
+/// The natural candidate partitions for a catalog family at size `n`:
+/// at least two per family wherever the size allows, named for the
+/// `shard_plan` report.
+pub fn candidate_partitions(family: &str, n: usize) -> Vec<(String, Vec<usize>)> {
+    let mut out: Vec<(String, Option<Vec<usize>>)> = Vec::new();
+    match family {
+        "torus" => {
+            out.push(("torus-bands/2".into(), torus_bands(n, 2)));
+            out.push(("torus-bands/4".into(), torus_bands(n, 4)));
+            out.push(("torus-tiles/2x2".into(), torus_tiles2x2(n)));
+        }
+        "fat-tree" => {
+            out.push(("fat-tree-pods".into(), fat_tree_pods(n)));
+            out.push((
+                "fat-tree-pod-pairs".into(),
+                fat_tree_pods(n).and_then(|a| {
+                    let regions = a.iter().copied().max()? + 1;
+                    (regions >= 4).then(|| a.iter().map(|&r| r / 2).collect())
+                }),
+            ));
+            out.push(("fat-tree-halves".into(), ring_blocks(n, 2)));
+        }
+        "scada-star" => {
+            out.push(("scada-arms".into(), scada_arms(n)));
+            out.push((
+                "scada-arm-halves".into(),
+                scada_arms(n).and_then(|a| {
+                    let regions = a.iter().copied().max()? + 1;
+                    (regions >= 4).then(|| a.iter().map(|&r| r % 2).collect())
+                }),
+            ));
+        }
+        _ => {
+            out.push((format!("{family}-blocks/2"), ring_blocks(n, 2)));
+            out.push((format!("{family}-blocks/4"), ring_blocks(n, 4)));
+        }
+    }
+    out.into_iter()
+        .filter_map(|(name, a)| a.map(|a| (name, a)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{scada_star, torus, TopoParams};
+    use btr_model::Duration;
+
+    fn uniform_traffic(topo: &Topology) -> TrafficMatrix {
+        let mut t = TrafficMatrix::new(topo.node_count(), topo.links().len());
+        for i in 0..topo.node_count() {
+            t.record_tx(i);
+            t.record_rx(i);
+        }
+        for l in 0..topo.links().len() {
+            t.record_link(l, 100, l % 3 == 0);
+        }
+        t
+    }
+
+    #[test]
+    fn torus_bands_cover_and_balance() {
+        let a = torus_bands(1000, 4).expect("25x40 splits 4 ways");
+        assert_eq!(a.len(), 1000);
+        assert_eq!(a.iter().copied().max(), Some(3));
+        // 25 rows into 4 bands: sizes within one row of each other.
+        let mut sizes = [0usize; 4];
+        for &r in &a {
+            sizes[r] += 1;
+        }
+        assert!(sizes.iter().all(|&s| (240..=280).contains(&s)), "{sizes:?}");
+    }
+
+    #[test]
+    fn analyzer_scores_torus_cut() {
+        let topo = torus(4, 5, 100_000, Duration(5)).unwrap();
+        let traffic = uniform_traffic(&topo);
+        let assign = torus_bands(20, 2).unwrap();
+        let c = analyze_partition(&topo, &assign, &traffic, "torus-bands/2");
+        assert_eq!(c.regions, 2);
+        assert_eq!(c.region_load.iter().sum::<u64>(), 40);
+        // A 2-band split of a 4x5 torus cuts 2 row boundaries x 5 cols.
+        assert_eq!(c.cut_links, 10);
+        assert!(c.cut_traffic_fraction > 0.0 && c.cut_traffic_fraction < 1.0);
+        assert_eq!(c.lookahead_us, 5);
+        assert!((c.imbalance - 1.0).abs() < 1e-9);
+        let expected = 1.0 / (0.25 + 0.75 / 2.0);
+        assert!((c.predicted_ceiling - expected).abs() < 1e-9, "{c:?}");
+        assert!(c.predicted_ceiling > 1.0 && c.predicted_ceiling <= 2.0);
+    }
+
+    #[test]
+    fn unloaded_matrix_scores_zero_cut_fraction() {
+        let topo = torus(4, 5, 100_000, Duration(5)).unwrap();
+        let empty = TrafficMatrix::new(20, topo.links().len());
+        let assign = torus_bands(20, 2).unwrap();
+        let c = analyze_partition(&topo, &assign, &empty, "empty");
+        assert_eq!(c.cut_traffic_fraction, 0.0);
+        assert_eq!(c.imbalance, 1.0);
+        assert!(c.cut_links > 0);
+    }
+
+    #[test]
+    fn fat_tree_pod_assignment_matches_build_order() {
+        // k=4, no padding: 36 nodes, 4 pods.
+        let a = fat_tree_pods(36).unwrap();
+        assert_eq!(a.len(), 36);
+        assert_eq!(a.iter().copied().max(), Some(3));
+        // 4 cores round-robin.
+        assert_eq!(&a[..4], &[0, 1, 2, 3]);
+        // Pod blocks of 8 (2 agg + 2 edge + 4 hosts).
+        for pod in 0..4 {
+            for i in 0..8 {
+                assert_eq!(a[4 + pod * 8 + i], pod, "pod {pod} slot {i}");
+            }
+        }
+        // Padded: extra hosts land in edge-order pods.
+        let padded = fat_tree_pods(41).unwrap();
+        assert_eq!(padded.len(), 41);
+        assert_eq!(&padded[36..], &[0, 0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn scada_arms_match_family_layout() {
+        let n = 43;
+        let a = scada_arms(n).unwrap();
+        let topo = scada_star(n, 100_000, Duration(5)).unwrap();
+        assert_eq!(a.len(), topo.node_count());
+        // 4 hubs, each its own region; devices round-robin.
+        assert_eq!(&a[..4], &[0, 1, 2, 3]);
+        assert_eq!(a[4], 0);
+        assert_eq!(a[5], 1);
+        // Only backbone links are cut: every field ring stays inside
+        // its arm.
+        let traffic = uniform_traffic(&topo);
+        let c = analyze_partition(&topo, &a, &traffic, "scada-arms");
+        assert_eq!(c.regions, 4);
+        assert_eq!(c.cut_links, 4, "{c:?}");
+    }
+
+    #[test]
+    fn every_family_offers_two_candidates_at_scale_sizes() {
+        for (family, gen) in crate::catalog() {
+            for n in [100usize, 400, 1000] {
+                let topo = gen(&TopoParams::new(n)).unwrap();
+                let cands = candidate_partitions(family, n);
+                assert!(
+                    cands.len() >= 2,
+                    "{family}({n}): only {} candidates",
+                    cands.len()
+                );
+                for (name, assign) in &cands {
+                    assert_eq!(assign.len(), n, "{name}");
+                    let regions = assign.iter().copied().max().unwrap() + 1;
+                    assert!(regions >= 2, "{name}: single region");
+                    let traffic = uniform_traffic(&topo);
+                    let c = analyze_partition(&topo, assign, &traffic, name);
+                    assert!(c.cut_links > 0, "{name}: no cut links");
+                    assert!(c.predicted_ceiling >= 1.0, "{name}: {c:?}");
+                    assert!(c.lookahead_us > 0, "{name}: zero lookahead");
+                }
+            }
+        }
+    }
+}
