@@ -1384,6 +1384,8 @@ fn usage() {
          \x20                    for the pinned live scenarios, plus optional Chrome\n\
          \x20                    trace-event export (emits OBS_btr.json)\n\
          \x20 campaign [opts]    parallel fault-injection campaign (emits CAMPAIGN_btr.json)\n\
+         \x20 fuzz [opts]        coverage-guided fault-schedule search over the f=3 hunting\n\
+         \x20                    grid (emits FUZZ_btr.json; byte-identical at any thread count)\n\
          \n\
          global options:\n\
          \x20 --threads N        worker threads for campaign and the e6 planner\n\
@@ -1400,6 +1402,11 @@ fn usage() {
          \x20                    both twins each cell with a `-sip` SipHash copy\n\
          \x20 --out PATH         report path (default CAMPAIGN_btr.json)\n\
          \x20 --replay TOKEN     re-execute one reproducer token and print its verdicts\n\
+         \n\
+         fuzz options:\n\
+         \x20 --budget N         total simulation runs to spend (default 128)\n\
+         \x20 --seed S           fuzzer seed (default 42)\n\
+         \x20 --out PATH         report path (default FUZZ_btr.json)\n\
          \n\
          scale options:\n\
          \x20 --nodes N,N,...    sweep sizes (default 20,100,400,1000)\n\
@@ -1642,6 +1649,89 @@ fn run_campaign_cli(mut args: Vec<String>, threads: usize) {
     }
 }
 
+fn run_fuzz_cli(mut args: Vec<String>, threads: usize) {
+    use btr_campaign as campaign;
+
+    let budget = take_value(&mut args, "--budget").unwrap_or(128usize);
+    let seed = take_value(&mut args, "--seed").unwrap_or(42);
+    let out_path: String = take_value(&mut args, "--out").unwrap_or("FUZZ_btr.json".into());
+    if let Some(stray) = args.iter().find(|a| *a != "fuzz") {
+        eprintln!("error: unknown fuzz argument '{stray}'");
+        std::process::exit(2);
+    }
+    if budget == 0 {
+        eprintln!("error: --budget must be at least 1");
+        std::process::exit(2);
+    }
+
+    let cfg = campaign::FuzzConfig::new(seed, budget, threads);
+    println!(
+        "fuzz: {} cells, budget {} runs, seed {}, {} threads",
+        cfg.cells.len(),
+        cfg.budget,
+        cfg.seed,
+        cfg.threads
+    );
+    let started = std::time::Instant::now();
+    let out = match campaign::run_fuzz(&cfg) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    // Wall time goes to stdout only: FUZZ_btr.json is fully
+    // deterministic, so CI can byte-compare 1-thread and N-thread runs.
+    let wall = started.elapsed().as_secs_f64();
+    println!(
+        "  {} runs in {:.2} s  ({:.1} runs/sec)",
+        out.runs,
+        wall,
+        out.runs as f64 / wall.max(1e-9)
+    );
+    println!(
+        "  coverage: {} signatures across {} generations",
+        out.coverage,
+        out.curve.len()
+    );
+    println!(
+        "  corpus: {} schedules, digest {:#018x}, best score {}",
+        out.corpus.len(),
+        out.corpus.digest(),
+        out.best_score
+    );
+    if let (Some(min), Some(max)) = (out.min_slack_us, out.max_slack_us) {
+        println!(
+            "  admissible slack to R: min {:.1} ms, max {:.1} ms",
+            min as f64 / 1e3,
+            max as f64 / 1e3
+        );
+    }
+    for tok in &out.violations {
+        println!("  VIOLATION; replay with:");
+        println!("    harness campaign --replay '{tok}'");
+    }
+
+    match std::fs::write(&out_path, out.to_json()) {
+        Ok(()) => println!("  wrote {out_path}"),
+        Err(e) => {
+            eprintln!("error: failed to write {out_path}: {e}");
+            std::process::exit(2);
+        }
+    }
+    // Like the campaign: an admissible violation is a bug, and a fuzz
+    // run that surfaces one fails loudly so CI can gate on it (fixed
+    // findings are frozen as replay-token regressions in
+    // crates/campaign/tests/regressions.rs).
+    if !out.violations.is_empty() {
+        eprintln!(
+            "error: {} admissible runs violated the R-bound",
+            out.violations.len()
+        );
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
@@ -1693,10 +1783,16 @@ fn main() {
         println!("campaign [--runs N] [--seed S] [--sim-seeds K] [--combos] [--over-budget]");
         println!("         [--all-variants] [--auth hmac|sip|both] [--out PATH] [--replay TOKEN]");
         println!("                 parallel fault-injection campaign (emits CAMPAIGN_btr.json)");
+        println!("fuzz [--budget N] [--seed S] [--out PATH]");
+        println!("                 coverage-guided fault-schedule search (emits FUZZ_btr.json)");
         return;
     }
     if args.iter().any(|a| a == "campaign") {
         run_campaign_cli(args, threads);
+        return;
+    }
+    if args.iter().any(|a| a == "fuzz") {
+        run_fuzz_cli(args, threads);
         return;
     }
     if args.iter().any(|a| a == "scale") {

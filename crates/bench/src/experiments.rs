@@ -735,36 +735,40 @@ pub fn a2_checker_placement() -> String {
 }
 
 /// Run every experiment, returning the combined report. `threads`
-/// parameterizes the multi-threaded planner column of E6.
+/// parameterizes the multi-threaded planner column of E6 and sizes the
+/// worker fleet the suite itself runs on.
+///
+/// The hand-written experiments execute on the campaign's work-stealing
+/// runner (`btr_campaign::runner::run_indexed`): each experiment is an
+/// independent pure job, results merge in suite order, so the combined
+/// report is byte-identical at any thread count — the same determinism
+/// contract the campaign and the fuzzer inherit from the same primitive.
 pub fn run_all(threads: usize) -> String {
+    type Job = Box<dyn Fn() -> String + Sync + Send>;
+    let jobs: Vec<Job> = vec![
+        Box::new(e1_recovery_timeline),
+        Box::new(|| e2_replica_cost(1)),
+        Box::new(|| e2_replica_cost(2)),
+        Box::new(e3_min_speed),
+        Box::new(e4_sequential_faults),
+        Box::new(e5_degradation),
+        Box::new(move || e6_planner_scale(threads)),
+        Box::new(e7_detection_latency),
+        Box::new(e8_evidence_dissemination),
+        Box::new(e9_mode_change),
+        Box::new(e10_omission_attribution),
+        Box::new(a1_plan_distance),
+        Box::new(a2_checker_placement),
+        Box::new(r1_link_loss),
+    ];
+    let sections = btr_campaign::runner::run_indexed(jobs.len(), threads, |i| jobs[i]());
     let mut out = String::new();
-    out.push_str(&e1_recovery_timeline());
-    out.push('\n');
-    out.push_str(&e2_replica_cost(1));
-    out.push('\n');
-    out.push_str(&e2_replica_cost(2));
-    out.push('\n');
-    out.push_str(&e3_min_speed());
-    out.push('\n');
-    out.push_str(&e4_sequential_faults());
-    out.push('\n');
-    out.push_str(&e5_degradation());
-    out.push('\n');
-    out.push_str(&e6_planner_scale(threads));
-    out.push('\n');
-    out.push_str(&e7_detection_latency());
-    out.push('\n');
-    out.push_str(&e8_evidence_dissemination());
-    out.push('\n');
-    out.push_str(&e9_mode_change());
-    out.push('\n');
-    out.push_str(&e10_omission_attribution());
-    out.push('\n');
-    out.push_str(&a1_plan_distance());
-    out.push('\n');
-    out.push_str(&a2_checker_placement());
-    out.push('\n');
-    out.push_str(&r1_link_loss());
+    for (i, s) in sections.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(s);
+    }
     out
 }
 

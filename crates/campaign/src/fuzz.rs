@@ -1,0 +1,440 @@
+//! Coverage-guided fault-schedule search.
+//!
+//! `btr-campaign`'s grid sweeps the fault space *uniformly*; the fuzzer
+//! spends the same simulation budget *adaptively*. Each executed run is
+//! scored ([`crate::score`]) and fingerprinted with a phase-timeline
+//! coverage signature; interesting schedules enter a bounded corpus
+//! ([`crate::corpus`]) keyed by shrinker-canonical replay form, and new
+//! batches are bred from the corpus with the seeded mutation operators
+//! in [`crate::schedule::mutate`] — including chain extension to the
+//! cell's full budget, which is how 1-fault seeds evolve into the f=3
+//! sequential chains the [`crate::grid::fuzz_grid`] hunts.
+//!
+//! **Determinism.** The search is generational: a batch's jobs are a
+//! pure function of the corpus state *after the previous batch*, jobs
+//! execute on [`crate::runner::run_indexed`] (results merge in index
+//! order at any thread count), and corpus/coverage updates fold
+//! sequentially in that order. So the entire outcome — corpus digest,
+//! coverage curve, violation tokens, `FUZZ_btr.json` bytes — is a pure
+//! function of `(seed, budget)` and is **byte-identical at any thread
+//! count**. CI pins this by diffing a 1-thread and an N-thread run.
+
+use crate::corpus::{canonical_key, Corpus};
+use crate::grid::{CellError, CellSpec};
+use crate::replay;
+use crate::runner::{self, run_indexed, CampaignConfig, PlannedCell, RunRecord};
+use crate::schedule::{mutate, FaultSchedule};
+use crate::score::{base_score, signature, NEW_COVERAGE_PTS};
+use crate::verdict::score as verdict_score;
+use btr_model::Duration;
+use std::collections::BTreeSet;
+
+/// Seed schedules generated per cell before mutation takes over.
+const SEED_SCHEDULES_PER_CELL: usize = 12;
+/// Cap on distinct admissible-violation tokens kept in the outcome.
+const MAX_VIOLATION_TOKENS: usize = 32;
+
+/// Fuzzing campaign configuration.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Master seed: fixes seed schedules, mutation draws, and sim seeds.
+    pub seed: u64,
+    /// Total simulation runs to spend.
+    pub budget: usize,
+    /// Worker threads (never affects results, only wall time).
+    pub threads: usize,
+    /// Corpus capacity.
+    pub corpus_max: usize,
+    /// Mutants bred per generation. Fixed independently of `threads` —
+    /// batch composition is part of the deterministic outcome.
+    pub batch: usize,
+    /// Per-run simulator event cap (0 = unlimited).
+    pub max_events: u64,
+    /// Extra tolerance on the R-bound check.
+    pub slack: Duration,
+    /// The cells to fuzz.
+    pub cells: Vec<CellSpec>,
+}
+
+impl FuzzConfig {
+    /// A fuzzing campaign over [`crate::grid::fuzz_grid`].
+    pub fn new(seed: u64, budget: usize, threads: usize) -> FuzzConfig {
+        FuzzConfig {
+            seed,
+            budget,
+            threads,
+            corpus_max: 64,
+            batch: 16,
+            max_events: 20_000_000,
+            slack: Duration::ZERO,
+            cells: crate::grid::fuzz_grid(),
+        }
+    }
+}
+
+/// Everything a finished fuzzing campaign produced. Every field is
+/// deterministic in `(seed, budget)`.
+#[derive(Debug, Clone)]
+pub struct FuzzOutcome {
+    /// The configuration the search ran with.
+    pub config: FuzzConfig,
+    /// Cell names, in grid order.
+    pub cells: Vec<String>,
+    /// Runs actually executed (≤ budget).
+    pub runs: usize,
+    /// Final coverage: distinct phase-timeline signature elements.
+    pub coverage: usize,
+    /// Coverage growth curve: `(runs_executed, coverage)` per generation.
+    pub curve: Vec<(usize, usize)>,
+    /// The final corpus.
+    pub corpus: Corpus,
+    /// Tightest admissible slack seen (µs; negative = bound blown).
+    pub min_slack_us: Option<i64>,
+    /// Fattest admissible slack seen (µs).
+    pub max_slack_us: Option<i64>,
+    /// Highest run score admitted.
+    pub best_score: u64,
+    /// Replay tokens of admissible violating runs (deduped, capped).
+    pub violations: Vec<String>,
+}
+
+impl FuzzOutcome {
+    /// Render the full `FUZZ_btr.json` contents. Contains no wall-clock
+    /// data — the whole file is byte-identical at any thread count.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"fuzz\": \"btr-schedule-fuzz\",\n");
+        s.push_str(&format!(
+            "  \"seed\": {}, \"budget\": {}, \"batch\": {}, \"corpus_max\": {},\n",
+            self.config.seed, self.config.budget, self.config.batch, self.config.corpus_max
+        ));
+        s.push_str(&format!(
+            "  \"cells\": [{}],\n",
+            self.cells
+                .iter()
+                .map(|c| json_str(c))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        s.push_str(&format!(
+            "  \"runs\": {}, \"coverage\": {},\n",
+            self.runs, self.coverage
+        ));
+        s.push_str("  \"coverage_curve\": [");
+        for (i, (runs, cov)) in self.curve.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("[{runs}, {cov}]"));
+        }
+        s.push_str("],\n");
+        s.push_str(&format!(
+            "  \"slack\": {{\"min_us\": {}, \"max_us\": {}}},\n",
+            json_opt_i64(self.min_slack_us),
+            json_opt_i64(self.max_slack_us)
+        ));
+        s.push_str(&format!("  \"best_score\": {},\n", self.best_score));
+        s.push_str(&format!(
+            "  \"corpus\": {{\n    \"size\": {}, \"digest\": \"{:#018x}\",\n    \"entries\": [\n",
+            self.corpus.len(),
+            self.corpus.digest()
+        ));
+        let n = self.corpus.len();
+        for (i, e) in self.corpus.entries().enumerate() {
+            s.push_str(&format!(
+                "      {{\"key\": {}, \"score\": {}, \"faults\": {}, \"new_signatures\": {}}}{}\n",
+                json_str(&canonical_key(
+                    &self.cells[e.cell_idx as usize],
+                    &e.schedule
+                )),
+                e.score,
+                e.schedule.scenario.faults.len(),
+                e.new_signatures,
+                if i + 1 < n { "," } else { "" }
+            ));
+        }
+        s.push_str("    ]\n  },\n");
+        s.push_str(&format!(
+            "  \"violations_admissible\": {},\n  \"violations\": [",
+            self.violations.len()
+        ));
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&json_str(v));
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+}
+
+fn json_str(s: &str) -> String {
+    format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
+fn json_opt_i64(v: Option<i64>) -> String {
+    v.map_or_else(|| "null".into(), |v| v.to_string())
+}
+
+/// One executed-and-fingerprinted fuzz run.
+struct FuzzRun {
+    record: RunRecord,
+    signature: BTreeSet<u64>,
+    token: String,
+}
+
+/// Execute one job with the recorder installed and assemble the record
+/// (same field derivations as `runner::execute_run`, off the observed
+/// report) plus the coverage signature and replay token.
+fn execute_observed(
+    cfg: &FuzzConfig,
+    cell: &PlannedCell,
+    cell_idx: u16,
+    sched: &FaultSchedule,
+    run_idx: u32,
+) -> FuzzRun {
+    let seed = runner::sim_seed(cfg.seed, cell_idx as u32);
+    let (report, rec) = cell
+        .system
+        .run_observed(&sched.scenario, cell.horizon, seed);
+    let violations = verdict_score(&cell.system, sched, &report, cfg.slack);
+    let recovery_us = report.recovery.bad_window().as_micros();
+    let faults = &sched.scenario.faults;
+    let budget_us = match (
+        faults.iter().map(|f| f.at).min(),
+        faults.iter().map(|f| f.at).max(),
+    ) {
+        (Some(first), Some(last)) => (last - first).as_micros() + cell.spec.r_bound.as_micros(),
+        _ => cell.spec.r_bound.as_micros(),
+    };
+    let near_misses = report
+        .node_stats
+        .iter()
+        .map(|(_, s, _, _)| s.near_miss_accusations)
+        .sum();
+    let suppressed = report
+        .node_stats
+        .iter()
+        .map(|(_, s, _, _)| s.suppressed_declarations)
+        .sum();
+    let convictions = report
+        .node_stats
+        .iter()
+        .map(|(_, _, _, fs)| *fs as u32)
+        .max()
+        .unwrap_or(0);
+    let sig = signature(sched, &report, rec.marks(), cell.spec.r_bound);
+    let token = replay::token(
+        &cell.spec,
+        seed,
+        cell.horizon,
+        cell.max_events,
+        &sched.scenario,
+    );
+    FuzzRun {
+        record: RunRecord {
+            run_idx,
+            cell_idx,
+            schedule_id: 0,
+            sim_seed: seed,
+            label: sched.label(),
+            n_faults: faults.len() as u8,
+            admissible: sched.budget() <= cell.spec.f as usize,
+            recovery_us,
+            slack_us: budget_us as i64 - recovery_us as i64,
+            bad_outputs: report.recovery.bad_outputs as u32,
+            total_outputs: report.recovery.total_outputs as u32,
+            converged: report.converged,
+            near_misses,
+            suppressed,
+            convictions,
+            violations,
+        },
+        signature: sig,
+        token,
+    }
+}
+
+/// Run the coverage-guided search. Pure in `(cfg.seed, cfg.budget)`:
+/// thread count changes wall time only.
+pub fn run_fuzz(cfg: &FuzzConfig) -> Result<FuzzOutcome, CellError> {
+    // Plan the cells and draw the seed generation with the campaign
+    // machinery: combos on, so seed schedules already span 1..=f chains.
+    let plan_cfg = CampaignConfig {
+        seed: cfg.seed,
+        runs: SEED_SCHEDULES_PER_CELL * cfg.cells.len().max(1),
+        threads: cfg.threads,
+        sim_seeds: 1,
+        combos: true,
+        over_budget: false,
+        max_events: cfg.max_events,
+        slack: cfg.slack,
+        cells: cfg.cells.clone(),
+    };
+    let cells = runner::plan_cells(&plan_cfg)?;
+    let cell_names: Vec<String> = cells.iter().map(|c| c.spec.name()).collect();
+
+    // Generation 0: the seed schedules, interleaved across cells so a
+    // small budget still touches every cell.
+    let mut jobs: Vec<(u16, FaultSchedule)> = Vec::new();
+    let max_seed_schedules = cells.iter().map(|c| c.schedules.len()).max().unwrap_or(0);
+    for s in 0..max_seed_schedules {
+        for (c, cell) in cells.iter().enumerate() {
+            if let Some(sched) = cell.schedules.get(s) {
+                jobs.push((c as u16, sched.clone()));
+            }
+        }
+    }
+
+    let mut corpus = Corpus::new(cfg.corpus_max);
+    let mut coverage: BTreeSet<u64> = BTreeSet::new();
+    let mut curve = Vec::new();
+    let mut violations: Vec<String> = Vec::new();
+    let mut min_slack: Option<i64> = None;
+    let mut max_slack: Option<i64> = None;
+    let mut best_score = 0u64;
+    let mut executed = 0usize;
+    let mut generation = 0usize;
+
+    while executed < cfg.budget {
+        if jobs.is_empty() {
+            // Breed the next generation from the corpus: parents rotate
+            // in key order, mutation seeds advance with the global run
+            // counter. Both depend only on state sealed at the end of
+            // the previous generation.
+            if corpus.is_empty() {
+                break;
+            }
+            let n = cfg.batch.max(1).min(cfg.budget - executed);
+            for j in 0..n {
+                let parent = corpus
+                    .nth(generation.wrapping_mul(cfg.batch.max(1)).wrapping_add(j))
+                    .expect("non-empty corpus");
+                let cell = &cells[parent.cell_idx as usize];
+                let mseed = runner::sim_seed(cfg.seed ^ 0x6675_7a7a, (executed + j) as u32);
+                let mutant = mutate(&cell.params, &parent.schedule, mseed);
+                jobs.push((parent.cell_idx, mutant));
+            }
+        }
+        jobs.truncate(cfg.budget - executed);
+
+        let results = run_indexed(jobs.len(), cfg.threads, |i| {
+            let (cell_idx, sched) = &jobs[i];
+            execute_observed(
+                cfg,
+                &cells[*cell_idx as usize],
+                *cell_idx,
+                sched,
+                (executed + i) as u32,
+            )
+        });
+
+        // Sequential fold, in index order: this is the only place global
+        // state changes, so the search trajectory is merge-order-stable.
+        for (i, r) in results.iter().enumerate() {
+            let new_sigs = r.signature.difference(&coverage).count();
+            coverage.extend(r.signature.iter().copied());
+            let score = base_score(&r.record) + new_sigs as u64 * NEW_COVERAGE_PTS;
+            best_score = best_score.max(score);
+            if r.record.admissible {
+                min_slack = Some(min_slack.map_or(r.record.slack_us, |m| m.min(r.record.slack_us)));
+                max_slack = Some(max_slack.map_or(r.record.slack_us, |m| m.max(r.record.slack_us)));
+                if !r.record.violations.is_empty()
+                    && violations.len() < MAX_VIOLATION_TOKENS
+                    && !violations.contains(&r.token)
+                {
+                    violations.push(r.token.clone());
+                }
+            }
+            let (cell_idx, sched) = &jobs[i];
+            corpus.offer(
+                *cell_idx,
+                &cell_names[*cell_idx as usize],
+                sched,
+                score,
+                new_sigs,
+            );
+        }
+        executed += results.len();
+        curve.push((executed, coverage.len()));
+        jobs.clear();
+        generation += 1;
+    }
+
+    Ok(FuzzOutcome {
+        config: cfg.clone(),
+        cells: cell_names,
+        runs: executed,
+        coverage: coverage.len(),
+        curve,
+        corpus,
+        min_slack_us: min_slack,
+        max_slack_us: max_slack,
+        best_score,
+        violations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::TopoSpec;
+    use crate::schedule::FaultVariant;
+    use btr_crypto::AuthSuite;
+
+    /// A one-cell fuzz config small enough for unit tests: f=2 chains on
+    /// the avionics bus, two variants.
+    fn tiny_fuzz(budget: usize, threads: usize) -> FuzzConfig {
+        FuzzConfig {
+            corpus_max: 16,
+            batch: 4,
+            cells: vec![CellSpec {
+                workload: "avionics".into(),
+                topo: TopoSpec::Bus {
+                    n: 9,
+                    bytes_per_ms: 100_000,
+                    latency_us: 5,
+                },
+                f: 2,
+                r_bound: Duration::from_millis(150),
+                auth: AuthSuite::HmacSha256,
+                variants: vec![FaultVariant::CRASH, FaultVariant::OMISSION_STEALTH],
+            }],
+            ..FuzzConfig::new(41, budget, threads)
+        }
+    }
+
+    #[test]
+    fn fuzz_json_is_byte_identical_at_any_thread_count() {
+        let a = run_fuzz(&tiny_fuzz(10, 1)).expect("fuzzes");
+        let b = run_fuzz(&tiny_fuzz(10, 3)).expect("fuzzes");
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.runs, 10);
+        assert_eq!(a.corpus.digest(), b.corpus.digest());
+        assert!(a.coverage > 0);
+        assert!(!a.curve.is_empty());
+        // The curve is monotone in both coordinates.
+        for w in a.curve.windows(2) {
+            assert!(w[1].0 > w[0].0 && w[1].1 >= w[0].1, "{:?}", a.curve);
+        }
+    }
+
+    #[test]
+    fn violating_cells_surface_replay_tokens() {
+        // R = 1 ms is unmeetable, so every crash run violates: the
+        // violation path must emit parseable, admissible tokens.
+        let mut cfg = tiny_fuzz(6, 2);
+        cfg.cells[0].r_bound = Duration::from_millis(1);
+        cfg.cells[0].variants = vec![FaultVariant::CRASH];
+        let out = run_fuzz(&cfg).expect("fuzzes");
+        assert!(!out.violations.is_empty());
+        assert!(out.min_slack_us.unwrap() < 0, "{:?}", out.min_slack_us);
+        for tok in &out.violations {
+            let spec = replay::parse(tok).expect("fuzz tokens parse");
+            assert!(spec.scenario.faults.len() <= cfg.cells[0].f as usize + 1);
+        }
+        let json = out.to_json();
+        assert!(json.contains("\"violations_admissible\""));
+    }
+}

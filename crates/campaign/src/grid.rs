@@ -487,6 +487,41 @@ pub fn default_grid() -> Vec<CellSpec> {
     ]
 }
 
+/// The fuzzer's hunting grid: small, deep cells aimed where the PR 3
+/// direct-evidence gating has least margin — the f=3 sequential-chain
+/// regime on the avionics bus (three cascading faults, any variant mix)
+/// and f=2 on the sparse-fan-in SCADA bus whose scaled attribution
+/// thresholds the campaign already bent once. Kept to two cells so a
+/// bounded `--budget` buys chain depth rather than grid breadth.
+pub fn fuzz_grid() -> Vec<CellSpec> {
+    vec![
+        CellSpec {
+            workload: "avionics".into(),
+            topo: TopoSpec::Bus {
+                n: 9,
+                bytes_per_ms: 100_000,
+                latency_us: 5,
+            },
+            f: 3,
+            r_bound: Duration::from_millis(150),
+            auth: AuthSuite::HmacSha256,
+            variants: FaultVariant::ALL.to_vec(),
+        },
+        CellSpec {
+            workload: "scada".into(),
+            topo: TopoSpec::Bus {
+                n: 6,
+                bytes_per_ms: 100_000,
+                latency_us: 10,
+            },
+            f: 2,
+            r_bound: Duration::from_millis(400),
+            auth: AuthSuite::HmacSha256,
+            variants: FaultVariant::ALL.to_vec(),
+        },
+    ]
+}
+
 /// The same cells as [`default_grid`] with every variant enabled. Since
 /// the campaign-found gaps were fixed, the default grid already runs the
 /// full variant space, so this is an alias; it remains the stable name
@@ -584,6 +619,25 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{}: {e}", cell.name()));
             assert_eq!(sys.strategy().f, cell.f, "{}", cell.name());
             assert_eq!(sys.strategy().r_bound, cell.r_bound, "{}", cell.name());
+        }
+    }
+
+    #[test]
+    fn fuzz_grid_cells_plan_at_their_fault_budgets() {
+        let cells = fuzz_grid();
+        assert!(cells.iter().any(|c| c.f == 3), "fuzz grid must reach f=3");
+        for cell in cells {
+            let sys = cell
+                .plan()
+                .unwrap_or_else(|e| panic!("{}: {e}", cell.name()));
+            assert_eq!(sys.strategy().f, cell.f, "{}", cell.name());
+            let params = cell.schedule_params(
+                Duration::from_millis(10),
+                Duration::from_millis(8),
+                true,
+                true,
+            );
+            assert_eq!(params.f, cell.f, "{}", cell.name());
         }
     }
 

@@ -24,22 +24,35 @@
 //! * [`report`] — aggregation and the `CAMPAIGN_btr.json` writer, with
 //!   a deterministic region and a separate timing region that records
 //!   the 1-thread vs N-thread scaling trajectory.
+//! * [`score`] — fuzzer run scoring (slack-to-R, evidence-pool near
+//!   misses, excess convictions) and the phase-timeline coverage
+//!   signature.
+//! * [`corpus`] — the fuzzer's bounded corpus, deduped by
+//!   shrinker-canonical replay keys.
+//! * [`fuzz`] — coverage-guided schedule search over the mutation
+//!   operators, generational and byte-identical at any thread count;
+//!   writes `FUZZ_btr.json`.
 //!
-//! Entry point: [`run_campaign`].
+//! Entry points: [`run_campaign`], [`fuzz::run_fuzz`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod corpus;
+pub mod fuzz;
 pub mod grid;
 pub mod replay;
 pub mod report;
 pub mod runner;
 pub mod schedule;
+pub mod score;
 pub mod shrink;
 pub mod verdict;
 
+pub use corpus::Corpus;
+pub use fuzz::{run_fuzz, FuzzConfig, FuzzOutcome};
 pub use grid::{
-    all_variant_grid, auth_sweep, default_grid, with_auth, CellError, CellSpec, TopoSpec,
+    all_variant_grid, auth_sweep, default_grid, fuzz_grid, with_auth, CellError, CellSpec, TopoSpec,
 };
 pub use runner::{CampaignConfig, RunRecord};
 pub use schedule::{FaultSchedule, FaultVariant, ScheduleParams};

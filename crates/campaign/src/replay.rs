@@ -184,6 +184,27 @@ pub fn parse(tok: &str) -> Result<ReplaySpec, ReplayError> {
             }
             faults.push(variant.inject(NodeId(node), Time(at)));
         }
+        // Sequential-chain grammar checks (the f=3 hunting space): the
+        // token models the paper's sequential adversary, so activations
+        // must be non-decreasing, and the chain length is capped so a
+        // crafted token cannot smuggle an unbounded fault list past the
+        // budget math into the scenario machinery.
+        const MAX_REPLAY_FAULTS: usize = 8;
+        if faults.len() > MAX_REPLAY_FAULTS {
+            return Err(ReplayError(format!(
+                "{} faults in chain; replay caps at {MAX_REPLAY_FAULTS}",
+                faults.len()
+            )));
+        }
+        for w in faults.windows(2) {
+            if w[1].at < w[0].at {
+                return Err(ReplayError(format!(
+                    "chain activations out of order: {} after {}",
+                    w[1].at.as_micros(),
+                    w[0].at.as_micros()
+                )));
+            }
+        }
     }
 
     let mut variants: Vec<FaultVariant> = Vec::new();
@@ -430,10 +451,54 @@ mod tests {
                 "w=scada;t=torus1000x1000x100x1;f=1;r=1;h=1;s=1;fl=",
                 "caps at",
             ),
+            // Chain grammar: sequential activations must be ordered, and
+            // the chain length is bounded.
+            (
+                "w=avionics;t=bus9x1x1;f=3;r=1;h=1;s=1;fl=crash@200@n1+omission@100@n2",
+                "out of order",
+            ),
+            (
+                "w=avionics;t=bus9x1x1;f=3;r=1;h=1;s=1;\
+                 fl=crash@1@n0+crash@2@n1+crash@3@n2+crash@4@n3+crash@5@n4\
+                 +crash@6@n5+crash@7@n6+crash@8@n7+crash@9@n8",
+                "caps at",
+            ),
         ] {
             let err = parse(tok).expect_err(tok).to_string();
             assert!(err.contains(needle), "{tok}: {err}");
         }
+    }
+
+    #[test]
+    fn f3_chain_tokens_round_trip_byte_identically() {
+        // The fuzzer's hunting regime: three sequential faults on
+        // distinct victims, rendered and re-parsed bit-for-bit.
+        let mut cell = spec();
+        cell.f = 3;
+        let scenario = FaultScenario {
+            faults: vec![
+                FaultVariant::CRASH.inject(NodeId(2), Time::from_millis(52)),
+                FaultVariant::OMISSION_STEALTH.inject(NodeId(5), Time::from_millis(260)),
+                FaultVariant::COMMISSION_GARBLED.inject(NodeId(7), Time::from_millis(470)),
+            ],
+        };
+        let tok = token(&cell, 99, Duration::from_millis(900), 20_000_000, &scenario);
+        let parsed = parse(&tok).expect("parses");
+        assert_eq!(parsed.scenario, scenario);
+        assert_eq!(parsed.cell.f, 3);
+        assert_eq!(
+            token(
+                &parsed.cell,
+                parsed.sim_seed,
+                parsed.horizon,
+                parsed.max_events,
+                &parsed.scenario
+            ),
+            tok
+        );
+        // Equal activations are legal (simultaneity is not disorder).
+        let tied = "w=avionics;t=bus9x1x1;f=2;r=1;h=1;s=1;fl=crash@100@n1+omission@100@n2";
+        assert!(parse(tied).is_ok());
     }
 
     #[test]

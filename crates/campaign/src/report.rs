@@ -405,6 +405,9 @@ mod tests {
             bad_outputs: 0,
             total_outputs: 10,
             converged: true,
+            near_misses: 0,
+            suppressed: 0,
+            convictions: 1,
             violations: Vec::new(),
         };
         let a = vec![mk(0, 100), mk(1, 200)];
@@ -413,6 +416,13 @@ mod tests {
         assert_eq!(runs_digest(&a), runs_digest(&a));
         assert_ne!(runs_digest(&a), runs_digest(&b));
         assert_ne!(runs_digest(&a), runs_digest(&c));
+        // The fuzzer-score counters are deliberately *outside* the
+        // digest: pre-existing tokens and pinned digests must not move.
+        let mut d = vec![mk(0, 100), mk(1, 200)];
+        d[1].near_misses = 7;
+        d[1].suppressed = 3;
+        d[1].convictions = 9;
+        assert_eq!(runs_digest(&a), runs_digest(&d));
     }
 
     #[test]
@@ -430,6 +440,9 @@ mod tests {
             bad_outputs: 0,
             total_outputs: 10,
             converged: true,
+            near_misses: 0,
+            suppressed: 0,
+            convictions: 1,
             violations: Vec::new(),
         };
         let records = vec![

@@ -10,7 +10,7 @@
 //! report digest both pin this.
 
 use crate::grid::{CellError, CellSpec};
-use crate::schedule::{self, FaultSchedule};
+use crate::schedule::{self, FaultSchedule, ScheduleParams};
 use crate::verdict::{score, Violation};
 use btr_core::BtrSystem;
 use btr_model::Duration;
@@ -87,6 +87,17 @@ pub struct RunRecord {
     pub total_outputs: u32,
     /// All correct nodes ended on identical fault sets and plans.
     pub converged: bool,
+    /// Evidence-pool near misses summed over correct nodes: suspects
+    /// left one accuser short of conviction when the run ended. A fuzzer
+    /// score signal; **excluded from `runs_digest`** so pre-existing
+    /// replay tokens and report digests are unperturbed.
+    pub near_misses: u64,
+    /// Path declarations withheld by the cascade gates, summed over
+    /// correct nodes. Also excluded from `runs_digest`.
+    pub suppressed: u64,
+    /// Largest fault set any correct node ended on (convictions). Also
+    /// excluded from `runs_digest`.
+    pub convictions: u32,
     /// Broken claims (empty = clean run).
     pub violations: Vec<Violation>,
 }
@@ -104,6 +115,9 @@ pub struct PlannedCell {
     /// The event cap the cell's system runs under (pinned into replay
     /// tokens so truncated runs reproduce).
     pub max_events: u64,
+    /// The schedule-generation parameters the cell's schedules were
+    /// drawn under (the fuzzer mutates within the same bounds).
+    pub params: ScheduleParams,
 }
 
 /// Plan every cell and generate its schedules. Deterministic; the
@@ -133,6 +147,7 @@ pub fn plan_cells(cfg: &CampaignConfig) -> Result<Vec<PlannedCell>, CellError> {
                 schedules,
                 horizon,
                 max_events: cfg.max_events,
+                params,
             })
         })
         .collect()
@@ -173,6 +188,22 @@ pub fn execute_run(
         (Some(first), Some(last)) => (last - first).as_micros() + cell.spec.r_bound.as_micros(),
         _ => cell.spec.r_bound.as_micros(),
     };
+    let near_misses = report
+        .node_stats
+        .iter()
+        .map(|(_, s, _, _)| s.near_miss_accusations)
+        .sum();
+    let suppressed = report
+        .node_stats
+        .iter()
+        .map(|(_, s, _, _)| s.suppressed_declarations)
+        .sum();
+    let convictions = report
+        .node_stats
+        .iter()
+        .map(|(_, _, _, fs)| *fs as u32)
+        .max()
+        .unwrap_or(0);
     RunRecord {
         run_idx,
         cell_idx,
@@ -186,8 +217,55 @@ pub fn execute_run(
         bad_outputs: report.recovery.bad_outputs as u32,
         total_outputs: report.recovery.total_outputs as u32,
         converged: report.converged,
+        near_misses,
+        suppressed,
+        convictions,
         violations,
     }
+}
+
+/// The work-stealing primitive every fleet in this workspace runs on:
+/// execute `f(0..n)` on `threads` scoped workers claiming indices from a
+/// shared atomic counter, and merge the results back into index order.
+/// Because each item is a pure function of its index, the merged vector
+/// is **bit-identical at any thread count** — the campaign runner, the
+/// fuzzer's batch executor, and the e1–e10 experiment fleet all inherit
+/// the determinism contract from this one function.
+pub fn run_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, n.max(1));
+    let next = AtomicUsize::new(0);
+    let mut buckets: Vec<Vec<(usize, T)>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            buckets.push(h.join().expect("work-stealing worker panicked"));
+        }
+    });
+    // Per-worker vectors are already sorted by index (the counter is
+    // monotone), so a flatten + sort is cheap.
+    let mut items: Vec<(usize, T)> = buckets.into_iter().flatten().collect();
+    items.sort_by_key(|(i, _)| *i);
+    items.into_iter().map(|(_, t)| t).collect()
 }
 
 /// Run the whole grid at `cfg.threads`, returning records in run order
@@ -202,40 +280,12 @@ pub fn execute(cfg: &CampaignConfig, cells: &[PlannedCell]) -> (Vec<RunRecord>, 
             }
         }
     }
-    let threads = cfg.threads.clamp(1, specs.len().max(1));
-    let next = AtomicUsize::new(0);
     let started = std::time::Instant::now();
-
-    let mut buckets: Vec<Vec<RunRecord>> = Vec::new();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                let next = &next;
-                let specs = &specs;
-                scope.spawn(move || {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= specs.len() {
-                            break;
-                        }
-                        let (c, s, k) = specs[i];
-                        local.push(execute_run(cfg, cells, i as u32, c, s, k));
-                    }
-                    local
-                })
-            })
-            .collect();
-        for h in handles {
-            buckets.push(h.join().expect("campaign worker panicked"));
-        }
+    let records = run_indexed(specs.len(), cfg.threads, |i| {
+        let (c, s, k) = specs[i];
+        execute_run(cfg, cells, i as u32, c, s, k)
     });
     let wall_ns = started.elapsed().as_nanos() as u64;
-
-    // Merge in run order: per-worker vectors are already sorted by
-    // run_idx (the counter is monotone), so a flatten + sort is cheap.
-    let mut records: Vec<RunRecord> = buckets.into_iter().flatten().collect();
-    records.sort_by_key(|r| r.run_idx);
     (records, wall_ns)
 }
 
@@ -270,6 +320,18 @@ mod tests {
                 variants: vec![FaultVariant::CRASH, FaultVariant::COMMISSION],
             }],
         }
+    }
+
+    #[test]
+    fn run_indexed_merges_in_index_order_at_any_thread_count() {
+        let f = |i: usize| (i * i) as u64;
+        let seq = run_indexed(37, 1, f);
+        assert_eq!(seq.len(), 37);
+        for (i, v) in seq.iter().enumerate() {
+            assert_eq!(*v, (i * i) as u64);
+        }
+        assert_eq!(seq, run_indexed(37, 4, f));
+        assert!(run_indexed(0, 3, f).is_empty());
     }
 
     #[test]

@@ -24,6 +24,7 @@ use btr_core::{FaultMods, FaultScenario, InjectedFault};
 use btr_model::{Duration, FaultKind, NodeId, Time};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
 
 /// One concrete attack variant: a fault kind plus its sub-strategy.
 ///
@@ -339,6 +340,139 @@ fn sample_schedule(params: &ScheduleParams, rng: &mut SmallRng) -> FaultSchedule
     }
 }
 
+/// Number of seeded mutation operators `mutate` dispatches over.
+pub const MUTATION_OPS: u32 = 4;
+
+/// Mutate a schedule with one seeded operator. Pure function of
+/// `(params, sched, seed)` — the fuzzer's byte-identical-at-any-thread-
+/// count contract rests on this purity.
+///
+/// Operators (dispatched by the seed, with deterministic fallback to the
+/// next one when the drawn operator is inapplicable):
+///
+/// 1. **Shift** one activation onto a nearby period/deadline boundary
+///    instant (`kP±1`, `kP+D±1`) — off-by-one windows live there.
+/// 2. **Swap** one victim for a node the schedule does not already use.
+/// 3. **Toggle** the variant: flip `FaultMods` counterparts
+///    (omission↔stealth, commission↔garbled) or rotate within the
+///    cell's variant list.
+/// 4. **Extend** the chain with one sequential fault after the last
+///    (gap drawn from `params.gap`, distinct victim). The new round's
+///    behaviour is enumerated round-robin as the mutation seed advances
+///    — tofn's per-round malicious-behaviour enumeration style — so
+///    successive extensions of one corpus entry sweep every variant.
+///    Capped at the admissible budget `f`: mutants never leave the
+///    gated space.
+///
+/// Faults stay sorted by activation instant; the returned schedule has
+/// `id == 0` (the corpus renumbers).
+pub fn mutate(params: &ScheduleParams, sched: &FaultSchedule, seed: u64) -> FaultSchedule {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut faults = sched.scenario.faults.clone();
+    let n = faults.len();
+    let used: BTreeSet<u32> = faults.iter().map(|f| f.node.0).collect();
+    let chain_cap = (params.f as u32).min(params.n_nodes).max(1) as usize;
+    let mut op = rng.gen_range(0..MUTATION_OPS);
+    for _ in 0..MUTATION_OPS {
+        match op {
+            0 if n > 0 => {
+                let i = rng.gen_range(0..n);
+                let instants = boundary_instants(params, faults[i].at);
+                faults[i].at = Time(instants[rng.gen_range(0..instants.len())]);
+                break;
+            }
+            1 if n > 0 && (params.n_nodes as usize) > used.len() => {
+                let i = rng.gen_range(0..n);
+                let free: Vec<u32> = (0..params.n_nodes).filter(|v| !used.contains(v)).collect();
+                faults[i].node = NodeId(free[rng.gen_range(0..free.len())]);
+                break;
+            }
+            2 if n > 0 => {
+                let i = rng.gen_range(0..n);
+                let next = toggle_variant(FaultVariant::of(&faults[i]), &params.variants);
+                faults[i] = next.inject(faults[i].node, faults[i].at);
+                break;
+            }
+            3 if used.len() < chain_cap && (params.n_nodes as usize) > used.len() => {
+                let at = match faults.last() {
+                    Some(last) => {
+                        let (lo, hi) = (params.gap.0.as_micros(), params.gap.1.as_micros());
+                        last.at.as_micros() + if hi > lo { rng.gen_range(lo..=hi) } else { lo }
+                    }
+                    None => {
+                        let span = params
+                            .last_at
+                            .as_micros()
+                            .saturating_sub(params.first_at.as_micros())
+                            .max(1);
+                        params.first_at.as_micros() + rng.gen_range(0..span)
+                    }
+                };
+                let free: Vec<u32> = (0..params.n_nodes).filter(|v| !used.contains(v)).collect();
+                let victim = free[rng.gen_range(0..free.len())];
+                let vi = (seed as usize).wrapping_add(faults.len()) % params.variants.len();
+                faults.push(params.variants[vi].inject(NodeId(victim), Time(at)));
+                break;
+            }
+            _ => op = (op + 1) % MUTATION_OPS,
+        }
+    }
+    faults.sort_by_key(|f| (f.at, f.node.0));
+    FaultSchedule {
+        id: 0,
+        scenario: FaultScenario { faults },
+    }
+}
+
+/// Period/deadline boundary instants near `at` (the enclosing and next
+/// period), clipped to the cell's earliest admissible activation.
+fn boundary_instants(params: &ScheduleParams, at: Time) -> Vec<u64> {
+    let p = params.period.as_micros();
+    let d = params.deadline.as_micros().min(p.saturating_sub(1));
+    let k = (at.as_micros() / p).max(1);
+    let mut out = Vec::with_capacity(12);
+    for base in [k * p, (k + 1) * p] {
+        for t in [
+            base - 1,
+            base,
+            base + 1,
+            base + d - 1,
+            base + d,
+            base + d + 1,
+        ] {
+            if t >= params.first_at.as_micros() {
+                out.push(t);
+            }
+        }
+    }
+    if out.is_empty() {
+        out.push(at.as_micros().max(params.first_at.as_micros()));
+    }
+    out
+}
+
+/// The toggled counterpart of a variant: its `FaultMods` flip when the
+/// kind has one and the cell schedules it, else the next variant in the
+/// cell's list.
+fn toggle_variant(v: FaultVariant, variants: &[FaultVariant]) -> FaultVariant {
+    let flipped = if v == FaultVariant::OMISSION {
+        FaultVariant::OMISSION_STEALTH
+    } else if v == FaultVariant::OMISSION_STEALTH {
+        FaultVariant::OMISSION
+    } else if v == FaultVariant::COMMISSION {
+        FaultVariant::COMMISSION_GARBLED
+    } else if v == FaultVariant::COMMISSION_GARBLED {
+        FaultVariant::COMMISSION
+    } else {
+        v
+    };
+    if flipped != v && variants.contains(&flipped) {
+        return flipped;
+    }
+    let i = variants.iter().position(|&x| x == v).unwrap_or(0);
+    variants[(i + 1) % variants.len()]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -466,6 +600,86 @@ mod tests {
                 assert!(p.variants.contains(&v), "unexpected variant {v}");
             }
         }
+    }
+
+    #[test]
+    fn mutation_is_deterministic_and_stays_admissible() {
+        let p = params();
+        let seeds = generate(&p, 21, 16);
+        for (i, s) in seeds.iter().enumerate() {
+            for k in 0..12u64 {
+                let seed = (i as u64) << 8 | k;
+                let a = mutate(&p, s, seed);
+                let b = mutate(&p, s, seed);
+                assert_eq!(a, b, "same seed must yield the same mutant");
+                assert!(a.budget() <= p.f as usize, "mutant exceeded f");
+                for w in a.scenario.faults.windows(2) {
+                    assert!(w[0].at <= w[1].at, "activation order");
+                }
+                for f in &a.scenario.faults {
+                    assert!(f.node.0 < p.n_nodes);
+                    assert!(f.at >= p.first_at, "{:?}", f.at);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chain_extension_reaches_f3_from_a_single_fault() {
+        // The acceptance pin: a 1-fault seed schedule evolves into an
+        // f=3 sequential chain through repeated extend mutations alone.
+        let mut p = params();
+        p.f = 3;
+        let mut s = FaultSchedule {
+            id: 0,
+            scenario: FaultScenario {
+                faults: vec![FaultVariant::CRASH.inject(NodeId(2), Time::from_millis(50))],
+            },
+        };
+        let mut tried = 0u64;
+        while s.budget() < 3 && tried < 512 {
+            let next = mutate(&p, &s, tried);
+            if next.budget() > s.budget() {
+                s = next;
+            }
+            tried += 1;
+        }
+        assert_eq!(s.budget(), 3, "f=3 chain unreachable by mutation");
+        assert_eq!(s.scenario.faults.len(), 3);
+        for w in s.scenario.faults.windows(2) {
+            assert!(w[1].at > w[0].at, "sequential chain must be ordered");
+        }
+        // The chain never grows past the budget, however long we mutate.
+        for k in 0..64 {
+            assert!(mutate(&p, &s, k).budget() <= 3);
+        }
+    }
+
+    #[test]
+    fn extension_rounds_enumerate_the_variant_space() {
+        // tofn-style per-round enumeration: extending the same schedule
+        // under successive seeds must sweep every variant for the new
+        // round, not just resample one.
+        let mut p = params();
+        p.f = 3;
+        let s = FaultSchedule {
+            id: 0,
+            scenario: FaultScenario {
+                faults: vec![FaultVariant::CRASH.inject(NodeId(0), Time::from_millis(50))],
+            },
+        };
+        let mut seen = BTreeSet::new();
+        for seed in 0..256u64 {
+            let m = mutate(&p, &s, seed);
+            if m.scenario.faults.len() == 2 {
+                seen.insert(FaultVariant::of(&m.scenario.faults[1]).label());
+            }
+        }
+        assert_eq!(
+            seen.len(),
+            FaultVariant::ALL.len(),
+            "extension rounds missed variants: {seen:?}"
+        );
     }
 
     #[test]

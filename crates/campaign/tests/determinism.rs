@@ -6,8 +6,12 @@
 //!   part allowed to differ).
 //! * The schedule generator must be a pure function of its seed
 //!   (property-tested over random seeds).
+//! * The fuzzer's mutation operators must be pure in their seed, never
+//!   leave the admissible fault space, and the corpus must be a fixed
+//!   point under re-insertion of its own canonical forms.
 
-use btr_campaign::schedule::{generate, FaultVariant, ScheduleParams};
+use btr_campaign::corpus::{canonical_key, Corpus};
+use btr_campaign::schedule::{generate, mutate, FaultVariant, ScheduleParams};
 use btr_campaign::{report, run_campaign, CampaignConfig, CellSpec, TopoSpec};
 use btr_crypto::AuthSuite;
 use btr_model::{Duration, Time};
@@ -123,5 +127,72 @@ proptest! {
         let c = generate(&params, seed ^ 0xDEAD_BEEF, count);
         let boundary = a.iter().zip(&c).take_while(|(x, y)| x == y).count();
         prop_assert!(boundary <= count.div_ceil(2));
+    }
+
+    /// Mutation is a pure function of `(params, schedule, seed)`, and
+    /// mutants never leave the admissible space: budget ≤ f, activations
+    /// ordered, victims in range, nothing before `first_at`. This is the
+    /// fuzzer's safety net — a mutant that exceeded f would turn the
+    /// "zero admissible violations" gate into noise.
+    #[test]
+    fn prop_mutation_is_pure_and_admissibility_preserving(
+        gen_seed in any::<u64>(),
+        mut_seed in any::<u64>(),
+        n_nodes in 2u32..16,
+        f in 1u8..4,
+        rounds in 1usize..6,
+    ) {
+        let params = gen_params(n_nodes, f);
+        let mut s = generate(&params, gen_seed, 4).remove(0);
+        for r in 0..rounds {
+            let seed = mut_seed.wrapping_add(r as u64);
+            let a = mutate(&params, &s, seed);
+            let b = mutate(&params, &s, seed);
+            prop_assert_eq!(&a, &b);
+            prop_assert!(a.budget() <= f as usize, "mutant exceeded f");
+            for w in a.scenario.faults.windows(2) {
+                prop_assert!(w[0].at <= w[1].at, "activation order");
+            }
+            for fault in &a.scenario.faults {
+                prop_assert!(fault.node.0 < n_nodes);
+                prop_assert!(fault.at >= params.first_at);
+            }
+            s = a;
+        }
+    }
+
+    /// Corpus dedup idempotence: re-offering a resident's canonical
+    /// schedule at the same score never changes the corpus (the
+    /// insert-after-shrink fixed point), and keys are invariant under
+    /// fault reordering.
+    #[test]
+    fn prop_corpus_insertion_is_idempotent(
+        gen_seed in any::<u64>(),
+        scores in proptest::collection::vec(0u64..5_000, 1..12),
+        cap in 1usize..8,
+    ) {
+        let params = gen_params(9, 3);
+        let schedules = generate(&params, gen_seed, scores.len());
+        let mut corpus = Corpus::new(cap);
+        for (s, &score) in schedules.iter().zip(&scores) {
+            corpus.offer(0, "cell", s, score, 0);
+        }
+        let digest = corpus.digest();
+        let residents: Vec<_> = corpus.entries().cloned().collect();
+        for e in &residents {
+            // Re-offering the canonical resident is a no-op…
+            prop_assert!(!corpus.offer(e.cell_idx, "cell", &e.schedule, e.score, 0));
+            // …and its key round-trips through canonicalization.
+            prop_assert_eq!(
+                canonical_key("cell", &e.schedule),
+                {
+                    let mut shuffled = e.schedule.clone();
+                    shuffled.scenario.faults.reverse();
+                    canonical_key("cell", &shuffled)
+                }
+            );
+        }
+        prop_assert_eq!(corpus.digest(), digest);
+        prop_assert!(corpus.len() <= cap);
     }
 }

@@ -366,7 +366,39 @@ impl BtrSystem {
         let mut world = self.build_world(scenario, seed);
         world.start();
         world.run_until(Time::ZERO + horizon + self.grace);
+        self.judge_world(scenario, horizon, world)
+    }
 
+    /// [`BtrSystem::run`] with an [`btr_obs::ObsRecorder`] installed for
+    /// the duration: same report, plus the phase marks and counters the
+    /// recorder absorbed. The recorder is pure observation — the report
+    /// is byte-identical to an unobserved run at the same seed — so
+    /// callers (the schedule fuzzer) can use the marks as a coverage
+    /// signature without perturbing verdicts.
+    pub fn run_observed(
+        &self,
+        scenario: &FaultScenario,
+        horizon: Duration,
+        seed: u64,
+    ) -> (RunReport, btr_obs::ObsRecorder) {
+        let mut world = self.build_world(scenario, seed);
+        world.set_recorder(Box::new(btr_obs::ObsRecorder::new()));
+        world.start();
+        world.run_until(Time::ZERO + horizon + self.grace);
+        let rec = world
+            .take_recorder()
+            .and_then(|r| {
+                r.as_any()
+                    .and_then(|a| a.downcast_ref::<btr_obs::ObsRecorder>().cloned())
+            })
+            .unwrap_or_default();
+        (self.judge_world(scenario, horizon, world), rec)
+    }
+
+    /// Judge a finished world: actuation verdicts, convergence, and
+    /// per-node stats. Shared tail of [`BtrSystem::run`] and
+    /// [`BtrSystem::run_observed`].
+    fn judge_world(&self, scenario: &FaultScenario, horizon: Duration, world: World) -> RunReport {
         let ActuationJudgment {
             verdicts,
             recovery,
@@ -421,6 +453,23 @@ mod tests {
         let mut cfg = PlannerConfig::new(f, Duration::from_millis(150));
         cfg.admit_best_effort = true;
         BtrSystem::plan(workload, topo, cfg).expect("plannable")
+    }
+
+    #[test]
+    fn observed_runs_match_unobserved_runs_exactly() {
+        // The fuzzer scores runs off `run_observed`; the recorder must
+        // not perturb a single verdict, stat, or recovery figure
+        // relative to the plain `run` the campaign digests are built on.
+        let sys = system(1);
+        let scenario = FaultScenario::single(NodeId(2), FaultKind::Crash, Time(52_000));
+        let horizon = Duration::from_millis(400);
+        let plain = sys.run(&scenario, horizon, 7);
+        let (observed, rec) = sys.run_observed(&scenario, horizon, 7);
+        assert_eq!(format!("{plain:?}"), format!("{observed:?}"));
+        assert!(
+            !rec.marks().is_empty(),
+            "a crashed node must leave phase marks behind"
+        );
     }
 
     #[test]

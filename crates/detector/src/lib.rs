@@ -62,6 +62,9 @@ pub struct Detector {
     /// downstream recipients can re-point their own declarations at the
     /// root instead of implicating innocent intermediates.
     exonerated: BTreeMap<(NodeId, PeriodIdx), (NodeId, TaskId)>,
+    /// Declarations the cascade gates swallowed (exonerated producers,
+    /// explained silence): blame the detector chose not to re-assign.
+    suppressed: u64,
 }
 
 impl Detector {
@@ -78,6 +81,7 @@ impl Detector {
             batch: SigBatch::new(),
             batch_ok: Vec::new(),
             exonerated: BTreeMap::new(),
+            suppressed: 0,
         }
     }
 
@@ -202,9 +206,11 @@ impl Detector {
                 // for this period is exonerated: its silence was a
                 // cascade, and blame belongs further up the dataflow.
                 if self.exonerated.contains_key(&(producer, period)) {
+                    self.suppressed += 1;
                     continue;
                 }
                 if silence_explained(chk.task(), producer) {
+                    self.suppressed += 1;
                     continue;
                 }
                 out.push(EvidenceRecord::declare_path(
@@ -298,6 +304,18 @@ impl Detector {
     /// exonerated itself.
     pub fn exoneration_of(&self, node: NodeId, period: PeriodIdx) -> Option<(NodeId, TaskId)> {
         self.exonerated.get(&(node, period)).copied()
+    }
+
+    /// Declarations the cascade gates swallowed so far (see
+    /// [`Detector::end_of_period`]).
+    pub fn suppressed_declarations(&self) -> u64 {
+        self.suppressed
+    }
+
+    /// Unattributed suspects one accuser short of conviction (see
+    /// [`OmissionTracker::near_miss_suspects`]).
+    pub fn near_miss_suspects(&self) -> usize {
+        self.omission.near_miss_suspects()
     }
 }
 

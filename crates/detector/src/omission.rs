@@ -192,6 +192,30 @@ impl OmissionTracker {
     pub fn declared_count(&self, declarer: NodeId) -> usize {
         self.declared_remotes.get(&declarer).map_or(0, |s| s.len())
     }
+
+    /// Unattributed suspects exactly one distinct accuser short of their
+    /// nearest conviction route (full or fan-in-scaled) — the evidence
+    /// pool's near misses. The two-period rule is not held against the
+    /// deficit: a closing accusation arrives with its own period.
+    pub fn near_miss_suspects(&self) -> usize {
+        self.accusers
+            .iter()
+            .filter(|(suspect, set)| {
+                if self.attributed.contains(suspect) {
+                    return false;
+                }
+                let full_short = set.len() + 1 == self.threshold;
+                let scaled_short = self
+                    .plausible_accusers
+                    .get(suspect)
+                    .is_some_and(|plausible| {
+                        let scaled_threshold = self.threshold.min(plausible.len().max(2));
+                        set.intersection(plausible).count() + 1 == scaled_threshold
+                    });
+                full_short || scaled_short
+            })
+            .count()
+    }
 }
 
 #[cfg(test)]
@@ -376,6 +400,30 @@ mod tests {
             t.record_path(NodeId(3), NodeId(4), NodeId(3), 10),
             vec![NodeId(4)]
         );
+    }
+
+    #[test]
+    fn near_misses_track_the_one_accuser_deficit() {
+        let mut t = OmissionTracker::new(3);
+        assert_eq!(t.near_miss_suspects(), 0);
+        // One accuser: still two short of the full threshold.
+        t.record_path(NodeId(1), NodeId(4), NodeId(1), 0);
+        assert_eq!(t.near_miss_suspects(), 0);
+        // A second distinct accuser puts n4 one short.
+        t.record_path(NodeId(2), NodeId(4), NodeId(2), 1);
+        assert_eq!(t.near_miss_suspects(), 1);
+        // Conviction clears the near miss.
+        t.record_path(NodeId(3), NodeId(4), NodeId(3), 2);
+        assert!(t.attributed().contains(&NodeId(4)));
+        assert_eq!(t.near_miss_suspects(), 0);
+        // A sparse-fan-in suspect is a near miss after a single
+        // plausible accusation (scaled bar of two).
+        t.set_plausible_accusers(BTreeMap::from([(
+            NodeId(6),
+            BTreeSet::from([NodeId(1), NodeId(2)]),
+        )]));
+        t.record_path(NodeId(1), NodeId(6), NodeId(1), 5);
+        assert_eq!(t.near_miss_suspects(), 1);
     }
 
     #[test]

@@ -107,6 +107,13 @@ pub struct NodeStats {
     pub heartbeats_sent: u64,
     /// Bytes of migrated task state received.
     pub state_bytes_in: u64,
+    /// Evidence-pool near misses: suspects left one accuser short of
+    /// conviction (snapshot of the detector's omission tracker).
+    pub near_miss_accusations: u64,
+    /// Path declarations withheld by the cascade gates — the detector's
+    /// exoneration/explained-silence skips plus the recipient-side gate
+    /// on missing inputs (blackout, already-convicted, explained).
+    pub suppressed_declarations: u64,
 }
 
 /// The BTR node behaviour.
@@ -167,9 +174,14 @@ impl BtrNode {
         }
     }
 
-    /// Current counters.
+    /// Current counters. Detector-side tallies (near misses, gate
+    /// suppressions) are folded in at read time so the hot path never
+    /// touches them.
     pub fn stats(&self) -> NodeStats {
-        self.stats
+        let mut s = self.stats;
+        s.near_miss_accusations = self.detector.near_miss_suspects() as u64;
+        s.suppressed_declarations += self.detector.suppressed_declarations();
+        s
     }
 
     /// The node's current plan.
@@ -523,6 +535,8 @@ impl BtrNode {
                         p,
                     );
                     self.handle_local_evidence(vec![decl], ctx);
+                } else {
+                    self.stats.suppressed_declarations += 1;
                 }
                 return; // Cannot compute this period.
             }
